@@ -1,0 +1,46 @@
+// Command sdrad-attack load-tests a running sdrad-kvd server over TCP
+// with a mixed benign/malicious workload and reports the benign clients'
+// experience — the live-network version of experiment E4.
+//
+// Usage:
+//
+//	sdrad-attack [-addr 127.0.0.1:11211] [-n 2000] [-every 50] [-clients 4]
+//
+// Run `sdrad-kvd` in one terminal (try both -mode=sdrad and
+// -mode=native), then run sdrad-attack in another and compare the benign
+// failure rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/attackgen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "sdrad-kvd address")
+	n := flag.Int("n", 2000, "total requests")
+	every := flag.Int("every", 50, "one malicious request per N (0 disables attacks)")
+	clients := flag.Int("clients", 4, "concurrent benign client connections")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	report, err := attackgen.Run(attackgen.Config{
+		Addr:        *addr,
+		Requests:    *n,
+		AttackEvery: *every,
+		Clients:     *clients,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sdrad-attack: %v", err)
+	}
+	fmt.Print(report.String())
+	if report.BenignFailures > 0 {
+		os.Exit(1)
+	}
+}

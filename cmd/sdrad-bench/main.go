@@ -1,0 +1,75 @@
+// Command sdrad-bench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	sdrad-bench [-exp E1,E4] [-quick] [-seed N] [-markdown]
+//
+// With no -exp flag every experiment (E1..E8) runs in order. Each
+// experiment prints the paper claim it checks followed by the
+// regenerated table; see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sdrad-bench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "", "comma-separated experiment ids (default: all of E1..E8)")
+	quick := fs.Bool("quick", false, "run reduced-size experiments (same shapes, ~10x faster)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	runner := exp.Runner{Quick: *quick, Seed: *seed}
+	ids := exp.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(strings.ToUpper(ids[i]))
+		}
+	}
+
+	for _, id := range ids {
+		res, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[%s] claim: %s\n\n", res.ID, res.Claim)
+		if *markdown {
+			fmt.Println(res.Table.Markdown())
+		} else {
+			fmt.Println(res.Table.String())
+		}
+		if res.Notes != "" {
+			fmt.Printf("note: %s\n", res.Notes)
+		}
+		checks := exp.Verify(res)
+		fail := 0
+		for _, c := range checks {
+			if !c.Pass {
+				fail++
+				fmt.Printf("shape FAIL: %s (%s)\n", c.Name, c.Detail)
+			}
+		}
+		if fail == 0 {
+			fmt.Printf("shape: %d/%d checks pass\n\n", len(checks), len(checks))
+		} else {
+			fmt.Println()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if code := run([]string{"-quick", "-exp", "E3"}); code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if code := run([]string{"-quick", "-exp", "E5", "-markdown"}); code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-exp", "E99"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunLowercaseIDsAccepted(t *testing.T) {
+	if code := run([]string{"-quick", "-exp", "e6, a1"}); code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+}

@@ -1,0 +1,80 @@
+// Command sdrad-httpd is a resilient static web server over TCP,
+// demonstrating per-request domain isolation for an NGINX-style workload.
+//
+// Requests are parsed inside SDRaD domains. Sending the "x-exploit"
+// header triggers the injected parser bug: in sdrad mode the request gets
+// a 400 and the server keeps running; in native mode the worker crashes
+// and the service returns 503 for the modeled restart window.
+//
+// Usage:
+//
+//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native]
+//
+// Try it:
+//
+//	curl -i http://127.0.0.1:8080/
+//	curl -i -H 'x-exploit: 1' http://127.0.0.1:8080/
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/httpd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
+	flag.Parse()
+
+	if err := run(*addr, *mode); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sdrad-httpd: %v", err)
+	}
+}
+
+func run(addr, modeName string) error {
+	var mode httpd.Mode
+	switch modeName {
+	case "sdrad":
+		mode = httpd.ModeSDRaD
+	case "native":
+		mode = httpd.ModeNative
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	sys := core.NewSystem(core.DefaultConfig())
+	srv, err := httpd.NewServer(sys, httpd.Config{Mode: mode})
+	if err != nil {
+		return err
+	}
+	srv.HandleFunc("/", []byte("<html><body><h1>sdrad-httpd</h1><p>resilient static server</p></body></html>\n"))
+	srv.HandleFunc("/health", []byte("ok\n"))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("sdrad-httpd listening on %s (mode=%s)", ln.Addr(), mode)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("shutting down")
+		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			log.Printf("close listener: %v", cerr)
+		}
+	}()
+
+	return httpd.NewNetServer(srv, log.Default()).Serve(ln)
+}

@@ -1,0 +1,86 @@
+// Command sdrad-kvd is a resilient memcached-like server over TCP,
+// demonstrating SDRaD containment end to end.
+//
+// It speaks a subset of the memcached text protocol (get/set/delete/
+// stats/quit). Request handling runs inside per-connection SDRaD domains:
+// a value whose payload starts with the attack marker "!!exploit" makes
+// the parser trigger a heap overflow, which is contained — the connection
+// gets SERVER_ERROR, the cache and every other connection keep working,
+// and `stats` shows the contained_violations counter climbing. In
+// -mode=native the same payload crashes the worker and the service drops
+// requests for the modeled restart window.
+//
+// Usage:
+//
+//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864]
+//
+// Try it:
+//
+//	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
+	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
+	capacity := flag.Uint64("capacity", 64<<20, "cache capacity in bytes")
+	flag.Parse()
+
+	if err := run(*addr, *mode, *capacity); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sdrad-kvd: %v", err)
+	}
+}
+
+func run(addr, modeName string, capacity uint64) error {
+	var mode kvstore.Mode
+	switch modeName {
+	case "sdrad":
+		mode = kvstore.ModeSDRaD
+	case "native":
+		mode = kvstore.ModeNative
+	default:
+		return fmt.Errorf("unknown mode %q (want sdrad or native)", modeName)
+	}
+
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := kvstore.NewCache(sys, 1, capacity)
+	if err != nil {
+		return err
+	}
+	srv, err := kvstore.NewServer(sys, cache, kvstore.ServerConfig{Mode: mode})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("sdrad-kvd listening on %s (mode=%s, capacity=%d)", ln.Addr(), mode, capacity)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("shutting down")
+		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			log.Printf("close listener: %v", cerr)
+		}
+	}()
+
+	return kvstore.NewNetServer(srv, log.Default()).Serve(ln)
+}

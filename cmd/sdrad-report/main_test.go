@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestBuildReport(t *testing.T) {
+	report, err := build(exp.Runner{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## E1", "## E2", "## E3", "## E4",
+		"## E5", "## E6", "## E7", "## E8",
+		"## A1", "## A2", "## A3",
+		"quick, seed 1",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(report) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(report))
+	}
+}

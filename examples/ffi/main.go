@@ -1,0 +1,114 @@
+// FFI scenario: §III of the paper — calling memory-unsafe "foreign" code
+// from safe code without giving up availability.
+//
+// A legacy record parser (think: a C library behind Rust FFI) is wrapped
+// with sdrad.Foreign registrations — the Go analogue of the proposed
+// annotation macro. Arguments are serialized into the foreign domain,
+// the parser runs isolated, and results are serialized back. The parser
+// contains a Heartbleed-shaped bug: it trusts a length field from the
+// input. When an attack record arrives, the out-of-bounds read is
+// contained, the domain is rewound, and the registered alternate action
+// returns a clean error — the application never crashes and never leaks.
+//
+//	go run ./examples/ffi
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	sdrad "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("ffi example: %v", err)
+	}
+}
+
+// buildRecord frames a payload with a length header. declared > len(data)
+// is the attack.
+func buildRecord(data []byte, declared int) []byte {
+	rec := make([]byte, 2+len(data))
+	binary.BigEndian.PutUint16(rec, uint16(declared))
+	copy(rec[2:], data)
+	return rec
+}
+
+func run() error {
+	sup := sdrad.New()
+	// A small foreign-domain heap, sized to the records it parses: the
+	// attack's 60 kB over-read runs off the domain's pages and faults
+	// instead of silently leaking neighbouring allocations.
+	bridge, err := sup.NewBridge(sdrad.CodecBinary, sdrad.WithHeapPages(4))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := bridge.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
+
+	// The "legacy C function": parse a record and return its payload.
+	// BUG: it trusts the declared length — reads out of bounds for
+	// attack records.
+	err = bridge.Register(sdrad.Foreign{
+		Name: "legacy_parse",
+		Fn: func(c *sdrad.Ctx, args []any) ([]any, error) {
+			rec := args[0].([]byte)
+			if len(rec) < 2 {
+				return nil, fmt.Errorf("short record")
+			}
+			declared := int(binary.BigEndian.Uint16(rec))
+			buf := c.MustAlloc(len(rec))
+			c.MustStore(buf, rec)
+			payload := make([]byte, declared) // attacker-controlled size
+			c.MustLoad(buf+2, payload)        // may read far out of bounds
+			c.MustFree(buf)
+			return []any{payload}, nil
+		},
+		Fallback: func(args []any, v *sdrad.ViolationError) ([]any, error) {
+			// Alternate action: reject the record cleanly.
+			return []any{[]byte(nil)}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Benign record.
+	res, err := bridge.Call("legacy_parse", buildRecord([]byte("hello ffi"), 9))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benign record parsed: %q\n", res[0].([]byte))
+
+	// Heartbleed-style record: declares 60000 bytes, carries 4.
+	res, err = bridge.Call("legacy_parse", buildRecord([]byte("evil"), 60000))
+	if err != nil {
+		return err
+	}
+	if len(res[0].([]byte)) == 0 {
+		fmt.Println("attack record: contained — alternate action returned a clean rejection")
+	}
+
+	// The bridge keeps serving after the violation.
+	res, err = bridge.Call("legacy_parse", buildRecord([]byte("still alive"), 11))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-attack record parsed: %q\n", res[0].([]byte))
+
+	st := bridge.Stats()
+	fmt.Printf("\nbridge stats: calls=%d violations=%d fallbacks=%d bytes-in=%d bytes-out=%d\n",
+		st.Calls, st.Violations, st.Fallbacks, st.BytesIn, st.BytesOut)
+	dst, err := bridge.Domain().Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("foreign domain: rewinds=%d total-rewind-time=%v\n", dst.Rewinds, dst.RewindTime)
+	return nil
+}

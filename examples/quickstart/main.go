@@ -1,0 +1,85 @@
+// Quickstart: create a domain, run work in it, survive a memory-safety
+// violation, and keep going.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	sdrad "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	sup := sdrad.New()
+
+	dom, err := sup.NewDomain()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := dom.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
+
+	// 1. Normal work inside the domain: allocate, write, read back.
+	var out []byte
+	err = dom.Run(func(c *sdrad.Ctx) error {
+		p := c.MustAlloc(64)
+		c.MustStore(p, []byte("resilient hello"))
+		out = make([]byte, 15)
+		c.MustLoad(p, out)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1. domain computed: %q\n", out)
+
+	// 2. A wild write inside the domain. On a conventional server this is
+	// a crash; here the domain is rewound and discarded.
+	err = dom.Run(func(c *sdrad.Ctx) error {
+		c.MustStore64(0xdeadbeef000, 0x41) // memory-corruption bug fires
+		fmt.Println("   (unreachable)")
+		return nil
+	})
+	if v, ok := sdrad.IsViolation(err); ok {
+		fmt.Printf("2. contained violation: mechanism=%s (domain %d rewound)\n", v.Mechanism, v.UDI)
+	} else if err != nil {
+		return err
+	}
+
+	// 3. The same domain is immediately reusable — that is the
+	// availability story of the paper.
+	err = dom.RunWithFallback(
+		func(c *sdrad.Ctx) error {
+			p := c.MustAlloc(32)
+			c.MustStore(p, []byte("back in business"))
+			return nil
+		},
+		func(v *sdrad.ViolationError) error {
+			return errors.New("unexpected second violation")
+		},
+	)
+	if err != nil {
+		return err
+	}
+	st, err := dom.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3. domain healthy again: entries=%d violations=%d rewind-time=%v\n",
+		st.Entries, st.Violations, st.RewindTime)
+	fmt.Printf("   virtual machine time elapsed: %v\n", sup.VirtualTime())
+	return nil
+}

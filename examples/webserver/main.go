@@ -1,0 +1,75 @@
+// Webserver scenario: the NGINX use case — per-request parsing domains.
+//
+// The demo serves a burst of requests, interleaving parser exploits, in
+// both native and sdrad modes, then prints each server's fate.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	sdrad "repro"
+	"repro/internal/httpd"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("webserver example: %v", err)
+	}
+}
+
+func run() error {
+	table := metrics.NewTable("webserver under parser exploits",
+		"mode", "2xx", "4xx", "503 (down)", "exploits contained", "crashes")
+	for _, mode := range []httpd.Mode{httpd.ModeNative, httpd.ModeSDRaD} {
+		row, err := drive(mode)
+		if err != nil {
+			return err
+		}
+		table.AddRow(row...)
+	}
+	fmt.Println(table.String())
+	fmt.Println("sdrad mode answers every benign request even while being exploited;")
+	fmt.Println("native mode spends the restart window returning 503.")
+	return nil
+}
+
+func drive(mode httpd.Mode) ([]any, error) {
+	sup := sdrad.New()
+	srv, err := httpd.NewServer(sup.System(), httpd.Config{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	srv.HandleFunc("/", []byte("<html>welcome</html>"))
+	srv.HandleFunc("/app.js", make([]byte, 16<<10))
+	// Give the native restart a real warm-up cost.
+	srv.HandleFunc("/blob", make([]byte, 8<<20))
+
+	ok2xx, bad4xx, down503 := 0, 0, 0
+	for i := 0; i < 5000; i++ {
+		var raw []byte
+		if i%250 == 100 {
+			raw = httpd.BuildRequest("GET", "/", map[string]string{httpd.AttackHeader: "pwn"})
+		} else if i%2 == 0 {
+			raw = httpd.BuildRequest("GET", "/", nil)
+		} else {
+			raw = httpd.BuildRequest("GET", "/app.js", nil)
+		}
+		resp := srv.Serve(i%16, raw)
+		switch {
+		case errors.Is(resp.Err, httpd.ErrUnavailable):
+			down503++
+		case resp.Status == 200:
+			ok2xx++
+		case resp.Status == 400:
+			bad4xx++
+		}
+	}
+	st := srv.Stats()
+	return []any{mode.String(), ok2xx, bad4xx, down503, st.Violations, st.Crashes}, nil
+}

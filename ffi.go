@@ -1,0 +1,93 @@
+package sdrad
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/serde"
+)
+
+// This file is the public surface of SDRaD-FFI (§III of the paper):
+// wrapping "foreign" (memory-unsafe) functions so they run inside an
+// isolated, rewindable domain with serialized argument passing and
+// alternate actions — the Go analogue of the proposed Rust crate's
+// annotation macro.
+
+// ForeignFunc is a wrapped foreign function: it receives the decoded
+// argument vector plus a domain context for raw memory work, and returns
+// a result vector. Supported argument/result kinds: bool, int64, uint64,
+// float64, string, []byte.
+type ForeignFunc = ffi.Func
+
+// ForeignFallback is the alternate action invoked with the original
+// arguments when the foreign function's domain is rewound.
+type ForeignFallback = ffi.Fallback
+
+// Foreign describes one wrapped foreign function.
+type Foreign = ffi.Registration
+
+// BridgeStats reports FFI bridge accounting.
+type BridgeStats = ffi.Stats
+
+// Codec names accepted by NewBridge.
+const (
+	// CodecRaw carries only []byte/string arguments, with minimal
+	// framing (bytemuck-style).
+	CodecRaw = "raw"
+	// CodecBinary is the compact type-tagged default (bincode-style).
+	CodecBinary = "binary"
+	// CodecJSON is the self-describing text codec (serde_json-style).
+	CodecJSON = "json"
+)
+
+// Bridge runs registered foreign functions inside a dedicated domain,
+// marshalling arguments in and results out through the chosen codec.
+type Bridge struct {
+	b *ffi.Bridge
+	d *Domain
+}
+
+// NewBridge creates an FFI bridge with its own fresh domain. codec is one
+// of CodecRaw, CodecBinary, CodecJSON ("" defaults to CodecBinary).
+func (s *Supervisor) NewBridge(codec string, opts ...DomainOption) (*Bridge, error) {
+	var c serde.Codec
+	if codec != "" {
+		var err error
+		c, err = serde.ByName(codec)
+		if err != nil {
+			return nil, fmt.Errorf("sdrad: %w", err)
+		}
+	}
+	d, err := s.NewDomain(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sdrad: bridge domain: %w", err)
+	}
+	b, err := ffi.NewBridge(s.sys, core.UDI(d.UDI()), c)
+	if err != nil {
+		_ = d.Close()
+		return nil, fmt.Errorf("sdrad: %w", err)
+	}
+	return &Bridge{b: b, d: d}, nil
+}
+
+// Register wraps a foreign function (the annotation-macro analogue).
+func (b *Bridge) Register(f Foreign) error { return b.b.Register(f) }
+
+// Call invokes a registered foreign function: arguments are serialized
+// into the domain, the function runs isolated, and results are
+// serialized back out. On a violation the domain is rewound; if the
+// function declared a fallback its results are returned, otherwise the
+// *ViolationError is.
+func (b *Bridge) Call(name string, args ...any) ([]any, error) {
+	return b.b.Call(name, args...)
+}
+
+// Stats returns bridge accounting.
+func (b *Bridge) Stats() BridgeStats { return b.b.Stats() }
+
+// Domain returns the bridge's backing domain.
+func (b *Bridge) Domain() *Domain { return b.d }
+
+// Close tears down the bridge's domain.
+func (b *Bridge) Close() error { return b.d.Close() }

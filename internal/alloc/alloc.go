@@ -1,0 +1,400 @@
+// Package alloc implements the per-domain heap allocator of the SDRaD
+// reproduction.
+//
+// Each SDRaD domain owns a private heap backed by pages tagged with the
+// domain's protection key. The allocator is a segregated free-list
+// allocator (power-of-two size classes, no coalescing — matching the
+// slab-style allocation the SDRaD use cases rely on). Every chunk is
+// framed by a canaried header and a trailing redzone word; the canary is
+// derived from the chunk's address and a per-heap secret, so a linear
+// heap overflow that reaches the next chunk is detected either at Free
+// time or by an explicit CheckIntegrity sweep. These canaries are one of
+// the "pre-existing detection mechanisms" (§II of the paper) that trigger
+// secure rewind.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pku"
+)
+
+const (
+	headerSize  = 16 // [size:8][canary:8]
+	trailerSize = 8  // [canary:8]
+	// minClass is the smallest chunk payload size class.
+	minClass = 16
+	// numClasses covers payloads 16 B .. 8 MiB.
+	numClasses = 20
+)
+
+// Overhead is the per-allocation metadata overhead in bytes.
+const Overhead = headerSize + trailerSize
+
+// Sentinel errors.
+var (
+	// ErrHeapCorruption is returned when a canary or redzone check fails.
+	// SDRaD treats this as a domain violation triggering rewind.
+	ErrHeapCorruption = errors.New("alloc: heap corruption detected")
+	// ErrBadFree is returned for frees of addresses that were never
+	// allocated (or were already freed).
+	ErrBadFree = errors.New("alloc: invalid free")
+	// ErrOutOfMemory is returned when the heap cannot grow further.
+	ErrOutOfMemory = errors.New("alloc: out of memory")
+	// ErrTooLarge is returned for requests above the maximum size class.
+	ErrTooLarge = errors.New("alloc: allocation too large")
+)
+
+// Heap is a per-domain heap. Create with New. Not safe for concurrent
+// use: a domain executes on a single simulated hardware thread.
+type Heap struct {
+	m      *mem.Memory
+	key    pku.Key
+	pkru   pku.PKRU // rights the allocator itself runs with
+	secret uint64
+
+	regions []region
+	// free[i] holds freed chunk base addresses for class i.
+	free [numClasses][]mem.Addr
+	// live maps chunk payload address -> class index.
+	live map[mem.Addr]int
+
+	maxPages   int
+	allocated  uint64 // current live payload bytes
+	totalAlloc uint64 // cumulative Alloc calls
+	totalFree  uint64
+	peak       uint64
+}
+
+type region struct {
+	base   mem.Addr
+	npages int
+	used   uint64 // bump offset
+}
+
+// Config configures a Heap.
+type Config struct {
+	// InitialPages is the number of pages mapped up front (default 16).
+	InitialPages int
+	// MaxPages bounds heap growth (default 1 << 20 pages = 4 GiB).
+	MaxPages int
+	// Secret seeds the canary values. A zero secret is replaced by a
+	// fixed non-zero constant so canaries are never trivially zero.
+	Secret uint64
+}
+
+// New creates a heap whose pages are tagged with the domain's key.
+func New(m *mem.Memory, key pku.Key, cfg Config) (*Heap, error) {
+	if cfg.InitialPages <= 0 {
+		cfg.InitialPages = 16
+	}
+	if cfg.MaxPages <= 0 {
+		cfg.MaxPages = 1 << 20
+	}
+	if cfg.Secret == 0 {
+		cfg.Secret = 0x5d8a_d0c4_ca12_71e5 ^ (uint64(key) << 56) ^ 0xa5a5_a5a5_5a5a_5a5a
+	}
+	h := &Heap{
+		m:        m,
+		key:      key,
+		pkru:     pku.OnlyKeys(pku.DefaultKey, key),
+		secret:   cfg.Secret,
+		live:     make(map[mem.Addr]int),
+		maxPages: cfg.MaxPages,
+	}
+	if err := h.grow(cfg.InitialPages); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Key returns the protection key tagging the heap's pages.
+func (h *Heap) Key() pku.Key { return h.key }
+
+// Rekey updates the key the allocator believes its pages are tagged with
+// (the caller must have re-tagged the pages via mem.TagKey). Used by the
+// heap-adoption path, where a domain's pages move to the root key.
+func (h *Heap) Rekey(key pku.Key) error {
+	if !key.Valid() {
+		return fmt.Errorf("alloc: %w: %v", pku.ErrKeyNotAllocated, key)
+	}
+	h.key = key
+	h.pkru = pku.OnlyKeys(pku.DefaultKey, key)
+	return nil
+}
+
+// Regions returns the base address and page count of each mapped region.
+func (h *Heap) Regions() []struct {
+	Base   mem.Addr
+	NPages int
+} {
+	out := make([]struct {
+		Base   mem.Addr
+		NPages int
+	}, len(h.regions))
+	for i, r := range h.regions {
+		out[i].Base = r.base
+		out[i].NPages = r.npages
+	}
+	return out
+}
+
+func (h *Heap) grow(npages int) error {
+	total := 0
+	for _, r := range h.regions {
+		total += r.npages
+	}
+	if total+npages > h.maxPages {
+		return fmt.Errorf("%w: %d+%d pages exceeds max %d", ErrOutOfMemory, total, npages, h.maxPages)
+	}
+	base, err := h.m.Map(npages, mem.ProtRW, h.key)
+	if err != nil {
+		return fmt.Errorf("alloc: grow: %w", err)
+	}
+	h.regions = append(h.regions, region{base: base, npages: npages})
+	return nil
+}
+
+// classFor returns the size-class index for a payload of n bytes.
+func classFor(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: size %d", ErrTooLarge, n)
+	}
+	sz := minClass
+	for c := 0; c < numClasses; c++ {
+		if n <= sz {
+			return c, nil
+		}
+		sz <<= 1
+	}
+	return 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, minClass<<(numClasses-1))
+}
+
+// ClassSize returns the payload capacity of size class c.
+func ClassSize(c int) int { return minClass << c }
+
+func (h *Heap) canary(chunk mem.Addr) uint64 {
+	// Mix the chunk address with the heap secret (xorshift-style).
+	x := uint64(chunk) ^ h.secret
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	if x == 0 {
+		x = h.secret | 1
+	}
+	return x
+}
+
+// Alloc allocates n bytes and returns the payload address. The payload is
+// zeroed.
+func (h *Heap) Alloc(n int) (mem.Addr, error) {
+	c, err := classFor(n)
+	if err != nil {
+		return 0, err
+	}
+	chunkSize := uint64(ClassSize(c) + Overhead)
+
+	var chunk mem.Addr
+	if fl := h.free[c]; len(fl) > 0 {
+		chunk = fl[len(fl)-1]
+		h.free[c] = fl[:len(fl)-1]
+	} else {
+		chunk, err = h.bump(chunkSize)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	payload := chunk + headerSize
+	// Write header: size and canary.
+	if err := h.m.Store64(h.pkru, chunk, uint64(n)); err != nil {
+		return 0, fmt.Errorf("alloc: header write: %w", err)
+	}
+	if err := h.m.Store64(h.pkru, chunk+8, h.canary(chunk)); err != nil {
+		return 0, fmt.Errorf("alloc: canary write: %w", err)
+	}
+	// Zero payload and write trailing redzone.
+	zero := make([]byte, ClassSize(c))
+	if err := h.m.StoreBytes(h.pkru, payload, zero); err != nil {
+		return 0, fmt.Errorf("alloc: payload zero: %w", err)
+	}
+	if err := h.m.Store64(h.pkru, payload+mem.Addr(ClassSize(c)), h.canary(chunk)); err != nil {
+		return 0, fmt.Errorf("alloc: redzone write: %w", err)
+	}
+
+	h.live[payload] = c
+	h.allocated += uint64(n)
+	h.totalAlloc++
+	if h.allocated > h.peak {
+		h.peak = h.allocated
+	}
+	return payload, nil
+}
+
+func (h *Heap) bump(chunkSize uint64) (mem.Addr, error) {
+	r := &h.regions[len(h.regions)-1]
+	capacity := uint64(r.npages) * mem.PageSize
+	if r.used+chunkSize > capacity {
+		// Double the last region size (at least enough for the chunk).
+		np := r.npages * 2
+		need := int((chunkSize + mem.PageSize - 1) / mem.PageSize)
+		if np < need {
+			np = need
+		}
+		if err := h.grow(np); err != nil {
+			return 0, err
+		}
+		r = &h.regions[len(h.regions)-1]
+	}
+	chunk := r.base + mem.Addr(r.used)
+	r.used += chunkSize
+	return chunk, nil
+}
+
+// checkChunk verifies the canaries of the chunk whose payload is at p.
+func (h *Heap) checkChunk(p mem.Addr, class int) error {
+	chunk := p - headerSize
+	want := h.canary(chunk)
+	got, err := h.m.Load64(h.pkru, chunk+8)
+	if err != nil {
+		return fmt.Errorf("alloc: canary read: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("%w: header canary at %#x (got %#x want %#x)",
+			ErrHeapCorruption, uint64(chunk), got, want)
+	}
+	rz, err := h.m.Load64(h.pkru, p+mem.Addr(ClassSize(class)))
+	if err != nil {
+		return fmt.Errorf("alloc: redzone read: %w", err)
+	}
+	if rz != want {
+		return fmt.Errorf("%w: redzone at %#x (got %#x want %#x)",
+			ErrHeapCorruption, uint64(p)+uint64(ClassSize(class)), rz, want)
+	}
+	return nil
+}
+
+// Free releases the allocation whose payload address is p, after
+// validating both canaries. A canary mismatch returns ErrHeapCorruption —
+// SDRaD's cue to rewind the domain.
+func (h *Heap) Free(p mem.Addr) error {
+	c, ok := h.live[p]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(p))
+	}
+	if err := h.checkChunk(p, c); err != nil {
+		return err
+	}
+	size, err := h.m.Load64(h.pkru, p-headerSize)
+	if err != nil {
+		return fmt.Errorf("alloc: size read: %w", err)
+	}
+	delete(h.live, p)
+	h.free[c] = append(h.free[c], p-headerSize)
+	if size <= h.allocated {
+		h.allocated -= size
+	} else {
+		h.allocated = 0
+	}
+	h.totalFree++
+	return nil
+}
+
+// UsableSize returns the payload capacity of the allocation at p.
+func (h *Heap) UsableSize(p mem.Addr) (int, error) {
+	c, ok := h.live[p]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, uint64(p))
+	}
+	return ClassSize(c), nil
+}
+
+// CheckIntegrity sweeps every live chunk and validates its canaries,
+// returning the first corruption found. This is the heap-integrity probe
+// SDRaD runs when a domain exits cleanly.
+func (h *Heap) CheckIntegrity() error {
+	for p, c := range h.live {
+		if err := h.checkChunk(p, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards every allocation without individual frees and zeroes the
+// heap pages. This is the "discard" half of secure rewind: the domain's
+// heap returns to a pristine state in O(pages) page-zero operations, with
+// no dependence on live object count.
+func (h *Heap) Reset() error {
+	for i := range h.free {
+		h.free[i] = h.free[i][:0]
+	}
+	clear(h.live)
+	h.allocated = 0
+	for i := range h.regions {
+		r := &h.regions[i]
+		r.used = 0
+		if err := h.m.Zero(r.base, r.npages); err != nil {
+			return fmt.Errorf("alloc: reset: %w", err)
+		}
+	}
+	return nil
+}
+
+// ResetNoZero discards every allocation like Reset but skips the page
+// scrub. Rewind becomes O(1) in heap size at the cost of leaving stale
+// (possibly attacker-written) bytes in the pages; fresh allocations still
+// zero their payloads, so this is safe for integrity though not for
+// confidentiality of discarded data. This is the "fast discard" ablation
+// called out in DESIGN.md §5.
+func (h *Heap) ResetNoZero() error {
+	for i := range h.free {
+		h.free[i] = h.free[i][:0]
+	}
+	clear(h.live)
+	h.allocated = 0
+	for i := range h.regions {
+		h.regions[i].used = 0
+	}
+	return nil
+}
+
+// Release unmaps all heap pages. The heap must not be used afterwards.
+func (h *Heap) Release() error {
+	for _, r := range h.regions {
+		if err := h.m.Unmap(r.base, r.npages); err != nil {
+			return fmt.Errorf("alloc: release: %w", err)
+		}
+	}
+	h.regions = nil
+	clear(h.live)
+	return nil
+}
+
+// Stats reports allocator statistics.
+type Stats struct {
+	LiveChunks  int
+	LiveBytes   uint64
+	PeakBytes   uint64
+	TotalAllocs uint64
+	TotalFrees  uint64
+	HeapPages   int
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (h *Heap) Stats() Stats {
+	pages := 0
+	for _, r := range h.regions {
+		pages += r.npages
+	}
+	return Stats{
+		LiveChunks:  len(h.live),
+		LiveBytes:   h.allocated,
+		PeakBytes:   h.peak,
+		TotalAllocs: h.totalAlloc,
+		TotalFrees:  h.totalFree,
+		HeapPages:   pages,
+	}
+}

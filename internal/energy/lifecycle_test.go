@@ -1,0 +1,124 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/avail"
+	"repro/internal/procmodel"
+)
+
+func TestDevEffortDefaults(t *testing.T) {
+	manual := DefaultDevEffortFor("manual-sdrad")
+	ffi := DefaultDevEffortFor("sdrad-ffi")
+	ops := DefaultDevEffortFor("replication-ops")
+	other := DefaultDevEffortFor("something-else")
+	if !(ffi.EngineerHours < manual.EngineerHours && manual.EngineerHours < ops.EngineerHours) {
+		t.Errorf("effort ordering: ffi=%v manual=%v ops=%v",
+			ffi.EngineerHours, manual.EngineerHours, ops.EngineerHours)
+	}
+	if other.EngineerHours <= 0 {
+		t.Error("default effort should be positive")
+	}
+}
+
+func TestDevEffortEnergyArithmetic(t *testing.T) {
+	d := DevEffort{EngineerHours: 10, WorkstationWatts: 200, GridGCO2ePerKWh: 500}
+	if got := d.KWh(); got != 2 {
+		t.Errorf("KWh = %v, want 2", got)
+	}
+	if got := d.KgCO2e(); got != 1 {
+		t.Errorf("KgCO2e = %v, want 1", got)
+	}
+	if got := d.AmortizedKgCO2ePerYear(4); got != 0.25 {
+		t.Errorf("amortized = %v, want 0.25", got)
+	}
+	if got := d.AmortizedKgCO2ePerYear(0); got != 1 {
+		t.Errorf("zero lifetime amortized = %v, want full", got)
+	}
+	// Zero fields get defaults.
+	z := DevEffort{EngineerHours: 1}
+	if z.KWh() <= 0 || z.KgCO2e() <= 0 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestDevEffortIsNegligibleVsReplication(t *testing.T) {
+	// The paper's life-cycle argument: even the *manual* retrofit effort
+	// (≈50 engineer-hours) is tiny compared to one year of running a
+	// redundant server.
+	sc := DefaultScenario()
+	ap := Assess(sc, procmodel.ActivePassive{})
+	rewind := Assess(sc, procmodel.SDRaDRewind{ZeroOnDiscard: true})
+	annualSaving := ap.TotalKgCO2e() - rewind.TotalKgCO2e()
+	effort := DefaultDevEffortFor("manual-sdrad").KgCO2e()
+	if effort*100 > annualSaving {
+		t.Errorf("retrofit effort %v kgCO2e should be <1%% of annual saving %v", effort, annualSaving)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	sc := DefaultScenario()
+	ap := Assess(sc, procmodel.ActivePassive{})
+	rewind := Assess(sc, procmodel.SDRaDRewind{ZeroOnDiscard: true})
+	manual := DefaultDevEffortFor("manual-sdrad")
+	opsEffort := DefaultDevEffortFor("replication-ops")
+
+	// SDRaD saves versus replication AND needs less engineering: break
+	// even immediately.
+	if y := BreakEvenYears(rewind, ap, manual, opsEffort); y != 0 {
+		t.Errorf("break-even = %v, want 0 (less effort and cheaper)", y)
+	}
+	// Against a hypothetical zero-effort baseline, break-even is a small
+	// fraction of a year.
+	y := BreakEvenYears(rewind, ap, manual, DevEffort{})
+	if y <= 0 || y > 0.1 {
+		t.Errorf("break-even vs zero-effort = %v yr, want (0, 0.1]", y)
+	}
+	// No saving -> +Inf.
+	if y := BreakEvenYears(ap, rewind, manual, manual); !math.IsInf(y, 1) {
+		t.Errorf("negative saving break-even = %v, want +Inf", y)
+	}
+}
+
+func TestRebound(t *testing.T) {
+	if got := Rebound(100, 0.3); got != 70 {
+		t.Errorf("Rebound(100, 0.3) = %v, want 70", got)
+	}
+	if got := Rebound(100, 0); got != 100 {
+		t.Errorf("no rebound = %v", got)
+	}
+	if got := Rebound(100, 1.0); got != 0 {
+		t.Errorf("backfire = %v, want 0", got)
+	}
+	if got := Rebound(100, 1.5); got != 0 {
+		t.Errorf("super-backfire = %v, want 0", got)
+	}
+	if got := Rebound(100, -0.2); got != 100 {
+		t.Errorf("negative factor = %v, want clamped to 100", got)
+	}
+}
+
+func TestLifecycleSummary(t *testing.T) {
+	sc := DefaultScenario()
+	a := Assess(sc, procmodel.SDRaDRewind{ZeroOnDiscard: true})
+	effort := DefaultDevEffortFor("manual-sdrad")
+	ls := Lifecycle(a, effort, 4)
+	if ls.NetAnnualKgCO2e <= a.TotalKgCO2e() {
+		t.Error("lifecycle must add the amortized effort")
+	}
+	if ls.NetAnnualKgCO2e-a.TotalKgCO2e() > 2 {
+		t.Errorf("amortized effort %v kg/yr implausibly large",
+			ls.NetAnnualKgCO2e-a.TotalKgCO2e())
+	}
+}
+
+func TestRecoveriesPerBudget(t *testing.T) {
+	n := RecoveriesPerBudget(avail.NinesTarget(5), 3.5e-6)
+	if n < 9e7 {
+		t.Errorf("recoveries at 3.5µs = %.3g, want > 9e7 (the paper's number)", n)
+	}
+	if !math.IsInf(RecoveriesPerBudget(0.99999, 0), 1) {
+		t.Error("zero recovery should be +Inf")
+	}
+}

@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/serde"
+)
+
+// newBridge builds an FFI bridge on domain 1 with an "echo" foreign
+// function, used by the codec sweep.
+func newBridge(sys *core.System, codec serde.Codec) (*ffi.Bridge, error) {
+	b, err := ffi.NewBridge(sys, 1, codec)
+	if err != nil {
+		return nil, err
+	}
+	err = b.Register(ffi.Registration{
+		Name: "echo",
+		Fn: func(_ *core.DomainCtx, args []any) ([]any, error) {
+			return args, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

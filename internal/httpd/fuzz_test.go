@@ -1,0 +1,36 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the HTTP head parser never panics and that accepted
+// requests satisfy the structural limits.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"GET / HTTP/1.1\r\n\r\n",
+		"GET /path HTTP/1.0\r\nhost: x\r\naccept: */*\r\n\r\n",
+		"POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\n",
+		"GET / HTTP/1.1\r\nbad header\r\n\r\n",
+		"\r\n\r\n",
+		"GET  HTTP/1.1\r\n\r\n",
+		strings.Repeat("A", 5000) + "\r\n\r\n",
+		"GET / HTTP/1.1\r\n" + strings.Repeat("h: v\r\n", 200) + "\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		pr, err := parse(in)
+		if err != nil {
+			return
+		}
+		if pr.Method == "" || !strings.HasPrefix(pr.Path, "/") || !strings.HasPrefix(pr.Proto, "HTTP/") {
+			t.Errorf("accepted malformed request line: %+v", pr)
+		}
+		if len(pr.Headers) > MaxHeaders {
+			t.Errorf("accepted %d headers", len(pr.Headers))
+		}
+	})
+}

@@ -1,0 +1,397 @@
+// Package httpd implements the NGINX-like static web server used as the
+// paper's second use case.
+//
+// The compartmentalization pattern matches the SDRaD NGINX retrofit:
+// request parsing — the code that touches untrusted bytes — runs inside a
+// per-request isolated domain, while the routing table and content
+// (trusted, long-lived state) stay in the root. A malicious request that
+// triggers a parser bug (the injectable bug here is a stack-buffer
+// overflow, the classic nginx CVE shape) is contained: the parsing domain
+// is rewound and the connection dropped, with no worker crash and no
+// impact on other clients. Native mode provides the crash-and-restart
+// baseline.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pku"
+	"repro/internal/procmodel"
+	"repro/internal/vclock"
+)
+
+// Parser limits, mirroring nginx defaults.
+const (
+	// MaxRequestLine bounds the request line length.
+	MaxRequestLine = 4096
+	// MaxHeaders bounds the number of header lines.
+	MaxHeaders = 100
+	// MaxHeaderLine bounds one header line's length.
+	MaxHeaderLine = 4096
+)
+
+// Sentinel errors.
+var (
+	// ErrMalformed is returned for syntactically invalid requests (maps
+	// to a 400 response).
+	ErrMalformed = errors.New("httpd: malformed request")
+	// ErrUnavailable is the client-visible failure during a native
+	// restart window (maps to a 503).
+	ErrUnavailable = errors.New("httpd: service unavailable (restarting)")
+)
+
+// AttackHeader marks a request as triggering the injected parser bug
+// (standing in for a crafted exploit payload).
+const AttackHeader = "x-exploit"
+
+// ParsedRequest is the outcome of parsing one HTTP/1.1 request.
+type ParsedRequest struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+}
+
+// parse parses an HTTP/1.1 request head from b. It is deliberately
+// strict: any structural error returns ErrMalformed.
+func parse(b []byte) (ParsedRequest, error) {
+	text := string(b)
+	head, _, found := strings.Cut(text, "\r\n\r\n")
+	if !found {
+		return ParsedRequest{}, fmt.Errorf("%w: missing head terminator", ErrMalformed)
+	}
+	lines := strings.Split(head, "\r\n")
+	if len(lines[0]) > MaxRequestLine {
+		return ParsedRequest{}, fmt.Errorf("%w: request line too long", ErrMalformed)
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return ParsedRequest{}, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	pr := ParsedRequest{
+		Method:  parts[0],
+		Path:    parts[1],
+		Proto:   parts[2],
+		Headers: make(map[string]string, len(lines)-1),
+	}
+	if pr.Method == "" || !strings.HasPrefix(pr.Path, "/") || !strings.HasPrefix(pr.Proto, "HTTP/") {
+		return ParsedRequest{}, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	if len(lines)-1 > MaxHeaders {
+		return ParsedRequest{}, fmt.Errorf("%w: too many headers", ErrMalformed)
+	}
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if len(ln) > MaxHeaderLine {
+			return ParsedRequest{}, fmt.Errorf("%w: header line too long", ErrMalformed)
+		}
+		name, value, found := strings.Cut(ln, ":")
+		if !found || name == "" {
+			return ParsedRequest{}, fmt.Errorf("%w: bad header %q", ErrMalformed, ln)
+		}
+		pr.Headers[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+	}
+	return pr, nil
+}
+
+// Mode selects the server's resilience strategy.
+type Mode uint8
+
+// Server modes.
+const (
+	ModeNative Mode = iota + 1
+	ModeSDRaD
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeSDRaD:
+		return "sdrad"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Response is the outcome of serving one request.
+type Response struct {
+	Status int
+	Body   []byte
+	// Err is the transport-level failure, if any.
+	Err error
+	// Latency is the virtual service time.
+	Latency time.Duration
+	// Contained reports a rewound parser-domain violation.
+	Contained bool
+}
+
+// Config configures a Server.
+type Config struct {
+	// Mode selects native vs SDRaD (default SDRaD).
+	Mode Mode
+	// Workers is the number of parsing domains (default 4).
+	Workers int
+	// FirstWorkerUDI is the UDI of the first parsing domain (default 30).
+	FirstWorkerUDI core.UDI
+	// InterArrival spaces request arrivals (default 100µs).
+	InterArrival time.Duration
+	// AttackKind is the injected parser bug class (default StackSmash).
+	AttackKind fault.Kind
+}
+
+func (c *Config) fill() {
+	if c.Mode == 0 {
+		c.Mode = ModeSDRaD
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.FirstWorkerUDI == 0 {
+		c.FirstWorkerUDI = 30
+	}
+	if c.InterArrival <= 0 {
+		c.InterArrival = 100 * time.Microsecond
+	}
+	if c.AttackKind == 0 {
+		c.AttackKind = fault.StackSmash
+	}
+}
+
+// Server is the static web server. Create with NewServer; not safe for
+// concurrent use.
+type Server struct {
+	sys     *core.System
+	cfg     Config
+	routes  map[string][]byte
+	workers []*core.Domain
+	scratch *alloc.Heap
+
+	downUntil uint64
+
+	requests   uint64
+	violations uint64
+	crashes    uint64
+	dropped    uint64
+}
+
+// NewServer builds a server on sys.
+func NewServer(sys *core.System, cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{sys: sys, cfg: cfg, routes: make(map[string][]byte)}
+	switch cfg.Mode {
+	case ModeSDRaD:
+		for i := 0; i < cfg.Workers; i++ {
+			d, err := sys.InitDomain(cfg.FirstWorkerUDI+core.UDI(i), core.DomainConfig{
+				HeapPages:  8,
+				StackPages: 4,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("httpd: worker %d: %w", i, err)
+			}
+			s.workers = append(s.workers, d)
+		}
+	case ModeNative:
+		h, err := alloc.New(sys.Mem(), pku.DefaultKey, alloc.Config{InitialPages: 8})
+		if err != nil {
+			return nil, fmt.Errorf("httpd: scratch heap: %w", err)
+		}
+		s.scratch = h
+	default:
+		return nil, fmt.Errorf("httpd: unknown mode %v", cfg.Mode)
+	}
+	return s, nil
+}
+
+// Mode returns the server's mode.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// HandleFunc registers static content for GET path.
+func (s *Server) HandleFunc(path string, content []byte) {
+	s.routes[path] = content
+}
+
+// Stats reports server accounting.
+type Stats struct {
+	Requests   uint64
+	Violations uint64
+	Crashes    uint64
+	Dropped    uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{Requests: s.requests, Violations: s.violations, Crashes: s.crashes, Dropped: s.dropped}
+}
+
+// ContentBytes returns the total bytes of registered content (the state a
+// restart reloads).
+func (s *Server) ContentBytes() uint64 {
+	var n uint64
+	for _, c := range s.routes {
+		n += uint64(len(c))
+	}
+	return n
+}
+
+// Serve handles one raw HTTP request from clientID.
+func (s *Server) Serve(clientID int, raw []byte) Response {
+	s.requests++
+	clk := s.sys.Clock()
+	cost := clk.Model()
+	clk.AdvanceTime(s.cfg.InterArrival)
+
+	if s.cfg.Mode == ModeNative && clk.Cycles() < s.downUntil {
+		s.dropped++
+		return Response{Status: 503, Err: ErrUnavailable}
+	}
+
+	start := clk.Cycles()
+	clk.Advance(2 * cost.Syscall) // accept/read + write/close
+
+	var resp Response
+	switch s.cfg.Mode {
+	case ModeSDRaD:
+		resp = s.serveSDRaD(clientID, raw)
+	default:
+		resp = s.serveNative(raw)
+	}
+	resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
+	return resp
+}
+
+// serveSDRaD parses inside the client's parsing domain; routing and
+// content live in the trusted root.
+func (s *Server) serveSDRaD(clientID int, raw []byte) Response {
+	d := s.workers[clientID%len(s.workers)]
+	var pr ParsedRequest
+	var perr error
+	verr := s.sys.Enter(d.UDI(), func(c *core.DomainCtx) error {
+		buf := c.MustAlloc(len(raw) + 1)
+		c.MustStore(buf, raw)
+		tmp := make([]byte, len(raw))
+		c.MustLoad(buf, tmp)
+		pr, perr = parse(tmp)
+		if perr == nil {
+			if _, attacked := pr.Headers[AttackHeader]; attacked {
+				fault.Inject(c, s.cfg.AttackKind, 0)
+			}
+		}
+		c.MustFree(buf)
+		return nil
+	})
+	if v, ok := core.IsViolation(verr); ok {
+		s.violations++
+		return Response{Status: 400, Err: v, Contained: true}
+	}
+	if verr != nil {
+		return Response{Status: 500, Err: verr}
+	}
+	if perr != nil {
+		return Response{Status: 400, Err: perr}
+	}
+	resp := s.route(pr)
+	// Response staging: the status line and headers are written into the
+	// connection's output buffer, which belongs to the parsing domain.
+	// This cross-boundary copy exists only in SDRaD mode.
+	const headLen = 128
+	out, aerr := d.Heap().Alloc(headLen)
+	if aerr != nil {
+		return Response{Status: 500, Err: aerr}
+	}
+	head := make([]byte, headLen)
+	copy(head, fmt.Sprintf("HTTP/1.1 %d\r\ncontent-length: %d\r\n\r\n", resp.Status, len(resp.Body)))
+	if cerr := s.sys.CopyToDomain(out, head); cerr != nil {
+		return Response{Status: 500, Err: cerr}
+	}
+	if ferr := d.Heap().Free(out); ferr != nil {
+		return Response{Status: 500, Err: ferr}
+	}
+	return resp
+}
+
+// serveNative parses in unprotected memory; the injected bug crashes the
+// process.
+func (s *Server) serveNative(raw []byte) Response {
+	buf, err := s.scratch.Alloc(len(raw) + 1)
+	if err != nil {
+		return Response{Status: 500, Err: err}
+	}
+	m := s.sys.Mem()
+	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
+		return Response{Status: 500, Err: err}
+	}
+	tmp := make([]byte, len(raw))
+	if err := m.LoadBytes(pku.PKRUAllowAll, buf, tmp); err != nil {
+		return Response{Status: 500, Err: err}
+	}
+	pr, perr := parse(tmp)
+	if perr == nil {
+		if _, attacked := pr.Headers[AttackHeader]; attacked {
+			return s.crash()
+		}
+	}
+	if err := s.scratch.Free(buf); err != nil {
+		return Response{Status: 500, Err: err}
+	}
+	if perr != nil {
+		return Response{Status: 400, Err: perr}
+	}
+	return s.route(pr)
+}
+
+func (s *Server) crash() Response {
+	s.crashes++
+	clk := s.sys.Clock()
+	restart := procmodel.ProcessRestart{Cost: clk.Model()}.RecoveryTime(s.ContentBytes())
+	s.downUntil = clk.Cycles() + vclock.DurationToCycles(restart, clk.Model().CPUHz)
+	if err := s.scratch.ResetNoZero(); err != nil {
+		return Response{Status: 500, Err: err}
+	}
+	return Response{Status: 500, Err: fmt.Errorf("httpd: worker crashed (restart %v): %w", restart, ErrUnavailable)}
+}
+
+// route resolves the parsed request against the static routing table and
+// charges the content copy.
+func (s *Server) route(pr ParsedRequest) Response {
+	if pr.Method != "GET" && pr.Method != "HEAD" {
+		return Response{Status: 405}
+	}
+	content, ok := s.routes[pr.Path]
+	if !ok {
+		return Response{Status: 404}
+	}
+	// Charge the body copy (sendfile-ish per-byte cost).
+	s.sys.Clock().Advance(s.sys.Clock().Model().MemPerByte * uint64(len(content)))
+	if pr.Method == "HEAD" {
+		return Response{Status: 200}
+	}
+	body := make([]byte, len(content))
+	copy(body, content)
+	return Response{Status: 200, Body: body}
+}
+
+// BuildRequest renders a well-formed HTTP/1.1 request for tests and
+// load generators.
+func BuildRequest(method, path string, headers map[string]string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	b.WriteString("host: localhost\r\n")
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// Interface compliance check.
+var _ fmt.Stringer = ModeNative

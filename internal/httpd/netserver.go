@@ -1,0 +1,139 @@
+package httpd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// NetServer serves HTTP/1.1 over TCP on top of a Server. Handling is
+// serialized behind a mutex (the simulated machine is single-core) while
+// connections multiplex on real sockets. One request per connection
+// (Connection: close semantics) keeps the demo loop simple.
+type NetServer struct {
+	srv *Server
+	log *log.Logger
+
+	mu     sync.Mutex
+	connMu sync.Mutex
+	nextID int
+	wg     sync.WaitGroup
+}
+
+// NewNetServer wraps srv for TCP serving; logger may be nil.
+func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
+	return &NetServer{srv: srv, log: logger}
+}
+
+func (n *NetServer) logf(format string, args ...any) {
+	if n.log != nil {
+		n.log.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections until ln closes, then drains in-flight
+// connections.
+func (n *NetServer) Serve(ln net.Listener) error {
+	defer n.wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("httpd: accept: %w", err)
+		}
+		n.connMu.Lock()
+		n.nextID++
+		id := n.nextID
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				if cerr := conn.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+					n.logf("conn %d close: %v", id, cerr)
+				}
+			}()
+			n.serveConn(id, conn)
+		}()
+	}
+}
+
+func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
+	raw, err := ReadRequestHead(bufio.NewReader(conn))
+	if err != nil {
+		n.logf("conn %d read: %v", id, err)
+		return
+	}
+	n.mu.Lock()
+	resp := n.srv.Serve(id, raw)
+	n.mu.Unlock()
+	if resp.Contained {
+		n.logf("conn %d: contained parser exploit (domain rewound)", id)
+	}
+	WriteHTTPResponse(conn, resp)
+}
+
+// ReadRequestHead reads bytes up to and including the blank line that
+// terminates an HTTP request head.
+func ReadRequestHead(r *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		buf = append(buf, line...)
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(buf) > 0 {
+				return buf, nil
+			}
+			return nil, err
+		}
+		if string(line) == "\r\n" || string(line) == "\n" {
+			return buf, nil
+		}
+		if len(buf) > 64<<10 {
+			return nil, errors.New("httpd: request head too large")
+		}
+	}
+}
+
+// WriteHTTPResponse renders resp on the wire with Connection: close.
+func WriteHTTPResponse(w io.Writer, resp Response) {
+	status := resp.Status
+	if status == 0 {
+		status = 500
+	}
+	body := resp.Body
+	if body == nil && resp.Err != nil {
+		body = []byte(resp.Err.Error() + "\n")
+	}
+	_, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		status, StatusText(status), len(body))
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// StatusText returns the reason phrase for the status codes the server
+// emits.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Internal Server Error"
+	}
+}

@@ -1,0 +1,252 @@
+// Package kvstore implements the Memcached-like key-value store used as
+// the paper's primary use case.
+//
+// The compartmentalization pattern follows the SDRaD Memcached retrofit:
+// the cache contents (the long-lived 10 GB state whose loss makes a
+// restart cost two minutes) live in a dedicated storage domain whose
+// protection key no worker ever enables, while request parsing and
+// handling run inside per-connection worker domains. A memory-safety bug
+// triggered by a malicious request corrupts only the worker domain, which
+// is rewound and discarded in microseconds — the cache, and every other
+// client's traffic, survive untouched. The same server can run in
+// "native" mode (no domains, crash-on-fault + process restart) as the
+// baseline.
+package kvstore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Sentinel errors.
+var (
+	// ErrTooLarge is returned for values above the per-item limit.
+	ErrTooLarge = errors.New("kvstore: value too large")
+	// ErrCapacity is returned when an item cannot fit even after evicting
+	// everything else.
+	ErrCapacity = errors.New("kvstore: item exceeds cache capacity")
+)
+
+// MaxValueSize is the per-item value limit (memcached's classic 1 MiB).
+const MaxValueSize = 1 << 20
+
+// Cache is the root-protected cache: values live in the heap of a
+// storage domain that is never entered, so its protection key is never
+// enabled while untrusted request-handling code runs. Items are LRU
+// evicted. Not safe for concurrent use.
+type Cache struct {
+	sys  *core.System
+	dom  *core.Domain
+	item map[string]*list.Element
+	lru  *list.List // front = most recently used
+	used uint64
+	cap  uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	expired   uint64
+}
+
+type entry struct {
+	key  string
+	addr mem.Addr
+	size int
+	// flags is the client's opaque flags word (memcached semantics).
+	flags uint32
+	// expireAt is the virtual time after which the item is dead
+	// (0 = never expires).
+	expireAt time.Duration
+}
+
+// NewCache creates a cache backed by a fresh storage domain at udi with
+// the given capacity in bytes.
+func NewCache(sys *core.System, udi core.UDI, capacityBytes uint64) (*Cache, error) {
+	if capacityBytes == 0 {
+		capacityBytes = 64 << 20
+	}
+	// Size the storage domain's heap to the capacity (pages, rounded up,
+	// plus allocator slack).
+	maxPages := int(capacityBytes/mem.PageSize)*2 + 64
+	dom, err := sys.InitDomain(udi, core.DomainConfig{
+		HeapPages:    64,
+		MaxHeapPages: maxPages,
+		StackPages:   1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: storage domain: %w", err)
+	}
+	return &Cache{
+		sys:  sys,
+		dom:  dom,
+		item: make(map[string]*list.Element),
+		lru:  list.New(),
+		cap:  capacityBytes,
+	}, nil
+}
+
+// StorageUDI returns the storage domain's UDI.
+func (c *Cache) StorageUDI() core.UDI { return c.dom.UDI() }
+
+// StorageKey returns the storage domain's protection key (used by tests
+// to verify workers cannot touch it).
+func (c *Cache) StorageKey() mem.Addr { return mem.Addr(c.dom.Key()) }
+
+// Get returns a copy of the value for key, with a hit flag. Expired
+// items are lazily removed and count as misses (memcached semantics).
+func (c *Cache) Get(key string) ([]byte, bool, error) {
+	el, ok := c.item[key]
+	if !ok {
+		c.misses++
+		return nil, false, nil
+	}
+	e := el.Value.(*entry)
+	if e.expireAt > 0 && c.sys.Clock().Now() >= e.expireAt {
+		if err := c.removeElement(el); err != nil {
+			return nil, false, err
+		}
+		c.expired++
+		c.misses++
+		return nil, false, nil
+	}
+	val, err := c.sys.CopyFromDomain(e.addr, e.size)
+	if err != nil {
+		return nil, false, fmt.Errorf("kvstore: get %q: %w", key, err)
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return val, true, nil
+}
+
+// Set stores a copy of val under key, evicting LRU items as needed.
+func (c *Cache) Set(key string, val []byte) error {
+	return c.SetItem(key, val, 0, 0)
+}
+
+// SetTTL stores a copy of val under key with a lifetime (0 = no expiry),
+// measured in virtual time.
+func (c *Cache) SetTTL(key string, val []byte, ttl time.Duration) error {
+	return c.SetItem(key, val, ttl, 0)
+}
+
+// SetItem stores a copy of val with a lifetime and an opaque flags word.
+func (c *Cache) SetItem(key string, val []byte, ttl time.Duration, flags uint32) error {
+	if len(val) > MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(val))
+	}
+	if uint64(len(val)) > c.cap {
+		return fmt.Errorf("%w: %d > %d", ErrCapacity, len(val), c.cap)
+	}
+	// Replace in place if present.
+	if el, ok := c.item[key]; ok {
+		if err := c.removeElement(el); err != nil {
+			return err
+		}
+	}
+	for c.used+uint64(len(val)) > c.cap {
+		if err := c.evictOne(); err != nil {
+			return err
+		}
+	}
+	size := len(val)
+	store := val
+	if size == 0 {
+		// The allocator needs at least one byte; remember true size.
+		store = []byte{0}
+	}
+	addr, err := c.dom.Heap().Alloc(len(store))
+	if err != nil {
+		return fmt.Errorf("kvstore: set %q: %w", key, err)
+	}
+	if err := c.sys.CopyToDomain(addr, store); err != nil {
+		return fmt.Errorf("kvstore: set %q: %w", key, err)
+	}
+	var expireAt time.Duration
+	if ttl > 0 {
+		expireAt = c.sys.Clock().Now() + ttl
+	}
+	el := c.lru.PushFront(&entry{key: key, addr: addr, size: size, flags: flags, expireAt: expireAt})
+	c.item[key] = el
+	c.used += uint64(size)
+	return nil
+}
+
+// Flags returns the flags word stored with key (0 when absent).
+func (c *Cache) Flags(key string) uint32 {
+	if el, ok := c.item[key]; ok {
+		return el.Value.(*entry).flags
+	}
+	return 0
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache) Delete(key string) (bool, error) {
+	el, ok := c.item[key]
+	if !ok {
+		return false, nil
+	}
+	if err := c.removeElement(el); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (c *Cache) evictOne() error {
+	back := c.lru.Back()
+	if back == nil {
+		return ErrCapacity
+	}
+	c.evictions++
+	return c.removeElement(back)
+}
+
+func (c *Cache) removeElement(el *list.Element) error {
+	e := el.Value.(*entry)
+	if err := c.dom.Heap().Free(e.addr); err != nil {
+		return fmt.Errorf("kvstore: free %q: %w", e.key, err)
+	}
+	c.lru.Remove(el)
+	delete(c.item, e.key)
+	c.used -= uint64(e.size)
+	return nil
+}
+
+// Flush drops every item (the cold-cache state after a crash without
+// state reload).
+func (c *Cache) Flush() error {
+	if err := c.dom.Heap().Reset(); err != nil {
+		return fmt.Errorf("kvstore: flush: %w", err)
+	}
+	c.item = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.used = 0
+	return nil
+}
+
+// Items returns the number of cached items.
+func (c *Cache) Items() int { return len(c.item) }
+
+// Bytes returns the cached value bytes (the application state size that
+// a restart must repopulate).
+func (c *Cache) Bytes() uint64 { return c.used }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() uint64 { return c.cap }
+
+// CacheStats reports hit/miss/eviction/expiry counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Expired   uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Expired: c.expired}
+}

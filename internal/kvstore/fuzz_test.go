@@ -1,0 +1,44 @@
+package kvstore
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand checks the protocol parser never panics and that every
+// accepted command is structurally sound.
+func FuzzReadCommand(f *testing.F) {
+	seeds := []string{
+		"get k\r\n",
+		"gets k\r\n",
+		"set k 0 0 5\r\nhello\r\n",
+		"set k 0 0 0\r\n\r\n",
+		"delete k\r\n",
+		"stats\r\n",
+		"quit\r\n",
+		"set k 0 0 1048577\r\n",
+		"set k 0 0 -3\r\nxx\r\n",
+		"\r\n",
+		"get\r\n",
+		"\x00\xff\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		cmd, err := ReadCommand(bufio.NewReader(strings.NewReader(in)))
+		if err != nil {
+			return
+		}
+		if cmd.Stats || cmd.Quit {
+			return
+		}
+		if cmd.Req.Key == "" {
+			t.Errorf("accepted command with empty key: %q", in)
+		}
+		if len(cmd.Req.Value) > MaxValueSize {
+			t.Errorf("accepted oversized value: %d", len(cmd.Req.Value))
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// AttackMarker makes a SET over the wire malicious: values with this
+// prefix stand in for crafted exploit payloads against the parser.
+const AttackMarker = "!!exploit"
+
+// NetServer serves the memcached text protocol over TCP on top of a
+// Server. The simulated machine is single-core, so request handling is
+// serialized behind a mutex while connections multiplex on real sockets.
+type NetServer struct {
+	srv *Server
+	log *log.Logger
+
+	mu     sync.Mutex // guards srv
+	connMu sync.Mutex
+	nextID int
+
+	wg sync.WaitGroup
+}
+
+// NewNetServer wraps srv for TCP serving. logger may be nil to disable
+// logging.
+func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
+	return &NetServer{srv: srv, log: logger}
+}
+
+func (n *NetServer) logf(format string, args ...any) {
+	if n.log != nil {
+		n.log.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until it is closed, then waits for
+// in-flight connections to finish.
+func (n *NetServer) Serve(ln net.Listener) error {
+	defer n.wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("kvstore: accept: %w", err)
+		}
+		n.connMu.Lock()
+		n.nextID++
+		id := n.nextID
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				if cerr := conn.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+					n.logf("conn %d close: %v", id, cerr)
+				}
+			}()
+			n.serveConn(id, conn)
+		}()
+	}
+}
+
+// serveConn runs the command loop for one connection.
+func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		cmd, err := ReadCommand(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				_, _ = fmt.Fprintf(w, "CLIENT_ERROR %v\r\n", err)
+				_ = w.Flush()
+			}
+			return
+		}
+		switch {
+		case cmd.Quit:
+			_ = w.Flush()
+			return
+		case cmd.Stats:
+			n.mu.Lock()
+			err = WriteStats(w, n.srv)
+			n.mu.Unlock()
+		default:
+			req := cmd.Req
+			if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
+				req.Malicious = true
+			}
+			n.mu.Lock()
+			resp := n.srv.Handle(id, req)
+			n.mu.Unlock()
+			if resp.Contained {
+				n.logf("conn %d: contained memory-safety violation (domain rewound)", id)
+			}
+			err = WriteResponse(w, req, resp)
+		}
+		if err != nil {
+			n.logf("conn %d write: %v", id, err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			n.logf("conn %d flush: %v", id, err)
+			return
+		}
+	}
+}

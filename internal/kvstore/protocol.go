@@ -1,0 +1,159 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// This file implements the subset of the memcached text protocol the
+// TCP demo binary (cmd/sdrad-kvd) speaks:
+//
+//	get <key>\r\n
+//	set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//	delete <key>\r\n
+//	stats\r\n
+//	quit\r\n
+//
+// Responses follow the memcached wire format (VALUE/END, STORED,
+// DELETED, NOT_FOUND, ERROR, SERVER_ERROR <msg>).
+
+// ErrProtocol is returned for malformed protocol input.
+var ErrProtocol = errors.New("kvstore: protocol error")
+
+// Command is a parsed protocol command.
+type Command struct {
+	// Req is the key-value operation for get/set/delete commands.
+	Req workload.Request
+	// Stats and Quit flag the non-data commands.
+	Stats bool
+	Quit  bool
+}
+
+// ReadCommand reads and parses one command from r.
+func ReadCommand(r *bufio.Reader) (Command, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return Command{}, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Command{}, fmt.Errorf("%w: empty command", ErrProtocol)
+	}
+	switch fields[0] {
+	case "get", "gets":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%w: get wants 1 key", ErrProtocol)
+		}
+		return Command{Req: workload.Request{Op: workload.OpGet, Key: fields[1]}}, nil
+	case "delete":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%w: delete wants 1 key", ErrProtocol)
+		}
+		return Command{Req: workload.Request{Op: workload.OpDelete, Key: fields[1]}}, nil
+	case "set":
+		if len(fields) != 5 {
+			return Command{}, fmt.Errorf("%w: set wants key flags exptime bytes", ErrProtocol)
+		}
+		flags, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return Command{}, fmt.Errorf("%w: bad flags %q", ErrProtocol, fields[2])
+		}
+		exp, err := strconv.Atoi(fields[3])
+		if err != nil || exp < 0 {
+			return Command{}, fmt.Errorf("%w: bad exptime %q", ErrProtocol, fields[3])
+		}
+		n, err := strconv.Atoi(fields[4])
+		if err != nil || n < 0 || n > MaxValueSize {
+			return Command{}, fmt.Errorf("%w: bad byte count %q", ErrProtocol, fields[4])
+		}
+		data := make([]byte, n+2)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return Command{}, fmt.Errorf("%w: short data block: %v", ErrProtocol, err)
+		}
+		if data[n] != '\r' || data[n+1] != '\n' {
+			return Command{}, fmt.Errorf("%w: data block not CRLF terminated", ErrProtocol)
+		}
+		return Command{Req: workload.Request{
+			Op:    workload.OpSet,
+			Key:   fields[1],
+			Value: data[:n],
+			TTL:   time.Duration(exp) * time.Second,
+			Flags: uint32(flags),
+		}}, nil
+	case "stats":
+		return Command{Stats: true}, nil
+	case "quit":
+		return Command{Quit: true}, nil
+	default:
+		return Command{}, fmt.Errorf("%w: unknown command %q", ErrProtocol, fields[0])
+	}
+}
+
+// WriteResponse renders resp for req in the memcached wire format.
+func WriteResponse(w io.Writer, req workload.Request, resp Response) error {
+	switch {
+	case resp.Err != nil:
+		_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", resp.Err)
+		return err
+	case req.Op == workload.OpGet && resp.OK:
+		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", req.Key, resp.Flags, len(resp.Value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(resp.Value); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\r\nEND\r\n")
+		return err
+	case req.Op == workload.OpGet:
+		_, err := io.WriteString(w, "END\r\n")
+		return err
+	case req.Op == workload.OpSet:
+		_, err := io.WriteString(w, "STORED\r\n")
+		return err
+	case req.Op == workload.OpDelete && resp.OK:
+		_, err := io.WriteString(w, "DELETED\r\n")
+		return err
+	case req.Op == workload.OpDelete:
+		_, err := io.WriteString(w, "NOT_FOUND\r\n")
+		return err
+	default:
+		_, err := io.WriteString(w, "ERROR\r\n")
+		return err
+	}
+}
+
+// WriteStats renders the stats command output.
+func WriteStats(w io.Writer, s *Server) error {
+	st := s.Stats()
+	cs := s.Cache().Stats()
+	rows := []struct {
+		k string
+		v uint64
+	}{
+		{"cmd_total", st.Requests},
+		{"contained_violations", st.Violations},
+		{"crashes", st.Crashes},
+		{"dropped", st.Dropped},
+		{"get_hits", cs.Hits},
+		{"get_misses", cs.Misses},
+		{"evictions", cs.Evictions},
+		{"expired", cs.Expired},
+		{"bytes", s.Cache().Bytes()},
+		{"curr_items", uint64(s.Cache().Items())},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "STAT %s %d\r\n", r.k, r.v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "END\r\n")
+	return err
+}

@@ -1,0 +1,428 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/pku"
+	"repro/internal/procmodel"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Mode selects the resilience strategy of a Server.
+type Mode uint8
+
+// Server modes.
+const (
+	// ModeNative runs request handling unprotected: a triggered memory
+	// bug crashes the process, which restarts (taking the full
+	// state-dependent restart time during which the service is down).
+	ModeNative Mode = iota + 1
+	// ModeSDRaD runs request handling inside per-connection domains with
+	// secure rewind and discard.
+	ModeSDRaD
+	// ModeSandbox runs request handling in a separate sandbox process
+	// (conventional process isolation): faults are contained like SDRaD,
+	// but every request pays two context switches plus IPC — the high
+	// compartment-crossing cost §IV contrasts with MPK.
+	ModeSandbox
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeSDRaD:
+		return "sdrad"
+	case ModeSandbox:
+		return "sandbox"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ErrUnavailable is the client-visible failure while the native server is
+// restarting.
+var ErrUnavailable = errors.New("kvstore: service unavailable (restarting)")
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Mode selects native vs SDRaD operation.
+	Mode Mode
+	// Workers is the number of per-connection domains in SDRaD mode
+	// (default 4). Clients map to workers round-robin.
+	Workers int
+	// FirstWorkerUDI is the UDI of the first worker domain (default 10).
+	FirstWorkerUDI core.UDI
+	// MaliciousKind is the bug class malicious requests trigger (default
+	// HeapOverflow).
+	MaliciousKind fault.Kind
+	// InterArrival is the virtual time between request arrivals, used to
+	// model load during downtime windows (default 100µs ≈ 10k req/s).
+	InterArrival time.Duration
+}
+
+func (c *ServerConfig) fill() {
+	if c.Mode == 0 {
+		c.Mode = ModeSDRaD
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.FirstWorkerUDI == 0 {
+		c.FirstWorkerUDI = 10
+	}
+	if c.MaliciousKind == 0 {
+		c.MaliciousKind = fault.HeapOverflow
+	}
+	if c.InterArrival <= 0 {
+		c.InterArrival = 100 * time.Microsecond
+	}
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// OK reports application-level success (hit for GET, stored for SET,
+	// found for DELETE).
+	OK bool
+	// Value is the GET result (nil on miss).
+	Value []byte
+	// Err is the client-visible failure, if any.
+	Err error
+	// Flags is the stored flags word for GET hits.
+	Flags uint32
+	// Latency is the virtual service time of the request.
+	Latency time.Duration
+	// Contained reports that a triggered memory bug was contained by a
+	// domain rewind (SDRaD mode only).
+	Contained bool
+}
+
+// Server is the memcached-like server. Create with NewServer. Not safe
+// for concurrent use (the simulation is single-core).
+type Server struct {
+	sys     *core.System
+	cache   *Cache
+	cfg     ServerConfig
+	workers []*core.Domain
+	scratch *alloc.Heap // native-mode parse buffers (key 0)
+
+	downUntil uint64 // virtual cycle until which the native server is down
+
+	// stats
+	requests   uint64
+	violations uint64
+	crashes    uint64
+	dropped    uint64
+}
+
+// NewServer builds a server over an existing system and cache.
+func NewServer(sys *core.System, cache *Cache, cfg ServerConfig) (*Server, error) {
+	cfg.fill()
+	s := &Server{sys: sys, cache: cache, cfg: cfg}
+	switch cfg.Mode {
+	case ModeSDRaD:
+		for i := 0; i < cfg.Workers; i++ {
+			d, err := sys.InitDomain(cfg.FirstWorkerUDI+core.UDI(i), core.DomainConfig{
+				HeapPages:  8,
+				StackPages: 4,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("kvstore: worker %d: %w", i, err)
+			}
+			s.workers = append(s.workers, d)
+		}
+	case ModeNative, ModeSandbox:
+		h, err := alloc.New(sys.Mem(), pku.DefaultKey, alloc.Config{InitialPages: 8})
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: scratch heap: %w", err)
+		}
+		s.scratch = h
+	default:
+		return nil, fmt.Errorf("kvstore: unknown mode %v", cfg.Mode)
+	}
+	return s, nil
+}
+
+// Mode returns the server's mode.
+func (s *Server) Mode() Mode { return s.cfg.Mode }
+
+// Cache returns the underlying cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServerStats reports server accounting.
+type ServerStats struct {
+	Requests uint64
+	// Violations is the number of contained memory-safety events (SDRaD).
+	Violations uint64
+	// Crashes is the number of full-process crashes (native).
+	Crashes uint64
+	// Dropped is the number of requests rejected during restart downtime.
+	Dropped uint64
+}
+
+// Stats returns a snapshot of server accounting.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:   s.requests,
+		Violations: s.violations,
+		Crashes:    s.crashes,
+		Dropped:    s.dropped,
+	}
+}
+
+// payload renders the request in a memcached-text-like shape; this is the
+// untrusted byte string the handler parses.
+func payload(req workload.Request) []byte {
+	switch req.Op {
+	case workload.OpSet:
+		head := fmt.Sprintf("set %s 0 0 %d\r\n", req.Key, len(req.Value))
+		out := make([]byte, 0, len(head)+len(req.Value)+2)
+		out = append(out, head...)
+		out = append(out, req.Value...)
+		out = append(out, '\r', '\n')
+		return out
+	case workload.OpDelete:
+		return []byte(fmt.Sprintf("delete %s\r\n", req.Key))
+	default:
+		return []byte(fmt.Sprintf("get %s\r\n", req.Key))
+	}
+}
+
+// Handle serves one request from clientID. The virtual clock advances by
+// the request's full service time (network, parsing, cache access, and —
+// on faults — recovery).
+func (s *Server) Handle(clientID int, req workload.Request) Response {
+	s.requests++
+	clk := s.sys.Clock()
+	cost := clk.Model()
+	clk.AdvanceTime(s.cfg.InterArrival) // arrival spacing
+
+	// Native server down: drop the request (client-visible error).
+	if s.cfg.Mode == ModeNative && clk.Cycles() < s.downUntil {
+		s.dropped++
+		return Response{Err: ErrUnavailable, Latency: 0}
+	}
+
+	start := clk.Cycles()
+	// Network receive + send round trip.
+	clk.Advance(2 * cost.Syscall)
+
+	raw := payload(req)
+	var resp Response
+	var err error
+	switch s.cfg.Mode {
+	case ModeSDRaD:
+		resp, err = s.handleSDRaD(clientID, req, raw)
+	case ModeSandbox:
+		resp, err = s.handleSandbox(req, raw)
+	default:
+		resp, err = s.handleNative(req, raw)
+	}
+	if err != nil {
+		resp.Err = err
+	}
+	resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
+	return resp
+}
+
+// handleSDRaD parses the request inside the client's worker domain, then
+// applies the operation to the protected cache from the trusted side.
+func (s *Server) handleSDRaD(clientID int, req workload.Request, raw []byte) (Response, error) {
+	d := s.workers[clientID%len(s.workers)]
+	verr := s.sys.Enter(d.UDI(), func(c *core.DomainCtx) error {
+		buf := c.MustAlloc(len(raw))
+		c.MustStore(buf, raw)
+		parseInDomain(c, buf, len(raw))
+		if req.Malicious {
+			fault.Inject(c, s.cfg.MaliciousKind, 0)
+		}
+		c.MustFree(buf)
+		return nil
+	})
+	if v, ok := core.IsViolation(verr); ok {
+		// Contained: the worker domain was rewound and discarded; the
+		// malicious client's connection is dropped, everyone else is
+		// unaffected.
+		s.violations++
+		return Response{Err: v, Contained: true}, nil
+	}
+	if verr != nil {
+		return Response{}, verr
+	}
+	resp, err := s.apply(req)
+	if err != nil {
+		return resp, err
+	}
+	// Response staging: the connection's output buffer belongs to the
+	// worker domain, so a GET hit is copied into domain memory before the
+	// send. This cross-boundary copy exists only in SDRaD mode and is the
+	// dominant component of the paper's 2–4% overhead.
+	if req.Op == workload.OpGet && resp.OK && len(resp.Value) > 0 {
+		out, aerr := d.Heap().Alloc(len(resp.Value) + 32)
+		if aerr != nil {
+			return resp, fmt.Errorf("kvstore: response staging: %w", aerr)
+		}
+		if cerr := s.sys.CopyToDomain(out, resp.Value); cerr != nil {
+			return resp, fmt.Errorf("kvstore: response staging: %w", cerr)
+		}
+		if ferr := d.Heap().Free(out); ferr != nil {
+			return resp, fmt.Errorf("kvstore: response staging: %w", ferr)
+		}
+	}
+	return resp, nil
+}
+
+// handleNative parses the request in unprotected memory; a triggered bug
+// crashes the whole process.
+func (s *Server) handleNative(req workload.Request, raw []byte) (Response, error) {
+	buf, err := s.scratch.Alloc(len(raw))
+	if err != nil {
+		return Response{}, fmt.Errorf("kvstore: scratch alloc: %w", err)
+	}
+	m := s.sys.Mem()
+	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
+		return Response{}, fmt.Errorf("kvstore: scratch store: %w", err)
+	}
+	parseNative(m, buf, len(raw))
+	if req.Malicious {
+		return s.crash()
+	}
+	if err := s.scratch.Free(buf); err != nil {
+		return Response{}, fmt.Errorf("kvstore: scratch free: %w", err)
+	}
+	return s.apply(req)
+}
+
+// handleSandbox parses in a separate sandbox process: the request is
+// shipped over IPC (context switch in), parsed, and the result shipped
+// back (context switch out). A triggered bug kills only the sandbox
+// child, which is re-forked — service-visible impact is one errored
+// request plus the fork cost, not a full restart.
+func (s *Server) handleSandbox(req workload.Request, raw []byte) (Response, error) {
+	clk := s.sys.Clock()
+	cost := clk.Model()
+	// IPC round trip into and out of the sandbox process.
+	clk.Advance(2*cost.ContextSwitch + 2*cost.Syscall + cost.MemPerByte*uint64(len(raw)))
+
+	buf, err := s.scratch.Alloc(len(raw))
+	if err != nil {
+		return Response{}, fmt.Errorf("kvstore: sandbox alloc: %w", err)
+	}
+	m := s.sys.Mem()
+	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
+		return Response{}, fmt.Errorf("kvstore: sandbox store: %w", err)
+	}
+	parseNative(m, buf, len(raw))
+	if err := s.scratch.Free(buf); err != nil {
+		return Response{}, fmt.Errorf("kvstore: sandbox free: %w", err)
+	}
+	if req.Malicious {
+		// The sandbox child dies; re-fork it. Contained, but expensive.
+		s.violations++
+		clk.Advance(cost.ForkExec)
+		return Response{Err: fmt.Errorf("kvstore: sandbox worker killed"), Contained: true}, nil
+	}
+	return s.apply(req)
+}
+
+// crash models the native fault path: the process dies and restarts,
+// which takes the full state-dependent restart time; requests arriving in
+// the window are dropped.
+func (s *Server) crash() (Response, error) {
+	s.crashes++
+	clk := s.sys.Clock()
+	restart := procmodel.ProcessRestart{Cost: clk.Model()}.RecoveryTime(s.cache.Bytes())
+	s.downUntil = clk.Cycles() + vclock.DurationToCycles(restart, clk.Model().CPUHz)
+	// Reset the scratch heap: the dying process loses its transient
+	// state (the cache state is reloaded during the restart window).
+	if err := s.scratch.ResetNoZero(); err != nil {
+		return Response{}, err
+	}
+	return Response{Err: fmt.Errorf("kvstore: process crashed (restart %v): %w",
+		restart, ErrUnavailable)}, nil
+}
+
+// apply executes the parsed operation against the protected cache.
+func (s *Server) apply(req workload.Request) (Response, error) {
+	switch req.Op {
+	case workload.OpGet:
+		val, hit, err := s.cache.Get(req.Key)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{OK: hit, Value: val, Flags: s.cache.Flags(req.Key)}, nil
+	case workload.OpSet:
+		if err := s.cache.SetItem(req.Key, req.Value, req.TTL, req.Flags); err != nil {
+			return Response{}, err
+		}
+		return Response{OK: true}, nil
+	case workload.OpDelete:
+		found, err := s.cache.Delete(req.Key)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{OK: found}, nil
+	default:
+		return Response{}, fmt.Errorf("kvstore: unknown op %v", req.Op)
+	}
+}
+
+// parseInDomain models request parsing inside a domain: a linear scan of
+// the buffer (token split + length validation), costed through real
+// simulated loads.
+func parseInDomain(c *core.DomainCtx, buf mem.Addr, n int) {
+	tmp := make([]byte, n)
+	c.MustLoad(buf, tmp)
+	scan(tmp)
+}
+
+// parseNative is the same parse against unprotected memory.
+func parseNative(m *mem.Memory, buf mem.Addr, n int) {
+	tmp := make([]byte, n)
+	// The native server runs with full rights.
+	if err := m.LoadBytes(pku.PKRUAllowAll, buf, tmp); err != nil {
+		return
+	}
+	scan(tmp)
+}
+
+// scan is the shared token walk (the Go-side compute is identical in both
+// modes; the simulated-memory traffic above is what differs).
+func scan(b []byte) int {
+	tokens := 0
+	inTok := false
+	for _, ch := range b {
+		sep := ch == ' ' || ch == '\r' || ch == '\n'
+		if !sep && !inTok {
+			tokens++
+		}
+		inTok = !sep
+	}
+	return tokens
+}
+
+// Warmup populates the cache with items totalling approximately
+// stateBytes, using valueSize-byte values. It bypasses request handling
+// (bulk load), mirroring a pre-experiment database load.
+func Warmup(c *Cache, stateBytes uint64, valueSize int) (int, error) {
+	if valueSize <= 0 {
+		valueSize = 4096
+	}
+	n := 0
+	val := make([]byte, valueSize)
+	for c.Bytes()+uint64(valueSize) <= stateBytes && c.Bytes()+uint64(valueSize) <= c.Capacity() {
+		if err := c.Set(workload.Key(n), val); err != nil {
+			return n, fmt.Errorf("kvstore: warmup item %d: %w", n, err)
+		}
+		n++
+	}
+	return n, nil
+}

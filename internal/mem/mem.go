@@ -1,0 +1,431 @@
+// Package mem implements the paged virtual memory of the simulated
+// machine underneath the SDRaD reproduction.
+//
+// Memory is organized as 4 KiB pages. Each mapped page carries normal
+// page protections (read/write) and a PKU protection-key tag. Every load
+// and store is checked against both the page protections and the caller's
+// PKRU register value, exactly as the hardware page walk + PKU check
+// would do; violations surface as *Fault errors carrying the same
+// information a SIGSEGV siginfo would (faulting address, access type,
+// protection key). SDRaD's isolation guarantee — a memory defect inside a
+// domain can only touch that domain's pages — is enforced here.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pku"
+	"repro/internal/vclock"
+)
+
+// PageSize is the size of one page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Addr is a virtual address in the simulated address space.
+type Addr uint64
+
+// PageBase returns the address rounded down to its page boundary.
+func (a Addr) PageBase() Addr { return a &^ (PageSize - 1) }
+
+// PageNumber returns the virtual page number containing a.
+func (a Addr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+// Offset returns the offset of a within its page.
+func (a Addr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+// Page protections.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtRW         = ProtRead | ProtWrite
+)
+
+// String implements fmt.Stringer.
+func (p Prot) String() string {
+	r, w := byte('-'), byte('-')
+	if p&ProtRead != 0 {
+		r = 'r'
+	}
+	if p&ProtWrite != 0 {
+		w = 'w'
+	}
+	return string([]byte{r, w})
+}
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds, mirroring the information in siginfo_t for SIGSEGV.
+const (
+	// FaultUnmapped: access to an address with no mapping (SEGV_MAPERR).
+	FaultUnmapped FaultKind = iota + 1
+	// FaultProt: access violating page protections (SEGV_ACCERR).
+	FaultProt
+	// FaultPkey: access denied by the PKRU register (SEGV_PKUERR). This
+	// is the fault SDRaD interprets as a domain violation.
+	FaultPkey
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "SEGV_MAPERR"
+	case FaultProt:
+		return "SEGV_ACCERR"
+	case FaultPkey:
+		return "SEGV_PKUERR"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Fault is a memory access fault. It implements error.
+type Fault struct {
+	Kind  FaultKind
+	Addr  Addr
+	Write bool
+	// Key is the protection key of the faulting page (valid for
+	// FaultProt/FaultPkey).
+	Key pku.Key
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mem: %s fault (%s) at %#x key=%v", op, f.Kind, uint64(f.Addr), f.Key)
+}
+
+// IsFault reports whether err is (or wraps) a *Fault, returning it.
+func IsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// ErrBadRange is returned for invalid map/unmap/protect ranges.
+var ErrBadRange = errors.New("mem: invalid page range")
+
+// ErrDoubleMap is returned when mapping over an existing mapping.
+var ErrDoubleMap = errors.New("mem: page already mapped")
+
+type page struct {
+	data []byte
+	prot Prot
+	key  pku.Key
+}
+
+// Memory is the simulated address space. The zero value is not usable;
+// call New. Memory is not safe for concurrent use: the simulation is
+// single-core (matching the deterministic virtual clock).
+type Memory struct {
+	pages map[uint64]*page
+	clock *vclock.Clock
+	// next is the bump pointer for fresh mappings, in pages. Start well
+	// above zero so that address 0 is never valid (null dereferences
+	// fault as unmapped).
+	next uint64
+
+	stats Stats
+}
+
+// Stats counts memory traffic, for diagnostics and for proving
+// zero-copy properties (heap adoption must not move bytes).
+type Stats struct {
+	// Loads and Stores count access operations.
+	Loads, Stores uint64
+	// BytesRead and BytesWritten count payload bytes moved.
+	BytesRead, BytesWritten uint64
+	// Faults counts failed accesses.
+	Faults uint64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// New returns an empty address space. The clock may be nil, in which case
+// no cycle costs are charged.
+func New(clock *vclock.Clock) *Memory {
+	return &Memory{
+		pages: make(map[uint64]*page),
+		clock: clock,
+		next:  0x10, // first mapping at 0x10000
+	}
+}
+
+// Clock returns the attached virtual clock (may be nil).
+func (m *Memory) Clock() *vclock.Clock { return m.clock }
+
+func (m *Memory) charge(n uint64) {
+	if m.clock != nil {
+		m.clock.Advance(n)
+	}
+}
+
+func (m *Memory) model() vclock.CostModel {
+	if m.clock != nil {
+		return m.clock.Model()
+	}
+	return vclock.CostModel{}
+}
+
+// Map allocates npages fresh pages with the given protections and key tag
+// and returns the base address of the new region.
+func (m *Memory) Map(npages int, prot Prot, key pku.Key) (Addr, error) {
+	if npages <= 0 {
+		return 0, fmt.Errorf("%w: %d pages", ErrBadRange, npages)
+	}
+	if !key.Valid() {
+		return 0, fmt.Errorf("mem: %w: %v", pku.ErrKeyNotAllocated, key)
+	}
+	base := m.next
+	for i := 0; i < npages; i++ {
+		m.pages[base+uint64(i)] = &page{
+			data: make([]byte, PageSize),
+			prot: prot,
+			key:  key,
+		}
+	}
+	m.next = base + uint64(npages)
+	m.charge(m.model().PageMap * uint64(npages))
+	return Addr(base << PageShift), nil
+}
+
+// Unmap removes npages pages starting at base. Base must be page-aligned
+// and all pages must be mapped.
+func (m *Memory) Unmap(base Addr, npages int) error {
+	if err := m.checkRange(base, npages); err != nil {
+		return err
+	}
+	pn := base.PageNumber()
+	for i := 0; i < npages; i++ {
+		delete(m.pages, pn+uint64(i))
+	}
+	m.charge(m.model().PageUnmap * uint64(npages))
+	return nil
+}
+
+// Protect changes the page protections of npages pages starting at base,
+// like mprotect(2).
+func (m *Memory) Protect(base Addr, npages int, prot Prot) error {
+	if err := m.checkRange(base, npages); err != nil {
+		return err
+	}
+	pn := base.PageNumber()
+	for i := 0; i < npages; i++ {
+		m.pages[pn+uint64(i)].prot = prot
+	}
+	m.charge(m.model().PkeyMprotect)
+	return nil
+}
+
+// TagKey assigns protection key to npages pages starting at base, like
+// pkey_mprotect(2) without changing protections.
+func (m *Memory) TagKey(base Addr, npages int, key pku.Key) error {
+	if !key.Valid() {
+		return fmt.Errorf("mem: %w: %v", pku.ErrKeyNotAllocated, key)
+	}
+	if err := m.checkRange(base, npages); err != nil {
+		return err
+	}
+	pn := base.PageNumber()
+	for i := 0; i < npages; i++ {
+		m.pages[pn+uint64(i)].key = key
+	}
+	m.charge(m.model().PkeyMprotect)
+	return nil
+}
+
+// Zero clears the contents of npages pages starting at base without any
+// permission checks (kernel-side operation used by domain discard).
+func (m *Memory) Zero(base Addr, npages int) error {
+	if err := m.checkRange(base, npages); err != nil {
+		return err
+	}
+	pn := base.PageNumber()
+	for i := 0; i < npages; i++ {
+		clear(m.pages[pn+uint64(i)].data)
+	}
+	m.charge(m.model().PageZero * uint64(npages))
+	return nil
+}
+
+// KeyOf returns the protection key tag of the page containing addr.
+func (m *Memory) KeyOf(addr Addr) (pku.Key, error) {
+	pg, ok := m.pages[addr.PageNumber()]
+	if !ok {
+		return 0, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	return pg.key, nil
+}
+
+// ProtOf returns the protections of the page containing addr.
+func (m *Memory) ProtOf(addr Addr) (Prot, error) {
+	pg, ok := m.pages[addr.PageNumber()]
+	if !ok {
+		return 0, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	return pg.prot, nil
+}
+
+// Mapped reports whether the page containing addr is mapped.
+func (m *Memory) Mapped(addr Addr) bool {
+	_, ok := m.pages[addr.PageNumber()]
+	return ok
+}
+
+// MappedPages returns the number of currently mapped pages.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+func (m *Memory) checkRange(base Addr, npages int) error {
+	if npages <= 0 || base.Offset() != 0 {
+		return fmt.Errorf("%w: base=%#x npages=%d", ErrBadRange, uint64(base), npages)
+	}
+	pn := base.PageNumber()
+	for i := 0; i < npages; i++ {
+		if _, ok := m.pages[pn+uint64(i)]; !ok {
+			return fmt.Errorf("%w: page %#x not mapped", ErrBadRange, (pn+uint64(i))<<PageShift)
+		}
+	}
+	return nil
+}
+
+// access validates a single-page access and returns the page.
+func (m *Memory) access(pkru pku.PKRU, addr Addr, write bool) (*page, error) {
+	pg, ok := m.pages[addr.PageNumber()]
+	if !ok {
+		m.stats.Faults++
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr, Write: write}
+	}
+	need := ProtRead
+	if write {
+		need = ProtWrite
+	}
+	if pg.prot&need == 0 {
+		m.stats.Faults++
+		return nil, &Fault{Kind: FaultProt, Addr: addr, Write: write, Key: pg.key}
+	}
+	// PKU check: reads need CanRead, writes need CanWrite.
+	if write {
+		if !pkru.CanWrite(pg.key) {
+			m.stats.Faults++
+			return nil, &Fault{Kind: FaultPkey, Addr: addr, Write: true, Key: pg.key}
+		}
+	} else if !pkru.CanRead(pg.key) {
+		m.stats.Faults++
+		return nil, &Fault{Kind: FaultPkey, Addr: addr, Write: false, Key: pg.key}
+	}
+	return pg, nil
+}
+
+// LoadBytes copies len(dst) bytes starting at addr into dst, checking
+// permissions page by page. On fault, dst contents are unspecified.
+func (m *Memory) LoadBytes(pkru pku.PKRU, addr Addr, dst []byte) error {
+	mdl := m.model()
+	m.charge(mdl.MemLoad + mdl.MemPerByte*uint64(len(dst)))
+	m.stats.Loads++
+	m.stats.BytesRead += uint64(len(dst))
+	for len(dst) > 0 {
+		pg, err := m.access(pkru, addr, false)
+		if err != nil {
+			return err
+		}
+		off := addr.Offset()
+		n := copy(dst, pg.data[off:])
+		dst = dst[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// StoreBytes copies src into memory starting at addr, checking
+// permissions page by page. A fault midway leaves earlier pages written
+// (matching hardware semantics of a multi-page copy).
+func (m *Memory) StoreBytes(pkru pku.PKRU, addr Addr, src []byte) error {
+	mdl := m.model()
+	m.charge(mdl.MemStore + mdl.MemPerByte*uint64(len(src)))
+	m.stats.Stores++
+	m.stats.BytesWritten += uint64(len(src))
+	for len(src) > 0 {
+		pg, err := m.access(pkru, addr, true)
+		if err != nil {
+			return err
+		}
+		off := addr.Offset()
+		n := copy(pg.data[off:], src)
+		src = src[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// Load8 loads one byte.
+func (m *Memory) Load8(pkru pku.PKRU, addr Addr) (byte, error) {
+	pg, err := m.access(pkru, addr, false)
+	if err != nil {
+		return 0, err
+	}
+	m.charge(m.model().MemLoad)
+	m.stats.Loads++
+	m.stats.BytesRead++
+	return pg.data[addr.Offset()], nil
+}
+
+// Store8 stores one byte.
+func (m *Memory) Store8(pkru pku.PKRU, addr Addr, v byte) error {
+	pg, err := m.access(pkru, addr, true)
+	if err != nil {
+		return err
+	}
+	m.charge(m.model().MemStore)
+	m.stats.Stores++
+	m.stats.BytesWritten++
+	pg.data[addr.Offset()] = v
+	return nil
+}
+
+// Load32 loads a little-endian uint32 (may span pages).
+func (m *Memory) Load32(pkru pku.PKRU, addr Addr) (uint32, error) {
+	var buf [4]byte
+	if err := m.LoadBytes(pkru, addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// Store32 stores a little-endian uint32 (may span pages).
+func (m *Memory) Store32(pkru pku.PKRU, addr Addr, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return m.StoreBytes(pkru, addr, buf[:])
+}
+
+// Load64 loads a little-endian uint64 (may span pages).
+func (m *Memory) Load64(pkru pku.PKRU, addr Addr) (uint64, error) {
+	var buf [8]byte
+	if err := m.LoadBytes(pkru, addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Store64 stores a little-endian uint64 (may span pages).
+func (m *Memory) Store64(pkru pku.PKRU, addr Addr, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return m.StoreBytes(pkru, addr, buf[:])
+}

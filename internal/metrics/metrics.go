@@ -1,0 +1,218 @@
+// Package metrics provides the small measurement toolkit used by the
+// experiment harness: log-linear latency histograms, summary statistics,
+// and fixed-width table rendering for paper-style output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a log-linear histogram of non-negative int64 samples
+// (typically nanoseconds or cycles). It keeps 64 logarithmic major
+// buckets with 16 linear sub-buckets each, giving <6.25% relative error —
+// enough for percentile reporting. The zero value is ready to use.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const subBuckets = 16
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// Major bucket = floor(log2(v)); sub-bucket from the next 4 bits.
+	msb := 63 - int(leadingZeros(uint64(v)))
+	sub := int((uint64(v) >> (uint(msb) - 4)) & (subBuckets - 1))
+	idx := msb*subBuckets + sub
+	if idx >= len([64 * subBuckets]uint64{}) {
+		idx = len([64 * subBuckets]uint64{}) - 1
+	}
+	return idx
+}
+
+func leadingZeros(x uint64) uint {
+	if x == 0 {
+		return 64
+	}
+	var n uint
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLow returns a representative (lower-bound) value for bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	msb := idx / subBuckets
+	sub := idx % subBuckets
+	return (1 << uint(msb)) | (int64(sub) << uint(msb-4))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P50, P99, P999 are convenience quantiles.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Summary computes basic statistics over a float64 slice.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// FormatDuration renders a duration with paper-style units (µs, ms, s,
+// min) and 3 significant digits.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	}
+}

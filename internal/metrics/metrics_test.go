@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value histogram not empty")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 10000; i++ {
+		h.Observe(i)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * 10000
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	if h.Quantile(0) != 42 || h.Quantile(1) != 42 || h.P50() != 42 {
+		t.Error("single-sample quantiles should all be the sample")
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Min() != 0 {
+		t.Errorf("negative clamp: min = %d", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Observe(10)
+		b.Observe(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != 10 || a.Max() != 1000 {
+		t.Errorf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 200 {
+		t.Error("merge with empty changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(3 * time.Microsecond)
+	if h.Max() != 3000 {
+		t.Errorf("Max = %d, want 3000", h.Max())
+	}
+}
+
+// Property: quantiles are monotone and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(int64(v % 1_000_000))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v", even.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary non-zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize mutated input")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "500ns"},
+		{3500 * time.Nanosecond, "3.50µs"},
+		{2 * time.Millisecond, "2.00ms"},
+		{3 * time.Second, "3.00s"},
+		{2 * time.Minute, "2.0min"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Caption = "cap"
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 123.456)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta-long-name", "123.5", "cap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| x | y |") {
+		t.Errorf("markdown:\n%s", md)
+	}
+}
+
+func TestTableAccessorsCopy(t *testing.T) {
+	tb := NewTable("T", "a")
+	tb.AddRow("v")
+	h := tb.Headers()
+	h[0] = "mutated"
+	r := tb.Rows()
+	r[0][0] = "mutated"
+	if tb.Headers()[0] != "a" || tb.Rows()[0][0] != "v" {
+		t.Error("accessors leaked internal state")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5000:    "5000",
+		42.42:   "42.4",
+		3.14159: "3.142",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package procmodel models the recovery baselines the paper compares
+// SDRaD against: whole-process restart, container restart, and
+// redundancy-based failover (active-passive and 2N replication), plus the
+// conventional process-isolation sandbox whose context-switch cost §IV
+// contrasts with MPK domain switching.
+//
+// The real systems (systemd restarting memcached, a container runtime,
+// a standby replica) are environment-gated; what the paper's claims use
+// is their *recovery latency* as a function of application state size and
+// their *hardware footprint*. Both are captured here as explicit cost
+// models over the shared vclock.CostModel constants, so the experiment
+// harness can sweep them deterministically.
+package procmodel
+
+import (
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Strategy is a resilience strategy: how a service recovers from a
+// memory-corruption fault, and what it costs when nothing is failing.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// RecoveryTime returns the service-visible recovery latency after a
+	// fault, given the application state (e.g. cache contents) that must
+	// be live again before the service is considered recovered.
+	RecoveryTime(stateBytes uint64) time.Duration
+	// Servers returns the hardware replication factor: how many server
+	// instances must be provisioned to run one logical service.
+	Servers() float64
+	// SteadyOverhead returns the fractional runtime overhead the strategy
+	// imposes during normal (fault-free) operation, e.g. 0.03 for 3%.
+	SteadyOverhead() float64
+}
+
+// ProcessRestart models systemd-style restart of the whole process: the
+// process is re-exec'd and must repopulate its in-memory state from disk
+// or peers before serving again. With the default cost model, 10 GB of
+// state takes ≈2 minutes — the paper's Memcached number.
+type ProcessRestart struct {
+	Cost vclock.CostModel
+}
+
+// Name implements Strategy.
+func (ProcessRestart) Name() string { return "process-restart" }
+
+// RecoveryTime implements Strategy.
+func (p ProcessRestart) RecoveryTime(stateBytes uint64) time.Duration {
+	c := p.cost()
+	exec := vclock.CyclesToDuration(c.ForkExec, c.CPUHz)
+	return exec + warmup(stateBytes, c)
+}
+
+// Servers implements Strategy.
+func (ProcessRestart) Servers() float64 { return 1 }
+
+// SteadyOverhead implements Strategy. A plain restart policy adds no
+// steady-state overhead.
+func (ProcessRestart) SteadyOverhead() float64 { return 0 }
+
+func (p ProcessRestart) cost() vclock.CostModel {
+	if p.Cost.CPUHz == 0 {
+		return vclock.DefaultCostModel()
+	}
+	return p.Cost
+}
+
+// ContainerRestart models restarting the service container: runtime and
+// namespace setup on top of process start, then the same state warm-up.
+type ContainerRestart struct {
+	Cost vclock.CostModel
+}
+
+// Name implements Strategy.
+func (ContainerRestart) Name() string { return "container-restart" }
+
+// RecoveryTime implements Strategy.
+func (c ContainerRestart) RecoveryTime(stateBytes uint64) time.Duration {
+	m := c.cost()
+	setup := vclock.CyclesToDuration(m.ContainerStart+m.ForkExec, m.CPUHz)
+	return setup + warmup(stateBytes, m)
+}
+
+// Servers implements Strategy.
+func (ContainerRestart) Servers() float64 { return 1 }
+
+// SteadyOverhead implements Strategy.
+func (ContainerRestart) SteadyOverhead() float64 { return 0 }
+
+func (c ContainerRestart) cost() vclock.CostModel {
+	if c.Cost.CPUHz == 0 {
+		return vclock.DefaultCostModel()
+	}
+	return c.Cost
+}
+
+// SDRaDRewind models in-process secure rewind and discard. Recovery is
+// independent of application state size: the long-lived state lives in
+// the root domain and survives; only the faulting domain's heap (a
+// per-request/per-connection working set of HeapPages pages) is
+// discarded.
+type SDRaDRewind struct {
+	Cost vclock.CostModel
+	// HeapPages is the discarded domain's heap size in pages (default 16).
+	HeapPages int
+	// ZeroOnDiscard scrubs pages during discard (default true when
+	// constructed by DefaultStrategies).
+	ZeroOnDiscard bool
+	// Overhead is the steady-state compartmentalization overhead fraction
+	// (the paper's 2–4%; default 0.03).
+	Overhead float64
+}
+
+// Name implements Strategy.
+func (SDRaDRewind) Name() string { return "sdrad-rewind" }
+
+// RecoveryTime implements Strategy.
+func (s SDRaDRewind) RecoveryTime(uint64) time.Duration {
+	c := s.cost()
+	pages := s.HeapPages
+	if pages <= 0 {
+		pages = 16
+	}
+	cycles := c.SignalDeliver + c.RestoreCtx + c.WRPKRU
+	if s.ZeroOnDiscard {
+		cycles += c.PageZero * uint64(pages)
+	}
+	return vclock.CyclesToDuration(cycles, c.CPUHz)
+}
+
+// Servers implements Strategy.
+func (SDRaDRewind) Servers() float64 { return 1 }
+
+// SteadyOverhead implements Strategy.
+func (s SDRaDRewind) SteadyOverhead() float64 {
+	if s.Overhead == 0 {
+		return 0.03
+	}
+	return s.Overhead
+}
+
+func (s SDRaDRewind) cost() vclock.CostModel {
+	if s.Cost.CPUHz == 0 {
+		return vclock.DefaultCostModel()
+	}
+	return s.Cost
+}
+
+// CheckpointRestore models CRIU-style periodic checkpointing: recovery
+// restores the last memory image from local storage instead of
+// repopulating state from scratch, so it is storage-bandwidth-bound and
+// loses the work since the last checkpoint. Steady-state overhead comes
+// from taking the periodic snapshots.
+type CheckpointRestore struct {
+	Cost vclock.CostModel
+	// RestoreBytesPerSec is the image-restore bandwidth (default
+	// 1 GB/s: local NVMe sequential read + page re-population).
+	RestoreBytesPerSec uint64
+	// CheckpointOverhead is the steady-state cost of periodic snapshots
+	// (default 2%).
+	CheckpointOverhead float64
+}
+
+// Name implements Strategy.
+func (CheckpointRestore) Name() string { return "checkpoint-restore" }
+
+// RecoveryTime implements Strategy.
+func (c CheckpointRestore) RecoveryTime(stateBytes uint64) time.Duration {
+	m := c.cost()
+	bw := c.RestoreBytesPerSec
+	if bw == 0 {
+		bw = 1_000_000_000
+	}
+	exec := vclock.CyclesToDuration(m.ForkExec, m.CPUHz)
+	if stateBytes == 0 {
+		return exec
+	}
+	return exec + time.Duration(float64(stateBytes)/float64(bw)*float64(time.Second))
+}
+
+// Servers implements Strategy.
+func (CheckpointRestore) Servers() float64 { return 1 }
+
+// SteadyOverhead implements Strategy.
+func (c CheckpointRestore) SteadyOverhead() float64 {
+	if c.CheckpointOverhead == 0 {
+		return 0.02
+	}
+	return c.CheckpointOverhead
+}
+
+func (c CheckpointRestore) cost() vclock.CostModel {
+	if c.Cost.CPUHz == 0 {
+		return vclock.DefaultCostModel()
+	}
+	return c.Cost
+}
+
+// ActivePassive models a hot-standby pair: a failure is masked by
+// failing over to the standby (detection + VIP switch), while the failed
+// instance restarts in the background. Hardware footprint is 2x.
+type ActivePassive struct {
+	// FailoverTime is the client-visible blip (default 5 s: health-check
+	// detection plus traffic switch).
+	FailoverTime time.Duration
+}
+
+// Name implements Strategy.
+func (ActivePassive) Name() string { return "active-passive" }
+
+// RecoveryTime implements Strategy.
+func (a ActivePassive) RecoveryTime(uint64) time.Duration {
+	if a.FailoverTime <= 0 {
+		return 5 * time.Second
+	}
+	return a.FailoverTime
+}
+
+// Servers implements Strategy.
+func (ActivePassive) Servers() float64 { return 2 }
+
+// SteadyOverhead implements Strategy (keeping the standby warm costs
+// replication traffic; modeled at 1%).
+func (ActivePassive) SteadyOverhead() float64 { return 0.01 }
+
+// NPlusOne models an N+1 cluster: N active shards plus one spare; a
+// failure is masked by the spare taking over the failed shard.
+type NPlusOne struct {
+	// N is the number of active instances (default 4).
+	N int
+	// FailoverTime is the per-fault blip (default 5 s).
+	FailoverTime time.Duration
+}
+
+// Name implements Strategy.
+func (NPlusOne) Name() string { return "n-plus-1" }
+
+// RecoveryTime implements Strategy.
+func (n NPlusOne) RecoveryTime(uint64) time.Duration {
+	if n.FailoverTime <= 0 {
+		return 5 * time.Second
+	}
+	return n.FailoverTime
+}
+
+// Servers implements Strategy.
+func (n NPlusOne) Servers() float64 {
+	if n.N <= 0 {
+		return float64(5) / 4
+	}
+	return float64(n.N+1) / float64(n.N)
+}
+
+// SteadyOverhead implements Strategy.
+func (NPlusOne) SteadyOverhead() float64 { return 0.01 }
+
+// warmup returns the time to repopulate stateBytes of application state.
+func warmup(stateBytes uint64, c vclock.CostModel) time.Duration {
+	if c.WarmupBytesPerSec == 0 || stateBytes == 0 {
+		return 0
+	}
+	secs := float64(stateBytes) / float64(c.WarmupBytesPerSec)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// DefaultStrategies returns the strategy set compared throughout the
+// evaluation, in presentation order.
+func DefaultStrategies() []Strategy {
+	return []Strategy{
+		ProcessRestart{},
+		ContainerRestart{},
+		CheckpointRestore{},
+		ActivePassive{},
+		NPlusOne{},
+		SDRaDRewind{ZeroOnDiscard: true},
+	}
+}
+
+// Interface compliance checks.
+var (
+	_ Strategy = ProcessRestart{}
+	_ Strategy = ContainerRestart{}
+	_ Strategy = CheckpointRestore{}
+	_ Strategy = SDRaDRewind{}
+	_ Strategy = ActivePassive{}
+	_ Strategy = NPlusOne{}
+)
+
+// IsolationMechanism describes a compartmentalization primitive for the
+// E6 micro-cost comparison (§IV: process isolation's context-switch cost
+// vs lightweight MPK domain switching).
+type IsolationMechanism struct {
+	// Name identifies the mechanism.
+	Name string
+	// SwitchTime is the one-way cost of transferring control into the
+	// isolated compartment.
+	SwitchTime time.Duration
+	// RoundTrip is the cost of a call-and-return across the boundary.
+	RoundTrip time.Duration
+}
+
+// IsolationMechanisms returns the E6 comparison set derived from the cost
+// model: MPK domain switch, same-process function call (no isolation),
+// syscall-based kernel crossing, process-based sandbox (two context
+// switches per call), and a container-boundary RPC.
+func IsolationMechanisms(c vclock.CostModel) []IsolationMechanism {
+	if c.CPUHz == 0 {
+		c = vclock.DefaultCostModel()
+	}
+	d := func(cycles uint64) time.Duration { return vclock.CyclesToDuration(cycles, c.CPUHz) }
+	return []IsolationMechanism{
+		{
+			Name:       "function-call",
+			SwitchTime: d(5),
+			RoundTrip:  d(10),
+		},
+		{
+			Name:       "mpk-domain",
+			SwitchTime: d(c.SnapshotCtx + c.WRPKRU),
+			RoundTrip:  d(c.SnapshotCtx + 2*c.WRPKRU),
+		},
+		{
+			Name:       "syscall",
+			SwitchTime: d(c.Syscall),
+			RoundTrip:  d(2 * c.Syscall),
+		},
+		{
+			Name:       "process-sandbox",
+			SwitchTime: d(c.ContextSwitch + c.Syscall),
+			RoundTrip:  d(2 * (c.ContextSwitch + c.Syscall)),
+		},
+		{
+			Name:       "container-rpc",
+			SwitchTime: d(2*c.ContextSwitch + 2*c.Syscall),
+			RoundTrip:  d(4*c.ContextSwitch + 4*c.Syscall),
+		},
+	}
+}

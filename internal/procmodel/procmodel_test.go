@@ -1,0 +1,190 @@
+package procmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+const tenGB = 10_000_000_000
+
+func TestProcessRestartTenGBIsRoughlyTwoMinutes(t *testing.T) {
+	// The paper: "a regular restart takes about 2 minutes" for a 10 GB
+	// memcached database.
+	rt := ProcessRestart{}.RecoveryTime(tenGB)
+	if rt < 90*time.Second || rt > 150*time.Second {
+		t.Errorf("restart(10GB) = %v, want ≈2min", rt)
+	}
+}
+
+func TestSDRaDRewindIsMicroseconds(t *testing.T) {
+	// The paper: "in-process rewinding takes only 3.5µs".
+	rt := SDRaDRewind{ZeroOnDiscard: true}.RecoveryTime(tenGB)
+	if rt < time.Microsecond || rt > 100*time.Microsecond {
+		t.Errorf("rewind = %v, want µs-scale", rt)
+	}
+	// And it is independent of state size.
+	if (SDRaDRewind{ZeroOnDiscard: true}).RecoveryTime(0) != rt {
+		t.Error("rewind time depends on state size")
+	}
+}
+
+func TestRewindVsRestartRatio(t *testing.T) {
+	// Paper shape: restart/rewind ≈ 2min/3.5µs ≈ 3.4·10⁷. Require the
+	// reproduction to land within two orders of magnitude of that ratio.
+	restart := ProcessRestart{}.RecoveryTime(tenGB)
+	rewind := SDRaDRewind{ZeroOnDiscard: true}.RecoveryTime(tenGB)
+	ratio := float64(restart) / float64(rewind)
+	if ratio < 1e6 || ratio > 1e9 {
+		t.Errorf("restart/rewind ratio = %.3g, want within [1e6, 1e9]", ratio)
+	}
+}
+
+func TestContainerSlowerThanProcess(t *testing.T) {
+	p := ProcessRestart{}.RecoveryTime(tenGB)
+	c := ContainerRestart{}.RecoveryTime(tenGB)
+	if c <= p {
+		t.Errorf("container (%v) should be slower than process (%v)", c, p)
+	}
+}
+
+func TestRestartScalesWithState(t *testing.T) {
+	small := ProcessRestart{}.RecoveryTime(100_000_000)
+	large := ProcessRestart{}.RecoveryTime(tenGB)
+	if large <= small {
+		t.Error("restart time should grow with state size")
+	}
+	// Roughly linear: 100x the state ≈ 100x the warm-up.
+	ratio := float64(large) / float64(small)
+	if ratio < 50 || ratio > 150 {
+		t.Errorf("scaling ratio = %.1f, want ≈100", ratio)
+	}
+}
+
+func TestZeroStateRestartStillCostsExec(t *testing.T) {
+	if rt := (ProcessRestart{}).RecoveryTime(0); rt <= 0 {
+		t.Errorf("zero-state restart = %v, want > 0", rt)
+	}
+}
+
+func TestFailoverStrategies(t *testing.T) {
+	ap := ActivePassive{}
+	if ap.RecoveryTime(tenGB) != 5*time.Second {
+		t.Errorf("default failover = %v", ap.RecoveryTime(tenGB))
+	}
+	if ap.Servers() != 2 {
+		t.Errorf("active-passive servers = %v", ap.Servers())
+	}
+	custom := ActivePassive{FailoverTime: time.Second}
+	if custom.RecoveryTime(0) != time.Second {
+		t.Error("custom failover time ignored")
+	}
+	np := NPlusOne{}
+	if np.Servers() != 1.25 {
+		t.Errorf("default N+1 servers = %v, want 1.25", np.Servers())
+	}
+	np8 := NPlusOne{N: 8}
+	if np8.Servers() != 1.125 {
+		t.Errorf("8+1 servers = %v, want 1.125", np8.Servers())
+	}
+}
+
+func TestSteadyOverheads(t *testing.T) {
+	// SDRaD default overhead must sit in the paper's 2–4% band.
+	oh := SDRaDRewind{}.SteadyOverhead()
+	if oh < 0.02 || oh > 0.04 {
+		t.Errorf("SDRaD overhead = %v, want within [0.02, 0.04]", oh)
+	}
+	if (ProcessRestart{}).SteadyOverhead() != 0 {
+		t.Error("restart should have zero steady overhead")
+	}
+	if (SDRaDRewind{Overhead: 0.025}).SteadyOverhead() != 0.025 {
+		t.Error("custom overhead ignored")
+	}
+}
+
+func TestDefaultStrategiesComplete(t *testing.T) {
+	sts := DefaultStrategies()
+	if len(sts) != 6 {
+		t.Fatalf("strategies = %d, want 6", len(sts))
+	}
+	seen := map[string]bool{}
+	for _, s := range sts {
+		if s.Name() == "" {
+			t.Error("unnamed strategy")
+		}
+		if seen[s.Name()] {
+			t.Errorf("duplicate strategy %q", s.Name())
+		}
+		seen[s.Name()] = true
+		if s.Servers() < 1 {
+			t.Errorf("%s: servers = %v < 1", s.Name(), s.Servers())
+		}
+		if s.RecoveryTime(tenGB) <= 0 {
+			t.Errorf("%s: non-positive recovery time", s.Name())
+		}
+	}
+}
+
+func TestIsolationMechanismOrdering(t *testing.T) {
+	// §IV's claim: MPK domain switching is far cheaper than process
+	// context switching (and than syscalls).
+	ms := IsolationMechanisms(vclock.DefaultCostModel())
+	byName := map[string]IsolationMechanism{}
+	for _, m := range ms {
+		byName[m.Name] = m
+		if m.SwitchTime <= 0 || m.RoundTrip < m.SwitchTime {
+			t.Errorf("%s: implausible costs %v/%v", m.Name, m.SwitchTime, m.RoundTrip)
+		}
+	}
+	mpk := byName["mpk-domain"]
+	sys := byName["syscall"]
+	proc := byName["process-sandbox"]
+	if mpk.RoundTrip*10 > sys.RoundTrip {
+		t.Errorf("mpk (%v) should be >10x cheaper than syscall (%v)", mpk.RoundTrip, sys.RoundTrip)
+	}
+	if sys.RoundTrip >= proc.RoundTrip {
+		t.Errorf("syscall (%v) should be cheaper than process sandbox (%v)", sys.RoundTrip, proc.RoundTrip)
+	}
+}
+
+func TestIsolationMechanismsZeroCostModelDefaults(t *testing.T) {
+	ms := IsolationMechanisms(vclock.CostModel{})
+	if len(ms) != 5 {
+		t.Fatalf("mechanisms = %d, want 5", len(ms))
+	}
+	for _, m := range ms {
+		if m.SwitchTime <= 0 {
+			t.Errorf("%s: zero switch time with defaulted model", m.Name)
+		}
+	}
+}
+
+func TestCheckpointRestoreFasterThanColdRestart(t *testing.T) {
+	cr := CheckpointRestore{}
+	pr := ProcessRestart{}
+	// At 10 GB, restoring a local image (~1 GB/s) beats repopulating from
+	// the backing store (~85 MB/s), but both are far above rewind.
+	crTime, prTime := cr.RecoveryTime(tenGB), pr.RecoveryTime(tenGB)
+	if crTime >= prTime {
+		t.Errorf("checkpoint restore (%v) should beat cold restart (%v)", crTime, prTime)
+	}
+	rw := SDRaDRewind{ZeroOnDiscard: true}.RecoveryTime(tenGB)
+	if crTime < 1000*rw {
+		t.Errorf("checkpoint restore (%v) should still be >>1000x rewind (%v)", crTime, rw)
+	}
+	if cr.Servers() != 1 {
+		t.Errorf("servers = %v", cr.Servers())
+	}
+	oh := cr.SteadyOverhead()
+	if oh <= 0 || oh > 0.1 {
+		t.Errorf("overhead = %v", oh)
+	}
+	if (CheckpointRestore{CheckpointOverhead: 0.05}).SteadyOverhead() != 0.05 {
+		t.Error("custom overhead ignored")
+	}
+	if (CheckpointRestore{}).RecoveryTime(0) <= 0 {
+		t.Error("zero-state restore should still cost exec")
+	}
+}

@@ -1,0 +1,34 @@
+package serde
+
+import "testing"
+
+// FuzzDecode checks that no codec panics on arbitrary input, and that
+// anything a codec accepts re-encodes and re-decodes stably.
+func FuzzDecode(f *testing.F) {
+	for _, c := range Codecs() {
+		if enc, err := c.Encode([]any{int64(-5), "s", []byte{1, 2}}); err == nil {
+			f.Add(enc)
+		}
+		if enc, err := c.Encode([]any{[]byte("payload")}); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		for _, c := range Codecs() {
+			vals, err := c.Decode(in)
+			if err != nil {
+				continue
+			}
+			enc, err := c.Encode(vals)
+			if err != nil {
+				t.Errorf("%s: decoded values failed to re-encode: %v", c.Name(), err)
+				continue
+			}
+			if _, err := c.Decode(enc); err != nil {
+				t.Errorf("%s: re-encoded bytes failed to decode: %v", c.Name(), err)
+			}
+		}
+	})
+}

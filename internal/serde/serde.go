@@ -1,0 +1,360 @@
+// Package serde implements the argument-serialization codecs used by the
+// SDRaD-FFI layer (§III of the paper).
+//
+// SDRaD-FFI passes arbitrary arguments between isolated domains by
+// serializing them into the target domain's heap and deserializing inside
+// the domain (and the reverse for results). The paper proposes to
+// "evaluate different serialization crates"; this package provides three
+// codecs with different trade-offs, mirroring the design space of Rust's
+// serde ecosystem:
+//
+//   - Raw: a length-prefixed concatenation of byte strings — the cheapest
+//     possible transfer, usable only when every argument is already a
+//     byte slice or string (bytemuck/abomonation-style).
+//   - Binary: a compact type-tagged binary encoding (bincode-style).
+//   - JSON: a self-describing text encoding (serde_json-style), the most
+//     interoperable and the most expensive.
+//
+// Supported value kinds: bool, int64, uint64, float64, string, []byte.
+package serde
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnsupportedType is returned for values outside the supported kinds.
+	ErrUnsupportedType = errors.New("serde: unsupported argument type")
+	// ErrCorrupt is returned when decoding malformed bytes.
+	ErrCorrupt = errors.New("serde: corrupt encoding")
+	// ErrRawOnlyBytes is returned by the Raw codec for non-byte arguments.
+	ErrRawOnlyBytes = errors.New("serde: raw codec supports only []byte and string")
+)
+
+// Codec encodes and decodes argument vectors.
+type Codec interface {
+	// Name identifies the codec in experiment output.
+	Name() string
+	// Encode serializes the argument vector.
+	Encode(args []any) ([]byte, error)
+	// Decode reverses Encode.
+	Decode(data []byte) ([]any, error)
+}
+
+// Codecs returns all available codecs in evaluation order.
+func Codecs() []Codec {
+	return []Codec{Raw{}, Binary{}, JSON{}}
+}
+
+// ByName returns the codec with the given name.
+func ByName(name string) (Codec, error) {
+	for _, c := range Codecs() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("serde: unknown codec %q", name)
+}
+
+// ---- Raw ----
+
+// Raw is the zero-copy-style codec: arguments must be []byte or string;
+// the wire format is a count followed by length-prefixed payloads.
+// Decoded values are always []byte.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (Raw) Encode(args []any) ([]byte, error) {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(args)))
+	buf.Write(tmp[:n])
+	for i, a := range args {
+		var b []byte
+		switch v := a.(type) {
+		case []byte:
+			b = v
+		case string:
+			b = []byte(v)
+		default:
+			return nil, fmt.Errorf("%w: arg %d is %T", ErrRawOnlyBytes, i, a)
+		}
+		n := binary.PutUvarint(tmp[:], uint64(len(b)))
+		buf.Write(tmp[:n])
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte) ([]any, error) {
+	r := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
+	}
+	if count > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrCorrupt, count)
+	}
+	out := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: len of arg %d: %v", ErrCorrupt, i, err)
+		}
+		if ln > uint64(r.Len()) {
+			return nil, fmt.Errorf("%w: arg %d length %d exceeds remainder", ErrCorrupt, i, ln)
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("%w: arg %d: %v", ErrCorrupt, i, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ---- Binary ----
+
+// Binary is the compact type-tagged binary codec (bincode-style).
+type Binary struct{}
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// Type tags for the binary codec.
+const (
+	tagBool  = 1
+	tagInt   = 2
+	tagUint  = 3
+	tagFloat = 4
+	tagStr   = 5
+	tagBytes = 6
+)
+
+// Encode implements Codec.
+func (Binary) Encode(args []any) ([]byte, error) {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(args)))
+	buf.Write(tmp[:n])
+	for i, a := range args {
+		switch v := a.(type) {
+		case bool:
+			buf.WriteByte(tagBool)
+			if v {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+		case int64:
+			buf.WriteByte(tagInt)
+			n := binary.PutVarint(tmp[:], v)
+			buf.Write(tmp[:n])
+		case int:
+			buf.WriteByte(tagInt)
+			n := binary.PutVarint(tmp[:], int64(v))
+			buf.Write(tmp[:n])
+		case uint64:
+			buf.WriteByte(tagUint)
+			n := binary.PutUvarint(tmp[:], v)
+			buf.Write(tmp[:n])
+		case float64:
+			buf.WriteByte(tagFloat)
+			var f [8]byte
+			binary.LittleEndian.PutUint64(f[:], math.Float64bits(v))
+			buf.Write(f[:])
+		case string:
+			buf.WriteByte(tagStr)
+			n := binary.PutUvarint(tmp[:], uint64(len(v)))
+			buf.Write(tmp[:n])
+			buf.WriteString(v)
+		case []byte:
+			buf.WriteByte(tagBytes)
+			n := binary.PutUvarint(tmp[:], uint64(len(v)))
+			buf.Write(tmp[:n])
+			buf.Write(v)
+		default:
+			return nil, fmt.Errorf("%w: arg %d is %T", ErrUnsupportedType, i, a)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (Binary) Decode(data []byte) ([]any, error) {
+	r := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
+	}
+	if count > uint64(len(data))+1 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrCorrupt, count)
+	}
+	out := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tag of arg %d: %v", ErrCorrupt, i, err)
+		}
+		switch tag {
+		case tagBool:
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: bool arg %d", ErrCorrupt, i)
+			}
+			out = append(out, b != 0)
+		case tagInt:
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: int arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case tagUint:
+			v, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: uint arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case tagFloat:
+			var f [8]byte
+			if _, err := io.ReadFull(r, f[:]); err != nil {
+				return nil, fmt.Errorf("%w: float arg %d", ErrCorrupt, i)
+			}
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(f[:])))
+		case tagStr, tagBytes:
+			ln, err := binary.ReadUvarint(r)
+			if err != nil || ln > uint64(r.Len()) {
+				return nil, fmt.Errorf("%w: length of arg %d", ErrCorrupt, i)
+			}
+			b := make([]byte, ln)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, fmt.Errorf("%w: payload of arg %d", ErrCorrupt, i)
+			}
+			if tag == tagStr {
+				out = append(out, string(b))
+			} else {
+				out = append(out, b)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+		}
+	}
+	return out, nil
+}
+
+// ---- JSON ----
+
+// JSON is the self-describing text codec (serde_json-style).
+type JSON struct{}
+
+// Name implements Codec.
+func (JSON) Name() string { return "json" }
+
+type jsonVal struct {
+	T string `json:"t"`
+	V any    `json:"v"`
+}
+
+// Encode implements Codec.
+func (JSON) Encode(args []any) ([]byte, error) {
+	vals := make([]jsonVal, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case bool:
+			vals[i] = jsonVal{T: "b", V: v}
+		case int64:
+			vals[i] = jsonVal{T: "i", V: v}
+		case int:
+			vals[i] = jsonVal{T: "i", V: int64(v)}
+		case uint64:
+			vals[i] = jsonVal{T: "u", V: v}
+		case float64:
+			vals[i] = jsonVal{T: "f", V: v}
+		case string:
+			vals[i] = jsonVal{T: "s", V: v}
+		case []byte:
+			vals[i] = jsonVal{T: "x", V: base64.StdEncoding.EncodeToString(v)}
+		default:
+			return nil, fmt.Errorf("%w: arg %d is %T", ErrUnsupportedType, i, a)
+		}
+	}
+	return json.Marshal(vals)
+}
+
+// Decode implements Codec.
+func (JSON) Decode(data []byte) ([]any, error) {
+	var vals []struct {
+		T string          `json:"t"`
+		V json.RawMessage `json:"v"`
+	}
+	if err := json.Unmarshal(data, &vals); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := make([]any, 0, len(vals))
+	for i, jv := range vals {
+		switch jv.T {
+		case "b":
+			var v bool
+			if err := json.Unmarshal(jv.V, &v); err != nil {
+				return nil, fmt.Errorf("%w: bool arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case "i":
+			var v int64
+			if err := json.Unmarshal(jv.V, &v); err != nil {
+				return nil, fmt.Errorf("%w: int arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case "u":
+			var v uint64
+			if err := json.Unmarshal(jv.V, &v); err != nil {
+				return nil, fmt.Errorf("%w: uint arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case "f":
+			var v float64
+			if err := json.Unmarshal(jv.V, &v); err != nil {
+				return nil, fmt.Errorf("%w: float arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case "s":
+			var v string
+			if err := json.Unmarshal(jv.V, &v); err != nil {
+				return nil, fmt.Errorf("%w: string arg %d", ErrCorrupt, i)
+			}
+			out = append(out, v)
+		case "x":
+			var s string
+			if err := json.Unmarshal(jv.V, &s); err != nil {
+				return nil, fmt.Errorf("%w: bytes arg %d", ErrCorrupt, i)
+			}
+			b, err := base64.StdEncoding.DecodeString(s)
+			if err != nil {
+				return nil, fmt.Errorf("%w: base64 arg %d", ErrCorrupt, i)
+			}
+			out = append(out, b)
+		default:
+			return nil, fmt.Errorf("%w: unknown tag %q", ErrCorrupt, jv.T)
+		}
+	}
+	return out, nil
+}
+
+// Interface compliance checks.
+var (
+	_ Codec = Raw{}
+	_ Codec = Binary{}
+	_ Codec = JSON{}
+)

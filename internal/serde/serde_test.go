@@ -1,0 +1,252 @@
+package serde
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func allArgs() []any {
+	return []any{
+		true, false,
+		int64(-42), int64(math.MaxInt64), int64(math.MinInt64),
+		uint64(0), uint64(math.MaxUint64),
+		float64(3.14159), float64(-0.0), math.Inf(1),
+		"", "hello world", "unicode: héllo 日本",
+		[]byte{}, []byte{0x00, 0xff, 0x41},
+	}
+}
+
+// normalize converts int to int64 and empty slices for comparison.
+func normalize(args []any) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			out[i] = int64(v)
+		case []byte:
+			if len(v) == 0 {
+				out[i] = []byte{}
+			} else {
+				out[i] = v
+			}
+		default:
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	enc, err := Binary{}.Encode(allArgs())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Binary{}.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want := normalize(allArgs())
+	for i := range want {
+		if wb, ok := want[i].([]byte); ok {
+			if !bytes.Equal(wb, dec[i].([]byte)) {
+				t.Errorf("arg %d: %v != %v", i, dec[i], wb)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(dec[i], want[i]) {
+			t.Errorf("arg %d: got %v (%T), want %v (%T)", i, dec[i], dec[i], want[i], want[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	args := []any{true, int64(-7), uint64(9), 2.5, "s", []byte{1, 2}}
+	enc, err := JSON{}.Encode(args)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := JSON{}.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec) != len(args) {
+		t.Fatalf("len = %d", len(dec))
+	}
+	if dec[0] != true || dec[1] != int64(-7) || dec[2] != uint64(9) || dec[3] != 2.5 || dec[4] != "s" {
+		t.Errorf("decoded: %#v", dec)
+	}
+	if !bytes.Equal(dec[5].([]byte), []byte{1, 2}) {
+		t.Errorf("bytes arg: %v", dec[5])
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	args := []any{[]byte("abc"), "def", []byte{}}
+	enc, err := Raw{}.Encode(args)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Raw{}.Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want := [][]byte{[]byte("abc"), []byte("def"), {}}
+	for i := range want {
+		if !bytes.Equal(dec[i].([]byte), want[i]) {
+			t.Errorf("arg %d = %q, want %q", i, dec[i], want[i])
+		}
+	}
+}
+
+func TestRawRejectsNonBytes(t *testing.T) {
+	_, err := Raw{}.Encode([]any{int64(1)})
+	if !errors.Is(err, ErrRawOnlyBytes) {
+		t.Errorf("err = %v, want ErrRawOnlyBytes", err)
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	type weird struct{}
+	for _, c := range []Codec{Binary{}, JSON{}} {
+		if _, err := c.Encode([]any{weird{}}); !errors.Is(err, ErrUnsupportedType) {
+			t.Errorf("%s: err = %v, want ErrUnsupportedType", c.Name(), err)
+		}
+	}
+}
+
+func TestIntIsNormalizedToInt64(t *testing.T) {
+	for _, c := range []Codec{Binary{}, JSON{}} {
+		enc, err := c.Encode([]any{42})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil || dec[0] != int64(42) {
+			t.Errorf("%s: dec = %#v, %v", c.Name(), dec, err)
+		}
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	corrupt := [][]byte{
+		nil,
+		{},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // bad varint
+		{0x02, 0x01},             // count 2, truncated
+		{0x01, 0x63},             // binary: unknown tag 0x63
+		{0x01, 0x05, 0xff, 0xff}, // binary: string length overrun
+	}
+	for _, c := range []Codec{Raw{}, Binary{}} {
+		for i, data := range corrupt {
+			if _, err := c.Decode(data); err == nil && len(data) > 0 {
+				// Empty input may decode to zero args for some codecs;
+				// everything else must error.
+				t.Errorf("%s: corrupt input %d decoded successfully", c.Name(), i)
+			}
+		}
+	}
+	if _, err := (JSON{}).Decode([]byte("{not json")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("JSON corrupt = %v, want ErrCorrupt", err)
+	}
+	if _, err := (JSON{}).Decode([]byte(`[{"t":"z","v":1}]`)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("JSON unknown tag = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCodecsAndByName(t *testing.T) {
+	cs := Codecs()
+	if len(cs) != 3 {
+		t.Fatalf("Codecs() = %d", len(cs))
+	}
+	for _, c := range cs {
+		got, err := ByName(c.Name())
+		if err != nil || got.Name() != c.Name() {
+			t.Errorf("ByName(%q) = %v, %v", c.Name(), got, err)
+		}
+	}
+	if _, err := ByName("protobuf"); err == nil {
+		t.Error("ByName(unknown) should fail")
+	}
+}
+
+// Property: binary codec round-trips arbitrary (string, []byte, int64,
+// uint64, bool) vectors.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ss []string, bs [][]byte, is []int64, us []uint64, flags []bool) bool {
+		var args []any
+		for _, v := range ss {
+			args = append(args, v)
+		}
+		for _, v := range bs {
+			args = append(args, v)
+		}
+		for _, v := range is {
+			args = append(args, v)
+		}
+		for _, v := range us {
+			args = append(args, v)
+		}
+		for _, v := range flags {
+			args = append(args, v)
+		}
+		enc, err := Binary{}.Encode(args)
+		if err != nil {
+			return false
+		}
+		dec, err := Binary{}.Decode(enc)
+		if err != nil || len(dec) != len(args) {
+			return false
+		}
+		for i := range args {
+			if b, ok := args[i].([]byte); ok {
+				if !bytes.Equal(b, dec[i].([]byte)) {
+					return false
+				}
+				continue
+			}
+			if !reflect.DeepEqual(args[i], dec[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding random garbage never panics and either errs or
+// returns a well-formed vector.
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, c := range Codecs() {
+			vals, err := c.Decode(data)
+			if err == nil {
+				for _, v := range vals {
+					if v == nil {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedSizeOrdering(t *testing.T) {
+	// The E8 claim: raw < binary < json for byte payloads.
+	payload := []any{bytes.Repeat([]byte{0xab}, 1024)}
+	raw, _ := Raw{}.Encode(payload)
+	bin, _ := Binary{}.Encode(payload)
+	js, _ := JSON{}.Encode(payload)
+	if !(len(raw) <= len(bin) && len(bin) < len(js)) {
+		t.Errorf("size ordering violated: raw=%d binary=%d json=%d", len(raw), len(bin), len(js))
+	}
+}

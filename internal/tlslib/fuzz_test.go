@@ -1,0 +1,33 @@
+package tlslib
+
+import "testing"
+
+// FuzzDecodeRecord checks the record decoder never panics and that
+// accepted records satisfy the framing invariants.
+func FuzzDecodeRecord(f *testing.F) {
+	benign, _ := BuildHeartbeat([]byte("ping"), 4)
+	attack, _ := BuildHeartbeat([]byte("evil"), 0xffff)
+	f.Add(benign)
+	f.Add(attack)
+	f.Add([]byte{22, 3, 3, 0, 0})
+	f.Add([]byte{})
+	f.Add([]byte{24, 3, 3, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rec, err := DecodeRecord(in)
+		if err != nil {
+			return
+		}
+		if len(rec.Payload) > MaxRecordLen {
+			t.Errorf("accepted payload of %d bytes", len(rec.Payload))
+		}
+		// Re-encoding an accepted record must succeed and round-trip.
+		wire, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := DecodeRecord(wire)
+		if err != nil || back.Type != rec.Type || len(back.Payload) != len(rec.Payload) {
+			t.Errorf("round trip mismatch: %v", err)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package tlslib
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ffi"
+	"repro/internal/serde"
+)
+
+func newBridge(t *testing.T) (*ffi.Bridge, *core.System) {
+	t.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	if _, err := sys.InitDomain(1, core.DomainConfig{HeapPages: 4}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ffi.NewBridge(sys, 1, serde.Raw{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(b); err != nil {
+		t.Fatal(err)
+	}
+	return b, sys
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Type: TypeHandshake, Version: 0x0303, Payload: []byte("client hello")}
+	wire, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecord(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != rec.Type || back.Version != rec.Version || !bytes.Equal(back.Payload, rec.Payload) {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, err := DecodeRecord([]byte{1, 2}); !errors.Is(err, ErrBadRecord) {
+		t.Error("short header accepted")
+	}
+	// Declared length beyond actual bytes.
+	wire, _ := EncodeRecord(Record{Type: 22, Version: 0x0303, Payload: []byte("abcd")})
+	if _, err := DecodeRecord(wire[:len(wire)-2]); !errors.Is(err, ErrBadRecord) {
+		t.Error("truncated record accepted")
+	}
+	if _, err := EncodeRecord(Record{Payload: make([]byte, MaxRecordLen+1)}); !errors.Is(err, ErrBadRecord) {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestBenignHeartbeat(t *testing.T) {
+	b, _ := newBridge(t)
+	payload := []byte("ping")
+	wire, err := BuildHeartbeat(payload, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Call(FuncHeartbeat, rec.Payload)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	resp := res[0].([]byte)
+	if resp[0] != HeartbeatResponse {
+		t.Errorf("response type = %d", resp[0])
+	}
+	if !bytes.Equal(resp[HeartbeatHeaderLen:HeartbeatHeaderLen+4], payload) {
+		t.Errorf("echo payload = %q", resp[HeartbeatHeaderLen:HeartbeatHeaderLen+4])
+	}
+}
+
+func TestHeartbleedContainedByRewind(t *testing.T) {
+	b, sys := newBridge(t)
+	// Declared length 0xffff with a 4-byte payload: the classic attack.
+	wire, err := BuildHeartbeat([]byte("evil"), 0xffff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Call(FuncHeartbeat, rec.Payload)
+	if err != nil {
+		t.Fatalf("attack call should hit the fallback, got err: %v", err)
+	}
+	// The alternate action returns an empty response (silent discard).
+	if out := res[0].([]byte); len(out) != 0 {
+		t.Errorf("attack leaked %d bytes", len(out))
+	}
+	if b.Stats().Violations != 1 || b.Stats().Fallbacks != 1 {
+		t.Errorf("bridge stats = %+v", b.Stats())
+	}
+	d, _ := sys.Domain(1)
+	if d.Stats().Rewinds != 1 {
+		t.Errorf("rewinds = %d", d.Stats().Rewinds)
+	}
+	// The library keeps serving benign traffic.
+	wire, _ = BuildHeartbeat([]byte("ok"), 2)
+	rec, _ = DecodeRecord(wire)
+	if _, err := b.Call(FuncHeartbeat, rec.Payload); err != nil {
+		t.Errorf("post-attack benign call: %v", err)
+	}
+}
+
+func TestFixedHandlerRejectsAttack(t *testing.T) {
+	b, _ := newBridge(t)
+	wire, _ := BuildHeartbeat([]byte("evil"), 0xffff)
+	rec, _ := DecodeRecord(wire)
+	_, err := b.Call(FuncHeartbeatFixed, rec.Payload)
+	if !errors.Is(err, ErrBadHeartbeat) {
+		t.Errorf("fixed handler err = %v, want ErrBadHeartbeat", err)
+	}
+	if b.Stats().Violations != 0 {
+		t.Error("fixed handler should not fault")
+	}
+	// And it still answers benign requests.
+	wire, _ = BuildHeartbeat([]byte("ping"), 4)
+	rec, _ = DecodeRecord(wire)
+	res, err := b.Call(FuncHeartbeatFixed, rec.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := res[0].([]byte); resp[0] != HeartbeatResponse {
+		t.Errorf("response = %v", resp[0])
+	}
+}
+
+func TestHandshakeDigestDeterministic(t *testing.T) {
+	// The digest returns an int64, so it needs the binary codec (the raw
+	// codec carries only byte strings).
+	sys := core.NewSystem(core.DefaultConfig())
+	_, _ = sys.InitDomain(1, core.DomainConfig{})
+	bb, _ := ffi.NewBridge(sys, 1, serde.Binary{})
+	if err := Register(bb); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := bb.Call(FuncHandshakeDigest, []byte("transcript"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := bb.Call(FuncHandshakeDigest, []byte("transcript"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1[0] != d2[0] {
+		t.Errorf("digest not deterministic: %v vs %v", d1[0], d2[0])
+	}
+	d3, _ := bb.Call(FuncHandshakeDigest, []byte("different"))
+	if d3[0] == d1[0] {
+		t.Error("different inputs hashed equal")
+	}
+}
+
+func TestShortHeartbeatRejected(t *testing.T) {
+	b, _ := newBridge(t)
+	if _, err := b.Call(FuncHeartbeat, []byte{1}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("short heartbeat = %v, want ErrBadRecord", err)
+	}
+	if _, err := b.Call(FuncHeartbeatFixed, []byte{1}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("short fixed heartbeat = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	sys := core.NewSystem(core.DefaultConfig())
+	_, _ = sys.InitDomain(1, core.DomainConfig{})
+	b, _ := ffi.NewBridge(sys, 1, serde.Binary{})
+	if err := Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call(FuncHeartbeat); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if _, err := b.Call(FuncHeartbeat, int64(7)); err == nil {
+		t.Error("non-bytes argument accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package trace provides a lightweight event log for domain lifecycle
+// auditing: every init, enter, exit, violation, rewind, and deinit can be
+// recorded with its virtual timestamp. Operators of the paper's
+// service-oriented scenarios need exactly this record ("which client
+// triggered how many violations, when") to drive policies like
+// quarantine and to feed incident forensics; tests use it to assert
+// event ordering.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindInit Kind = iota + 1
+	KindEnter
+	KindExit
+	KindViolation
+	KindRewind
+	KindDeinit
+	KindGrant
+	KindRevoke
+	KindAdopt
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindEnter:
+		return "enter"
+	case KindExit:
+		return "exit"
+	case KindViolation:
+		return "violation"
+	case KindRewind:
+		return "rewind"
+	case KindDeinit:
+		return "deinit"
+	case KindGrant:
+		return "grant"
+	case KindRevoke:
+		return "revoke"
+	case KindAdopt:
+		return "adopt"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one lifecycle record.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq uint64
+	// At is the virtual time of the event.
+	At time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// UDI is the domain involved.
+	UDI int
+	// Detail is free-form context (mechanism name, peer UDI, ...).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("#%d %v %s udi=%d", e.Seq, e.At, e.Kind, e.UDI)
+	}
+	return fmt.Sprintf("#%d %v %s udi=%d %s", e.Seq, e.At, e.Kind, e.UDI, e.Detail)
+}
+
+// Recorder consumes lifecycle events.
+type Recorder interface {
+	Record(Event)
+}
+
+// Ring is a fixed-capacity ring buffer Recorder: the newest events
+// overwrite the oldest. The zero value is unusable; use NewRing. Not
+// safe for concurrent use.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+	seq  uint64
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Recorder, stamping the sequence number.
+func (r *Ring) Record(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Ring) Total() uint64 { return r.seq }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of the given kind, oldest first.
+func (r *Ring) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Interface compliance check.
+var _ Recorder = (*Ring)(nil)
+
+// Multi fans events out to several recorders.
+type Multi []Recorder
+
+// Record implements Recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}

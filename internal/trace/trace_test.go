@@ -1,0 +1,155 @@
+package trace_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := trace.NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(trace.Event{Kind: trace.KindEnter, UDI: i})
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Errorf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.UDI != i || e.Seq != uint64(i+1) {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := trace.NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(trace.Event{Kind: trace.KindEnter, UDI: i})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	want := []int{2, 3, 4}
+	for i, e := range evs {
+		if e.UDI != want[i] {
+			t.Errorf("event %d UDI = %d, want %d", i, e.UDI, want[i])
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := trace.NewRing(0)
+	r.Record(trace.Event{Kind: trace.KindInit})
+	r.Record(trace.Event{Kind: trace.KindEnter})
+	if r.Len() != 1 || r.Events()[0].Kind != trace.KindEnter {
+		t.Errorf("capacity-1 ring: %+v", r.Events())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := trace.NewRing(10)
+	r.Record(trace.Event{Kind: trace.KindEnter, UDI: 1})
+	r.Record(trace.Event{Kind: trace.KindViolation, UDI: 1})
+	r.Record(trace.Event{Kind: trace.KindEnter, UDI: 2})
+	got := r.Filter(trace.KindEnter)
+	if len(got) != 2 || got[0].UDI != 1 || got[1].UDI != 2 {
+		t.Errorf("Filter = %+v", got)
+	}
+}
+
+func TestDumpAndString(t *testing.T) {
+	r := trace.NewRing(4)
+	r.Record(trace.Event{At: time.Microsecond, Kind: trace.KindViolation, UDI: 3, Detail: "stack-canary"})
+	r.Record(trace.Event{Kind: trace.KindExit, UDI: 3})
+	dump := r.Dump()
+	for _, want := range []string{"violation", "udi=3", "stack-canary", "exit"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := trace.KindInit; k <= trace.KindAdopt; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d empty", k)
+		}
+	}
+	if trace.Kind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := trace.NewRing(4), trace.NewRing(4)
+	m := trace.Multi{a, b}
+	m.Record(trace.Event{Kind: trace.KindInit, UDI: 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("Multi did not fan out")
+	}
+}
+
+// End-to-end: the core runtime emits the expected lifecycle sequence.
+func TestCoreEmitsLifecycle(t *testing.T) {
+	sys := core.NewSystem(core.DefaultConfig())
+	ring := trace.NewRing(64)
+	sys.SetTracer(ring)
+
+	if _, err := sys.InitDomain(1, core.DomainConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Enter(1, func(*core.DomainCtx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Enter(1, func(c *core.DomainCtx) error {
+		c.Violate(errors.New("bug"))
+		return nil
+	})
+	if err := sys.DeinitDomain(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []trace.Kind
+	for _, e := range ring.Events() {
+		kinds = append(kinds, e.Kind)
+		if e.UDI != 1 {
+			t.Errorf("event for UDI %d", e.UDI)
+		}
+	}
+	want := []trace.Kind{trace.KindInit, trace.KindEnter, trace.KindExit, trace.KindEnter, trace.KindViolation, trace.KindRewind, trace.KindDeinit}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// Timestamps are monotone.
+	evs := ring.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Error("timestamps not monotone")
+		}
+	}
+}
+
+func TestCoreTracerOffByDefault(t *testing.T) {
+	sys := core.NewSystem(core.DefaultConfig())
+	if _, err := sys.InitDomain(1, core.DomainConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// No tracer installed: operations simply do not record.
+	if err := sys.Enter(1, func(*core.DomainCtx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

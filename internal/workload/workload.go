@@ -1,0 +1,228 @@
+// Package workload provides deterministic workload generation for the
+// experiment harness: a seedable PRNG, Zipf-distributed key selection
+// (cache workloads are famously skewed), request mixes, and
+// malicious-client schedules for the containment experiment (E4).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// RNG is a small, fast, deterministic PRNG (splitmix64). The zero value
+// is usable but every zero-seeded RNG yields the same stream; use New
+// with distinct seeds for independent streams. Not safe for concurrent
+// use.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bytes fills dst with random bytes.
+func (r *RNG) Bytes(dst []byte) {
+	for i := range dst {
+		if i%8 == 0 {
+			v := r.Uint64()
+			for j := 0; j < 8 && i+j < len(dst); j++ {
+				dst[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}
+
+// Zipf generates Zipf-distributed ranks in [0, n) with exponent s,
+// using the classic inverse-CDF-over-precomputed-harmonics method.
+// Deterministic given the RNG. Create with NewZipf.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with skew s (s=0 uniform,
+// s≈0.99 is the YCSB default).
+func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: zipf needs s >= 0, got %v", s)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}, nil
+}
+
+// Next returns the next rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Op is a key-value operation type.
+type Op uint8
+
+// Operations.
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one generated key-value request.
+type Request struct {
+	Op    Op
+	Key   string
+	Value []byte
+	// TTL is the item lifetime for SETs (0 = no expiry), in virtual time.
+	TTL time.Duration
+	// Flags is the opaque client flags word stored with SETs (memcached
+	// semantics: returned verbatim on GET).
+	Flags uint32
+	// Malicious marks requests crafted to trigger a memory-safety bug.
+	Malicious bool
+}
+
+// KVConfig configures a key-value request generator.
+type KVConfig struct {
+	// Keys is the key-space size (default 10_000).
+	Keys int
+	// ZipfS is the key-popularity skew (default 0.99).
+	ZipfS float64
+	// GetFraction is the fraction of GETs (default 0.9, the memcached
+	// read-heavy mix).
+	GetFraction float64
+	// ValueSize is the SET payload size in bytes (default 128).
+	ValueSize int
+	// Seed seeds the generator.
+	Seed uint64
+}
+
+func (c *KVConfig) fill() {
+	if c.Keys <= 0 {
+		c.Keys = 10_000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.99
+	}
+	if c.GetFraction == 0 {
+		c.GetFraction = 0.9
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 128
+	}
+}
+
+// KVGenerator produces a deterministic stream of key-value requests.
+type KVGenerator struct {
+	cfg  KVConfig
+	rng  *RNG
+	zipf *Zipf
+}
+
+// NewKV builds a request generator.
+func NewKV(cfg KVConfig) (*KVGenerator, error) {
+	cfg.fill()
+	rng := NewRNG(cfg.Seed)
+	z, err := NewZipf(rng, cfg.Keys, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	return &KVGenerator{cfg: cfg, rng: rng, zipf: z}, nil
+}
+
+// Key returns the key string for rank i.
+func Key(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+// Next returns the next request.
+func (g *KVGenerator) Next() Request {
+	rank := g.zipf.Next()
+	req := Request{Key: Key(rank)}
+	if g.rng.Float64() < g.cfg.GetFraction {
+		req.Op = OpGet
+		return req
+	}
+	req.Op = OpSet
+	req.Value = make([]byte, g.cfg.ValueSize)
+	g.rng.Bytes(req.Value)
+	return req
+}
+
+// MaliciousEvery wraps g so that every nth request is replaced by a
+// malicious request (an attack payload on a SET).
+type MaliciousEvery struct {
+	G *KVGenerator
+	// N is the attack period; every Nth request is malicious (N <= 0
+	// disables attacks).
+	N int
+	i int
+}
+
+// Next returns the next request, marking every Nth as malicious.
+func (m *MaliciousEvery) Next() Request {
+	m.i++
+	req := m.G.Next()
+	if m.N > 0 && m.i%m.N == 0 {
+		req.Op = OpSet
+		req.Malicious = true
+		if len(req.Value) == 0 {
+			req.Value = make([]byte, 64)
+		}
+	}
+	return req
+}

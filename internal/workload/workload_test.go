@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBytesFills(t *testing.T) {
+	r := NewRNG(7)
+	buf := make([]byte, 33)
+	r.Bytes(buf)
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("Bytes produced all zeros")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(9)
+	z, err := NewZipf(rng, 1000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be far more popular than rank 500.
+	if counts[0] < 10*counts[500]+1 {
+		t.Errorf("zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Head concentration: top-10 keys should carry >20% of traffic.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.2 {
+		t.Errorf("top-10 share = %.3f, want > 0.2", float64(head)/n)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	rng := NewRNG(11)
+	z, err := NewZipf(rng, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("uniform zipf rank %d count = %d, want ≈1000", i, c)
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	rng := NewRNG(1)
+	if _, err := NewZipf(rng, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(rng, 10, -1); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+// Property: zipf ranks are always in [0, n).
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		z, err := NewZipf(NewRNG(seed), n, 0.99)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			if r := z.Next(); r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVGeneratorMix(t *testing.T) {
+	g, err := NewKV(KVConfig{Seed: 5, GetFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets, sets := 0, 0
+	for i := 0; i < 10_000; i++ {
+		req := g.Next()
+		switch req.Op {
+		case OpGet:
+			gets++
+			if req.Value != nil {
+				t.Fatal("GET with value")
+			}
+		case OpSet:
+			sets++
+			if len(req.Value) != 128 {
+				t.Fatalf("SET value size = %d", len(req.Value))
+			}
+		}
+		if req.Key == "" || req.Malicious {
+			t.Fatal("bad request")
+		}
+	}
+	frac := float64(gets) / float64(gets+sets)
+	if frac < 0.87 || frac > 0.93 {
+		t.Errorf("GET fraction = %.3f, want ≈0.9", frac)
+	}
+}
+
+func TestKVGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewKV(KVConfig{Seed: 77})
+	g2, _ := NewKV(KVConfig{Seed: 77})
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Op != b.Op || a.Key != b.Key {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestMaliciousEvery(t *testing.T) {
+	g, _ := NewKV(KVConfig{Seed: 3})
+	m := &MaliciousEvery{G: g, N: 10}
+	mal := 0
+	for i := 1; i <= 100; i++ {
+		req := m.Next()
+		if req.Malicious {
+			mal++
+			if req.Op != OpSet || len(req.Value) == 0 {
+				t.Error("malicious request malformed")
+			}
+			if i%10 != 0 {
+				t.Errorf("malicious at position %d", i)
+			}
+		}
+	}
+	if mal != 10 {
+		t.Errorf("malicious count = %d, want 10", mal)
+	}
+	// N<=0 disables attacks.
+	benign := &MaliciousEvery{G: g, N: 0}
+	for i := 0; i < 50; i++ {
+		if benign.Next().Malicious {
+			t.Fatal("attack with N=0")
+		}
+	}
+}
+
+func TestKeyFormatting(t *testing.T) {
+	if Key(7) != "key-00000007" {
+		t.Errorf("Key(7) = %q", Key(7))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "GET" || OpSet.String() != "SET" || OpDelete.String() != "DELETE" {
+		t.Error("unexpected op strings")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op should render")
+	}
+}

@@ -1,0 +1,290 @@
+// Package sdrad is the public API of SDRaD-Go, a reproduction of
+// "Secure Rewind and Discard of Isolated Domains" and its
+// sustainability evaluation ("Exploring the Environmental Benefits of
+// In-Process Isolation for Software Resilience", DSN 2023).
+//
+// SDRaD lets an application execute untrusted or memory-unsafe work
+// inside isolated domains backed by (simulated) Intel Memory Protection
+// Keys. A memory-safety violation inside a domain — a cross-domain
+// access, smashed stack canary, corrupted heap chunk, wild pointer — does
+// not terminate the application: the domain is rewound to its entry
+// point and its memory is discarded, in microseconds, and the caller
+// takes an alternate action. The application keeps serving.
+//
+// # Quick start
+//
+//	sup := sdrad.New()
+//	dom, err := sup.NewDomain()
+//	if err != nil { ... }
+//	defer dom.Close()
+//
+//	err = dom.Run(func(c *sdrad.Ctx) error {
+//		p := c.MustAlloc(64)
+//		c.MustStore(p, payload) // contained: faults rewind the domain
+//		return nil
+//	})
+//	if v, ok := sdrad.IsViolation(err); ok {
+//		// the domain was rewound & discarded; take an alternate action
+//	}
+//
+// The library runs against a deterministic simulated machine (paged
+// memory, software PKRU register, virtual cycle clock), because real PKU
+// hardware is not reachable from portable Go; see DESIGN.md for the
+// substitution argument. All isolation semantics — 16 protection keys,
+// AD/WD bits, per-page key tags, fault classification — follow the
+// hardware architecture exactly.
+package sdrad
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// Addr is an address in the simulated address space.
+type Addr = mem.Addr
+
+// Ctx is the view of the system that code running inside a domain
+// receives: domain-heap allocation, checked loads and stores, canaried
+// stack frames, and nested domain entry.
+type Ctx = core.DomainCtx
+
+// ViolationError reports that a domain suffered a memory-safety
+// violation and was rewound and discarded.
+type ViolationError = core.ViolationError
+
+// IsViolation reports whether err is (or wraps) a *ViolationError.
+func IsViolation(err error) (*ViolationError, bool) { return core.IsViolation(err) }
+
+// CostModel re-exports the virtual cost model for configuration.
+type CostModel = vclock.CostModel
+
+// DefaultCostModel returns the calibrated default cost model.
+func DefaultCostModel() CostModel { return vclock.DefaultCostModel() }
+
+// Option configures a Supervisor.
+type Option func(*core.Config)
+
+// WithCostModel overrides the virtual machine's cost model.
+func WithCostModel(m CostModel) Option {
+	return func(c *core.Config) { c.Cost = m }
+}
+
+// WithIntegrityCheckOnExit controls the heap canary sweep on clean domain
+// exit (default on).
+func WithIntegrityCheckOnExit(on bool) Option {
+	return func(c *core.Config) { c.IntegrityCheckOnExit = on }
+}
+
+// WithZeroOnDiscard controls scrubbing of domain pages during rewind
+// (default on; disabling is faster but leaves stale bytes in discarded
+// pages).
+func WithZeroOnDiscard(on bool) Option {
+	return func(c *core.Config) { c.ZeroOnDiscard = on }
+}
+
+// Supervisor owns one simulated machine and its domains. It corresponds
+// to the per-process SDRaD runtime state in the C library. Create with
+// New. A Supervisor and its domains must be used from one goroutine (the
+// simulated machine is single-core).
+type Supervisor struct {
+	sys *core.System
+}
+
+// New creates a Supervisor with the given options.
+func New(opts ...Option) *Supervisor {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Supervisor{sys: core.NewSystem(cfg)}
+}
+
+// DomainOption configures a domain.
+type DomainOption func(*core.DomainConfig)
+
+// WithHeapPages sets the domain's initial heap size in 4 KiB pages.
+func WithHeapPages(n int) DomainOption {
+	return func(c *core.DomainConfig) { c.HeapPages = n }
+}
+
+// WithMaxHeapPages bounds domain heap growth.
+func WithMaxHeapPages(n int) DomainOption {
+	return func(c *core.DomainConfig) { c.MaxHeapPages = n }
+}
+
+// WithStackPages sets the domain stack size in pages (a guard page is
+// added automatically).
+func WithStackPages(n int) DomainOption {
+	return func(c *core.DomainConfig) { c.StackPages = n }
+}
+
+// NewDomain initializes a fresh isolated domain. Up to 14 domains can be
+// live at once: the architecture provides 16 protection keys, one of
+// which is the default key and one of which the supervisor reserves for
+// root-protected pages (adopted heaps).
+func (s *Supervisor) NewDomain(opts ...DomainOption) (*Domain, error) {
+	var cfg core.DomainConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, err := s.sys.CreateDomain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Domain{sup: s, udi: d.UDI()}, nil
+}
+
+// VirtualTime returns the elapsed virtual time on the simulated machine.
+func (s *Supervisor) VirtualTime() time.Duration { return s.sys.Clock().Now() }
+
+// DetectionCounts returns, per detection mechanism name, how many
+// memory-safety events the supervisor has contained.
+func (s *Supervisor) DetectionCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for m := detect.MechDomainViolation; m <= detect.MechSegfault; m++ {
+		if n := s.sys.Counters().Count(m); n > 0 {
+			out[m.String()] = n
+		}
+	}
+	return out
+}
+
+// System exposes the underlying core system. It is intended for the
+// in-repo experiment harness and advanced integrations; the methods of
+// Supervisor and Domain cover normal use.
+func (s *Supervisor) System() *core.System { return s.sys }
+
+// DomainStats reports one domain's lifecycle counters.
+type DomainStats struct {
+	// Entries counts Run invocations.
+	Entries uint64
+	// CleanExits counts Runs that returned without a violation.
+	CleanExits uint64
+	// Violations counts contained memory-safety events.
+	Violations uint64
+	// Rewinds counts rewind-and-discard recoveries (== Violations).
+	Rewinds uint64
+	// RewindTime is the total virtual time spent recovering.
+	RewindTime time.Duration
+}
+
+// Domain is an isolated, rewindable domain.
+type Domain struct {
+	sup *Supervisor
+	udi core.UDI
+}
+
+// UDI returns the domain's index (its handle in the C API).
+func (d *Domain) UDI() int { return int(d.udi) }
+
+// Run executes fn inside the domain.
+//
+// If fn triggers a memory-safety violation (or panics), the domain is
+// rewound and discarded and Run returns a *ViolationError. Errors
+// returned by fn pass through unchanged, and the domain's memory persists
+// across Runs until a violation or Close.
+func (d *Domain) Run(fn func(*Ctx) error) error {
+	return d.sup.sys.Enter(d.udi, fn)
+}
+
+// RunWithFallback executes fn inside the domain; on a violation, the
+// domain is rewound and fallback runs with the violation (the paper's
+// "alternate action").
+func (d *Domain) RunWithFallback(fn func(*Ctx) error, fallback func(*ViolationError) error) error {
+	err := d.Run(fn)
+	if v, ok := IsViolation(err); ok && fallback != nil {
+		return fallback(v)
+	}
+	return err
+}
+
+// Write copies data into the domain's memory at addr with supervisor
+// rights — how the trusted side passes inputs in.
+func (d *Domain) Write(addr Addr, data []byte) error {
+	return d.sup.sys.CopyToDomain(addr, data)
+}
+
+// Read copies n bytes at addr out of the domain with supervisor rights —
+// how the trusted side extracts results after a clean Run.
+func (d *Domain) Read(addr Addr, n int) ([]byte, error) {
+	return d.sup.sys.CopyFromDomain(addr, n)
+}
+
+// Alloc allocates n bytes in the domain's heap from the trusted side
+// (sdrad_malloc with a UDI argument in the C API).
+func (d *Domain) Alloc(n int) (Addr, error) {
+	dom, err := d.sup.sys.Domain(d.udi)
+	if err != nil {
+		return 0, err
+	}
+	return dom.Heap().Alloc(n)
+}
+
+// Free releases a domain-heap allocation from the trusted side.
+func (d *Domain) Free(addr Addr) error {
+	dom, err := d.sup.sys.Domain(d.udi)
+	if err != nil {
+		return err
+	}
+	return dom.Heap().Free(addr)
+}
+
+// Stats returns the domain's lifecycle counters.
+func (d *Domain) Stats() (DomainStats, error) {
+	dom, err := d.sup.sys.Domain(d.udi)
+	if err != nil {
+		return DomainStats{}, err
+	}
+	st := dom.Stats()
+	hz := d.sup.sys.Clock().Model().CPUHz
+	return DomainStats{
+		Entries:    st.Entries,
+		CleanExits: st.CleanExits,
+		Violations: st.Violations,
+		Rewinds:    st.Rewinds,
+		RewindTime: vclock.CyclesToDuration(st.RewindCycles(), hz),
+	}, nil
+}
+
+// Close tears the domain down, releasing its pages and protection key.
+func (d *Domain) Close() error {
+	if err := d.sup.sys.DeinitDomain(d.udi); err != nil {
+		return fmt.Errorf("sdrad: close domain %d: %w", d.udi, err)
+	}
+	return nil
+}
+
+// MemoryStats reports the supervisor's simulated-memory footprint and
+// traffic, for operational introspection.
+type MemoryStats struct {
+	// MappedPages is the number of 4 KiB pages currently mapped across
+	// all domains (heaps, stacks, guard pages).
+	MappedPages int
+	// Loads and Stores count access operations since creation.
+	Loads, Stores uint64
+	// BytesRead and BytesWritten count payload bytes moved.
+	BytesRead, BytesWritten uint64
+	// Faults counts denied accesses (all kinds).
+	Faults uint64
+	// Domains is the number of live domains.
+	Domains int
+}
+
+// MemoryStats returns a snapshot of the machine's memory accounting.
+func (s *Supervisor) MemoryStats() MemoryStats {
+	ms := s.sys.Mem().Stats()
+	return MemoryStats{
+		MappedPages:  s.sys.Mem().MappedPages(),
+		Loads:        ms.Loads,
+		Stores:       ms.Stores,
+		BytesRead:    ms.BytesRead,
+		BytesWritten: ms.BytesWritten,
+		Faults:       ms.Faults,
+		Domains:      s.sys.Domains(),
+	}
+}

@@ -1,0 +1,71 @@
+package sdrad
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// This file exposes the data-passing and policy extensions of SDRaD:
+// read-only sharing between domains, zero-copy heap adoption, and
+// violation quarantine.
+
+// Heap is a domain heap handle, returned by DetachHeap after the heap's
+// pages have been adopted by the trusted runtime.
+type Heap = alloc.Heap
+
+// ErrQuarantined is returned by Run for domains that exceeded their
+// violation budget.
+var ErrQuarantined = core.ErrQuarantined
+
+// ShareReadOnlyWith grants viewer read-only access to this domain's
+// pages. Writes by the viewer still fault as domain violations. The
+// grant is a PKRU register configuration — no pages are copied or
+// re-tagged — and it survives the viewer's rewinds until revoked.
+func (d *Domain) ShareReadOnlyWith(viewer *Domain) error {
+	return d.sup.sys.GrantRead(viewer.udi, d.udi)
+}
+
+// RevokeReadFrom removes a grant installed by ShareReadOnlyWith.
+func (d *Domain) RevokeReadFrom(viewer *Domain) error {
+	return d.sup.sys.RevokeRead(viewer.udi, d.udi)
+}
+
+// SetViolationBudget quarantines the domain after max contained
+// violations; Run then fails with ErrQuarantined until the budget is
+// raised or cleared (max <= 0 disables the limit).
+func (d *Domain) SetViolationBudget(max int) error {
+	return d.sup.sys.SetViolationBudget(d.udi, max)
+}
+
+// Quarantined reports whether the domain exhausted its violation budget.
+func (d *Domain) Quarantined() (bool, error) {
+	return d.sup.sys.Quarantined(d.udi)
+}
+
+// DetachHeap tears the domain down but adopts its heap: the heap's pages
+// are re-tagged to the default protection key (per-page metadata updates,
+// no data copies), so every result the domain computed stays readable at
+// its original address. The domain itself is closed — its stack is
+// released and its protection key freed for reuse.
+func (d *Domain) DetachHeap() (*Heap, error) {
+	return d.sup.sys.AdoptHeap(d.udi)
+}
+
+// TraceEvent is one lifecycle record produced when tracing is enabled.
+type TraceEvent = trace.Event
+
+// TraceRing is a fixed-capacity ring buffer of lifecycle events.
+type TraceRing = trace.Ring
+
+// StartTrace enables lifecycle tracing into a fresh ring buffer holding
+// up to capacity events (init, enter, exit, violation, rewind, deinit,
+// grant, revoke, adopt) and returns it.
+func (s *Supervisor) StartTrace(capacity int) *TraceRing {
+	ring := trace.NewRing(capacity)
+	s.sys.SetTracer(ring)
+	return ring
+}
+
+// StopTrace disables lifecycle tracing.
+func (s *Supervisor) StopTrace() { s.sys.SetTracer(nil) }
