@@ -1,0 +1,29 @@
+# SDRaD-Go development targets. `make check` is the full gate: the
+# tier-1 verify (build + test) plus formatting, vet, and the race
+# detector over the concurrent Supervisor-pool paths.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Throughput-scaling benchmarks for the supervisor pools (E1 parallel).
+bench:
+	$(GO) test -run '^$$' -bench 'E1KVSDRaDParallel|E1HTTPSDRaDParallel' -benchtime 1s .

@@ -7,6 +7,7 @@ package sdrad_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -69,6 +70,108 @@ func benchHTTP(b *testing.B, mode httpd.Mode) {
 
 func BenchmarkE1HTTPNative(b *testing.B) { benchHTTP(b, httpd.ModeNative) }
 func BenchmarkE1HTTPSDRaD(b *testing.B)  { benchHTTP(b, httpd.ModeSDRaD) }
+
+// ---- E1 parallel: supervisor-pool throughput scaling ----
+//
+// The pooled servers shard requests across N workers, each a private
+// simulated machine, so N goroutines execute domains concurrently. Two
+// throughputs matter: wall-clock ops/sec (scales with physical cores
+// driving the simulator) and vops/s — requests per second of simulated
+// machine time, computed against the pool's parallel makespan (the
+// slowest shard's virtual clock). vops/s shows the architectural scaling
+// even on a single-core host: N workers are N simulated cores.
+
+func benchKVPool(b *testing.B, workers int) {
+	b.Helper()
+	pool, err := kvstore.NewPool(core.DefaultConfig(),
+		kvstore.ServerConfig{Mode: kvstore.ModeSDRaD, InterArrival: time.Nanosecond},
+		workers, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var clientSeq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(clientSeq.Add(1))
+		gen, err := workload.NewKV(workload.KVConfig{Seed: uint64(id), Keys: 5000})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if resp := pool.Handle(id, gen.Next()); resp.Err != nil {
+				b.Error(resp.Err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if vt := pool.VirtualTime(); vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+}
+
+func BenchmarkE1KVSDRaDParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchKVPool(b, w) })
+	}
+}
+
+func benchHTTPPool(b *testing.B, workers int) {
+	b.Helper()
+	pool, err := httpd.NewPool(core.DefaultConfig(),
+		httpd.Config{Mode: httpd.ModeSDRaD, InterArrival: time.Nanosecond}, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.HandleFunc("/", []byte("<html>index</html>"))
+	raw := httpd.BuildRequest("GET", "/", nil)
+	var clientSeq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(clientSeq.Add(1))
+		for pb.Next() {
+			if resp := pool.Serve(id, raw); resp.Err != nil {
+				b.Error(resp.Err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if vt := pool.VirtualTime(); vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+}
+
+func BenchmarkE1HTTPSDRaDParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchHTTPPool(b, w) })
+	}
+}
+
+// BenchmarkPoolRoundTrip measures the public sdrad.Pool dispatch path:
+// least-loaded pick, warm-domain entry, and discard-on-return.
+func BenchmarkPoolRoundTrip(b *testing.B) {
+	pool, err := sdrad.NewPool(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			err := pool.Run(func(c *sdrad.Ctx) error {
+				p := c.MustAlloc(128)
+				c.MustStore(p, make([]byte, 128))
+				return nil
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 func BenchmarkE1TLSNative(b *testing.B) {
 	if _, err := exp.TLSOverhead(false, b.N, 1); err != nil {

@@ -6,9 +6,13 @@
 // a 400 and the server keeps running; in native mode the worker crashes
 // and the service returns 503 for the modeled restart window.
 //
+// Requests are dispatched least-loaded across -workers parallel
+// supervisors, each its own simulated machine with private parsing
+// domains.
+//
 // Usage:
 //
-//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native]
+//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N]
 //
 // Try it:
 //
@@ -24,6 +28,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -33,15 +38,16 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (least-loaded dispatch)")
 	flag.Parse()
 
-	if err := run(*addr, *mode); err != nil {
+	if err := run(*addr, *mode, *workers); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-httpd: %v", err)
 	}
 }
 
-func run(addr, modeName string) error {
+func run(addr, modeName string, workers int) error {
 	var mode httpd.Mode
 	switch modeName {
 	case "sdrad":
@@ -52,19 +58,18 @@ func run(addr, modeName string) error {
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	sys := core.NewSystem(core.DefaultConfig())
-	srv, err := httpd.NewServer(sys, httpd.Config{Mode: mode})
+	pool, err := httpd.NewPool(core.DefaultConfig(), httpd.Config{Mode: mode}, workers)
 	if err != nil {
 		return err
 	}
-	srv.HandleFunc("/", []byte("<html><body><h1>sdrad-httpd</h1><p>resilient static server</p></body></html>\n"))
-	srv.HandleFunc("/health", []byte("ok\n"))
+	pool.HandleFunc("/", []byte("<html><body><h1>sdrad-httpd</h1><p>resilient static server</p></body></html>\n"))
+	pool.HandleFunc("/health", []byte("ok\n"))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("sdrad-httpd listening on %s (mode=%s)", ln.Addr(), mode)
+	log.Printf("sdrad-httpd listening on %s (mode=%s, workers=%d)", ln.Addr(), mode, pool.Workers())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -76,5 +81,5 @@ func run(addr, modeName string) error {
 		}
 	}()
 
-	return httpd.NewNetServer(srv, log.Default()).Serve(ln)
+	return httpd.NewNetServerPool(pool, log.Default()).Serve(ln)
 }

@@ -10,9 +10,13 @@
 // -mode=native the same payload crashes the worker and the service drops
 // requests for the modeled restart window.
 //
+// Request handling is sharded across -workers parallel supervisors, each
+// its own simulated machine; keys map to shards by hash, so related
+// requests serialize on one shard while the rest run concurrently.
+//
 // Usage:
 //
-//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864]
+//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N]
 //
 // Try it:
 //
@@ -27,6 +31,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -37,15 +42,16 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11211", "listen address")
 	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
 	capacity := flag.Uint64("capacity", 64<<20, "cache capacity in bytes")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (key-hashed)")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *capacity); err != nil {
+	if err := run(*addr, *mode, *capacity, *workers); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
 
-func run(addr, modeName string, capacity uint64) error {
+func run(addr, modeName string, capacity uint64, workers int) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -56,12 +62,7 @@ func run(addr, modeName string, capacity uint64) error {
 		return fmt.Errorf("unknown mode %q (want sdrad or native)", modeName)
 	}
 
-	sys := core.NewSystem(core.DefaultConfig())
-	cache, err := kvstore.NewCache(sys, 1, capacity)
-	if err != nil {
-		return err
-	}
-	srv, err := kvstore.NewServer(sys, cache, kvstore.ServerConfig{Mode: mode})
+	pool, err := kvstore.NewPool(core.DefaultConfig(), kvstore.ServerConfig{Mode: mode}, workers, capacity)
 	if err != nil {
 		return err
 	}
@@ -70,7 +71,12 @@ func run(addr, modeName string, capacity uint64) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("sdrad-kvd listening on %s (mode=%s, capacity=%d)", ln.Addr(), mode, capacity)
+	log.Printf("sdrad-kvd listening on %s (mode=%s, capacity=%d, workers=%d)",
+		ln.Addr(), mode, pool.Capacity(), pool.Workers())
+	if eff := pool.Capacity(); eff != capacity {
+		log.Printf("note: effective capacity %d differs from requested %d (capacity divides across %d shards, each floored at the %d-byte max item size)",
+			eff, capacity, pool.Workers(), kvstore.MaxValueSize)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -82,5 +88,5 @@ func run(addr, modeName string, capacity uint64) error {
 		}
 	}()
 
-	return kvstore.NewNetServer(srv, log.Default()).Serve(ln)
+	return kvstore.NewNetServerPool(pool, log.Default()).Serve(ln)
 }

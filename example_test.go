@@ -3,6 +3,8 @@ package sdrad_test
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	sdrad "repro"
 )
@@ -123,4 +125,38 @@ func ExampleDomain_SetViolationBudget() {
 	fmt.Println("quarantined:", errors.Is(err, sdrad.ErrQuarantined))
 	// Output:
 	// quarantined: true
+}
+
+// Pool executes domains in parallel: N workers, each a private simulated
+// machine with a warm domain, safe to share across goroutines.
+func ExampleNewPool() {
+	pool, _ := sdrad.NewPool(4)
+	defer func() { _ = pool.Close() }()
+
+	var wg sync.WaitGroup
+	var contained atomic.Uint64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			err := pool.Run(func(c *sdrad.Ctx) error {
+				p := c.MustAlloc(32)
+				c.MustStore(p, []byte("parallel work"))
+				if g == 0 {
+					c.MustStore64(0xbad000, 1) // one goroutine misbehaves
+				}
+				return nil
+			})
+			if _, ok := sdrad.IsViolation(err); ok {
+				contained.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	fmt.Println("workers:", pool.Workers())
+	fmt.Println("contained:", contained.Load())
+	// Output:
+	// workers: 4
+	// contained: 1
 }

@@ -717,3 +717,56 @@ func TestDeepNesting(t *testing.T) {
 		}
 	}
 }
+
+func TestDiscardDomainResetsHeapInPlace(t *testing.T) {
+	s := newSys(t)
+	mustDomain(t, s, 1)
+
+	var first mem.Addr
+	if err := s.Enter(1, func(c *DomainCtx) error {
+		first = c.MustAlloc(64)
+		c.MustStore(first, []byte("sensitive request state"))
+		return nil
+	}); err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	pages := s.Mem().MappedPages()
+	if err := s.DiscardDomain(1); err != nil {
+		t.Fatalf("DiscardDomain: %v", err)
+	}
+	if got := s.Mem().MappedPages(); got != pages {
+		t.Errorf("discard changed mapped pages: %d -> %d (mappings must survive)", pages, got)
+	}
+	// The next entry allocates from a pristine heap: the same address comes
+	// back and carries no stale bytes.
+	if err := s.Enter(1, func(c *DomainCtx) error {
+		p := c.MustAlloc(64)
+		if p != first {
+			t.Errorf("post-discard alloc = %#x, want recycled %#x", p, first)
+		}
+		buf := make([]byte, 64)
+		c.MustLoad(p, buf)
+		for i, b := range buf {
+			if b != 0 {
+				t.Fatalf("stale byte %#x at offset %d after discard", b, i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Enter after discard: %v", err)
+	}
+}
+
+func TestDiscardDomainErrors(t *testing.T) {
+	s := newSys(t)
+	if err := s.DiscardDomain(7); !errors.Is(err, ErrNoDomain) {
+		t.Errorf("discard unknown = %v, want ErrNoDomain", err)
+	}
+	mustDomain(t, s, 1)
+	err := s.Enter(1, func(*DomainCtx) error {
+		return s.DiscardDomain(1)
+	})
+	if !errors.Is(err, ErrDomainActive) {
+		t.Errorf("discard active = %v, want ErrDomainActive", err)
+	}
+}

@@ -1,0 +1,26 @@
+// Package dispatch holds the shard-selection policy shared by the
+// supervisor pools (sdrad.Pool, httpd.Pool): least-loaded with a
+// rotating round-robin tiebreak.
+package dispatch
+
+// LeastLoaded returns the index in [0, n) with the smallest load,
+// scanning from start so that ties rotate instead of piling onto index
+// 0. load is read without synchronization (instantaneous snapshots are
+// fine for dispatch). n must be > 0.
+func LeastLoaded(n int, start int, load func(int) int64) int {
+	start %= n
+	if start < 0 {
+		start += n
+	}
+	best, bestLoad := start, int64(1)<<62
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if l := load(idx); l < bestLoad {
+			best, bestLoad = idx, l
+			if l == 0 {
+				break
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,33 @@
+package dispatch
+
+import "testing"
+
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	loads := []int64{3, 1, 4, 1, 5}
+	if got := LeastLoaded(len(loads), 0, func(i int) int64 { return loads[i] }); got != 1 {
+		t.Errorf("LeastLoaded = %d, want 1 (first minimum from start 0)", got)
+	}
+	// Starting past the first minimum finds the other tied shard.
+	if got := LeastLoaded(len(loads), 2, func(i int) int64 { return loads[i] }); got != 3 {
+		t.Errorf("LeastLoaded from 2 = %d, want 3", got)
+	}
+}
+
+func TestLeastLoadedRotatesIdleWorkers(t *testing.T) {
+	seen := make(map[int]bool)
+	for start := 0; start < 4; start++ {
+		seen[LeastLoaded(4, start, func(int) int64 { return 0 })] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("idle rotation covered %d of 4 workers", len(seen))
+	}
+}
+
+func TestLeastLoadedNegativeAndOversizedStart(t *testing.T) {
+	for _, start := range []int{-1, -17, 5, 1 << 30} {
+		got := LeastLoaded(4, start, func(int) int64 { return 7 })
+		if got < 0 || got >= 4 {
+			t.Errorf("LeastLoaded(start=%d) = %d, out of range", start, got)
+		}
+	}
+}

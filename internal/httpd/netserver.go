@@ -10,23 +10,38 @@ import (
 	"sync"
 )
 
-// NetServer serves HTTP/1.1 over TCP on top of a Server. Handling is
-// serialized behind a mutex (the simulated machine is single-core) while
-// connections multiplex on real sockets. One request per connection
+// NetServer serves HTTP/1.1 over TCP on top of a Server or a Pool, with
+// connections multiplexing on real sockets. One request per connection
 // (Connection: close semantics) keeps the demo loop simple.
 type NetServer struct {
-	srv *Server
-	log *log.Logger
+	handle func(clientID int, raw []byte) Response
+	log    *log.Logger
 
-	mu     sync.Mutex
 	connMu sync.Mutex
 	nextID int
 	wg     sync.WaitGroup
 }
 
-// NewNetServer wraps srv for TCP serving; logger may be nil.
+// NewNetServer wraps srv for TCP serving; logger may be nil. The single
+// Server owns one simulated core, so request handling is serialized
+// behind a mutex.
 func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
-	return &NetServer{srv: srv, log: logger}
+	var mu sync.Mutex
+	return &NetServer{
+		log: logger,
+		handle: func(clientID int, raw []byte) Response {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Serve(clientID, raw)
+		},
+	}
+}
+
+// NewNetServerPool wraps a Pool for TCP serving; logger may be nil. The
+// pool synchronizes internally per worker, so requests on different
+// workers execute in parallel.
+func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
+	return &NetServer{log: logger, handle: p.Serve}
 }
 
 func (n *NetServer) logf(format string, args ...any) {
@@ -70,9 +85,7 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 		n.logf("conn %d read: %v", id, err)
 		return
 	}
-	n.mu.Lock()
-	resp := n.srv.Serve(id, raw)
-	n.mu.Unlock()
+	resp := n.handle(id, raw)
 	if resp.Contained {
 		n.logf("conn %d: contained parser exploit (domain rewound)", id)
 	}

@@ -1,0 +1,119 @@
+package httpd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+)
+
+// Pool runs N Servers in parallel, one per worker, each on a private
+// simulated machine. The single-Server path serializes every request
+// behind one simulated core; the pool gives each worker its own core
+// (system, PKU keyset, virtual clock) so requests on different workers
+// execute concurrently. Requests are stateless (the routing table is
+// replicated), so dispatch is least-loaded with a round-robin tiebreak.
+//
+// Pool is safe for concurrent use; per-worker locking upholds each
+// simulated machine's single-goroutine contract.
+type Pool struct {
+	shards []*poolShard
+	rr     atomic.Uint64
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	srv *Server
+	// inflight drives least-loaded dispatch; read without the lock.
+	inflight atomic.Int64
+}
+
+// NewPool builds n parallel Servers (n <= 0 means 1), each on a fresh
+// core.System configured by syscfg, all sharing cfg.
+func NewPool(syscfg core.Config, cfg Config, n int) (*Pool, error) {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{shards: make([]*poolShard, n)}
+	for i := range p.shards {
+		srv, err := NewServer(core.NewSystem(syscfg), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("httpd: pool worker %d: %w", i, err)
+		}
+		p.shards[i] = &poolShard{srv: srv}
+	}
+	return p, nil
+}
+
+// Workers returns the number of parallel workers.
+func (p *Pool) Workers() int { return len(p.shards) }
+
+// Mode returns the pool's resilience mode.
+func (p *Pool) Mode() Mode { return p.shards[0].srv.Mode() }
+
+// HandleFunc registers static content for GET path on every worker (the
+// routing table is trusted, replicated state).
+func (p *Pool) HandleFunc(path string, content []byte) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.srv.HandleFunc(path, content)
+		sh.mu.Unlock()
+	}
+}
+
+// Serve handles one raw HTTP request on the least-loaded worker.
+func (p *Pool) Serve(clientID int, raw []byte) Response {
+	best := dispatch.LeastLoaded(len(p.shards), int(p.rr.Add(1)-1), func(i int) int64 {
+		return p.shards[i].inflight.Load()
+	})
+	sh := p.shards[best]
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.Serve(clientID, raw)
+}
+
+// Stats aggregates server accounting across workers.
+func (p *Pool) Stats() Stats {
+	var agg Stats
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		st := sh.srv.Stats()
+		sh.mu.Unlock()
+		agg.Requests += st.Requests
+		agg.Violations += st.Violations
+		agg.Crashes += st.Crashes
+		agg.Dropped += st.Dropped
+	}
+	return agg
+}
+
+// VirtualTime returns the pool's parallel makespan: the maximum virtual
+// time across workers, which run concurrently.
+func (p *Pool) VirtualTime() time.Duration {
+	var max time.Duration
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		vt := sh.srv.sys.Clock().Now()
+		sh.mu.Unlock()
+		if vt > max {
+			max = vt
+		}
+	}
+	return max
+}
+
+// TotalVirtualTime returns the summed virtual CPU time across workers.
+func (p *Pool) TotalVirtualTime() time.Duration {
+	var sum time.Duration
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sum += sh.srv.sys.Clock().Now()
+		sh.mu.Unlock()
+	}
+	return sum
+}

@@ -9,6 +9,8 @@ import (
 	"log"
 	"net"
 	"sync"
+
+	"repro/internal/workload"
 )
 
 // AttackMarker makes a SET over the wire malicious: values with this
@@ -16,13 +18,12 @@ import (
 const AttackMarker = "!!exploit"
 
 // NetServer serves the memcached text protocol over TCP on top of a
-// Server. The simulated machine is single-core, so request handling is
-// serialized behind a mutex while connections multiplex on real sockets.
+// Server or a Pool, with connections multiplexing on real sockets.
 type NetServer struct {
-	srv *Server
-	log *log.Logger
+	handle func(clientID int, req workload.Request) Response
+	stats  func(w io.Writer) error
+	log    *log.Logger
 
-	mu     sync.Mutex // guards srv
 	connMu sync.Mutex
 	nextID int
 
@@ -30,9 +31,34 @@ type NetServer struct {
 }
 
 // NewNetServer wraps srv for TCP serving. logger may be nil to disable
-// logging.
+// logging. The single Server owns one simulated core, so request
+// handling is serialized behind a mutex.
 func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
-	return &NetServer{srv: srv, log: logger}
+	var mu sync.Mutex
+	return &NetServer{
+		log: logger,
+		handle: func(clientID int, req workload.Request) Response {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Handle(clientID, req)
+		},
+		stats: func(w io.Writer) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return WriteStats(w, srv)
+		},
+	}
+}
+
+// NewNetServerPool wraps a Pool for TCP serving; logger may be nil. The
+// pool synchronizes internally per shard, so requests for keys on
+// different shards execute in parallel.
+func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
+	return &NetServer{
+		log:    logger,
+		handle: p.Handle,
+		stats:  func(w io.Writer) error { return WriteStats(w, p) },
+	}
 }
 
 func (n *NetServer) logf(format string, args ...any) {
@@ -88,17 +114,13 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			_ = w.Flush()
 			return
 		case cmd.Stats:
-			n.mu.Lock()
-			err = WriteStats(w, n.srv)
-			n.mu.Unlock()
+			err = n.stats(w)
 		default:
 			req := cmd.Req
 			if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
 				req.Malicious = true
 			}
-			n.mu.Lock()
-			resp := n.srv.Handle(id, req)
-			n.mu.Unlock()
+			resp := n.handle(id, req)
 			if resp.Contained {
 				n.logf("conn %d: contained memory-safety violation (domain rewound)", id)
 			}

@@ -1,0 +1,231 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Pool shards the key-value store across N workers, each a full Server —
+// private simulated machine, storage domain, cache shard, and worker
+// domains. The single-Server path serializes every request behind one
+// simulated core; the pool gives each shard its own core, so requests for
+// keys on different shards execute concurrently (the memcached scale-out
+// pattern). Keys map to shards by hash, which keeps every key's reads and
+// writes on one cache shard — the consistency invariant.
+//
+// Pool is safe for concurrent use; per-shard locking upholds each
+// simulated machine's single-goroutine contract.
+type Pool struct {
+	shards []*kvShard
+}
+
+type kvShard struct {
+	mu    sync.Mutex
+	srv   *Server
+	cache *Cache
+}
+
+// StorageUDIForPool is the UDI each shard's storage domain uses.
+const StorageUDIForPool core.UDI = 1
+
+// NewPool builds n shards (n <= 0 means 1). Each shard gets a fresh
+// core.System from syscfg, a cache with capacity/n bytes, and a Server
+// configured by cfg. The pool's total capacity matches a single server
+// of the same capacity, except that each shard is floored at
+// MaxValueSize (a shard that cannot hold one maximum item would reject
+// valid requests), so total capacity is at least n*MaxValueSize.
+func NewPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) (*Pool, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if capacity == 0 {
+		capacity = 64 << 20
+	}
+	perShard := capacity / uint64(n)
+	if perShard < MaxValueSize {
+		perShard = MaxValueSize
+	}
+	p := &Pool{shards: make([]*kvShard, n)}
+	for i := range p.shards {
+		sys := core.NewSystem(syscfg)
+		cache, err := NewCache(sys, StorageUDIForPool, perShard)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
+		}
+		srv, err := NewServer(sys, cache, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
+		}
+		p.shards[i] = &kvShard{srv: srv, cache: cache}
+	}
+	return p, nil
+}
+
+// Workers returns the number of shards.
+func (p *Pool) Workers() int { return len(p.shards) }
+
+// Capacity returns the pool's effective total cache capacity — the sum
+// of the shard capacities, which exceeds the requested capacity when the
+// per-shard MaxValueSize floor kicked in.
+func (p *Pool) Capacity() uint64 {
+	var n uint64
+	for _, sh := range p.shards {
+		n += sh.cache.Capacity()
+	}
+	return n
+}
+
+// Mode returns the pool's resilience mode.
+func (p *Pool) Mode() Mode { return p.shards[0].srv.Mode() }
+
+// FNV-1a constants (hash/fnv), inlined so the per-request dispatch path
+// allocates nothing.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardIndex maps a key to its shard index; every operation on a key
+// lands on the same cache shard. The modulo runs in uint32 so the index
+// stays non-negative on 32-bit platforms.
+func (p *Pool) shardIndex(key string) int {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(len(p.shards)))
+}
+
+func (p *Pool) shardFor(key string) *kvShard {
+	return p.shards[p.shardIndex(key)]
+}
+
+// Handle serves one request on the shard owning req.Key.
+func (p *Pool) Handle(clientID int, req workload.Request) Response {
+	sh := p.shardFor(req.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.Handle(clientID, req)
+}
+
+// Stats aggregates server accounting across shards.
+func (p *Pool) Stats() ServerStats {
+	var agg ServerStats
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		st := sh.srv.Stats()
+		sh.mu.Unlock()
+		agg.Requests += st.Requests
+		agg.Violations += st.Violations
+		agg.Crashes += st.Crashes
+		agg.Dropped += st.Dropped
+	}
+	return agg
+}
+
+// CacheStats aggregates cache counters across shards.
+func (p *Pool) CacheStats() CacheStats {
+	var agg CacheStats
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		cs := sh.cache.Stats()
+		sh.mu.Unlock()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Evictions += cs.Evictions
+		agg.Expired += cs.Expired
+	}
+	return agg
+}
+
+// CacheBytes returns the summed stored bytes across shards.
+func (p *Pool) CacheBytes() uint64 {
+	var n uint64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.cache.Bytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheItems returns the summed item count across shards.
+func (p *Pool) CacheItems() int {
+	var n int
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.cache.Items()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// VirtualTime returns the pool's parallel makespan: the maximum virtual
+// time across shards, which run concurrently.
+func (p *Pool) VirtualTime() time.Duration {
+	var max time.Duration
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		vt := sh.srv.sys.Clock().Now()
+		sh.mu.Unlock()
+		if vt > max {
+			max = vt
+		}
+	}
+	return max
+}
+
+// TotalVirtualTime returns the summed virtual CPU time across shards.
+func (p *Pool) TotalVirtualTime() time.Duration {
+	var sum time.Duration
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sum += sh.srv.sys.Clock().Now()
+		sh.mu.Unlock()
+	}
+	return sum
+}
+
+// Warmup bulk-loads approximately stateBytes of valueSize-byte items,
+// spread across shards by the same key hash Handle uses. A shard that
+// fills is skipped while the others keep loading; Warmup returns the
+// number of items stored once the target or every shard's capacity is
+// reached.
+func (p *Pool) Warmup(stateBytes uint64, valueSize int) (int, error) {
+	if valueSize <= 0 {
+		valueSize = 4096
+	}
+	val := make([]byte, valueSize)
+	items := 0
+	var loaded uint64
+	full := make([]bool, len(p.shards))
+	fullCount := 0
+	for k := 0; loaded+uint64(valueSize) <= stateBytes && fullCount < len(p.shards); k++ {
+		key := workload.Key(k)
+		si := p.shardIndex(key)
+		if full[si] {
+			continue
+		}
+		sh := p.shards[si]
+		sh.mu.Lock()
+		if sh.cache.Bytes()+uint64(valueSize) > sh.cache.Capacity() {
+			sh.mu.Unlock()
+			full[si] = true
+			fullCount++
+			continue
+		}
+		err := sh.cache.Set(key, val)
+		sh.mu.Unlock()
+		if err != nil {
+			return items, fmt.Errorf("kvstore: pool warmup item %d: %w", items, err)
+		}
+		loaded += uint64(valueSize)
+		items++
+	}
+	return items, nil
+}

@@ -1,0 +1,211 @@
+package kvstore
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func newKVPool(t *testing.T, workers int) *Pool {
+	t.Helper()
+	p, err := NewPool(core.DefaultConfig(), ServerConfig{Mode: ModeSDRaD}, workers, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPoolKeyAffinity verifies the consistency invariant: every
+// operation on a key lands on the same shard, so a SET is visible to a
+// later GET regardless of which client sends it.
+func TestPoolKeyAffinity(t *testing.T) {
+	p := newKVPool(t, 4)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if resp := p.Handle(i, workload.Request{Op: workload.OpSet, Key: key, Value: val}); resp.Err != nil || !resp.OK {
+			t.Fatalf("set %s: %+v", key, resp)
+		}
+		// A different client reads it back.
+		resp := p.Handle(i+1000, workload.Request{Op: workload.OpGet, Key: key})
+		if resp.Err != nil || !resp.OK || string(resp.Value) != string(val) {
+			t.Fatalf("get %s: %+v", key, resp)
+		}
+	}
+	if got := p.CacheItems(); got != 64 {
+		t.Errorf("CacheItems = %d, want 64", got)
+	}
+	if p.CacheBytes() == 0 {
+		t.Error("CacheBytes = 0")
+	}
+}
+
+// TestPoolParallelMixedWorkload hammers the pool from many goroutines
+// (run under -race): benign traffic on per-goroutine keys plus periodic
+// attacks, all contained, with shard counters summing to the aggregate.
+func TestPoolParallelMixedWorkload(t *testing.T) {
+	const goroutines, iterations = 8, 50
+	p := newKVPool(t, 4)
+
+	var wg sync.WaitGroup
+	var attacks, failures atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%10)
+				if i%9 == g%9 {
+					attacks.Add(1)
+					resp := p.Handle(g, workload.Request{Op: workload.OpSet, Key: key,
+						Value: []byte("boom"), Malicious: true})
+					if !resp.Contained {
+						t.Errorf("goroutine %d: attack not contained: %+v", g, resp)
+						failures.Add(1)
+					}
+					continue
+				}
+				val := []byte(fmt.Sprintf("g%d-v%d", g, i))
+				if resp := p.Handle(g, workload.Request{Op: workload.OpSet, Key: key, Value: val}); resp.Err != nil {
+					t.Errorf("goroutine %d set: %v", g, resp.Err)
+					failures.Add(1)
+					continue
+				}
+				resp := p.Handle(g, workload.Request{Op: workload.OpGet, Key: key})
+				if resp.Err != nil || !resp.OK || string(resp.Value) != string(val) {
+					t.Errorf("goroutine %d get %s: err=%v ok=%v val=%q",
+						g, key, resp.Err, resp.OK, resp.Value)
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d requests misbehaved", failures.Load())
+	}
+	st := p.Stats()
+	if st.Violations != attacks.Load() {
+		t.Errorf("aggregate Violations = %d, want %d", st.Violations, attacks.Load())
+	}
+	if st.Crashes != 0 {
+		t.Errorf("Crashes = %d", st.Crashes)
+	}
+	// Per-shard violation counts sum to the aggregate.
+	var shardSum uint64
+	for _, sh := range p.shards {
+		shardSum += sh.srv.Stats().Violations
+	}
+	if shardSum != st.Violations {
+		t.Errorf("shard violations sum to %d, aggregate says %d", shardSum, st.Violations)
+	}
+}
+
+// TestPoolNetServerEndToEnd drives the pooled TCP path: concurrent
+// clients, a wire attack, and aggregated stats.
+func TestPoolNetServerEndToEnd(t *testing.T) {
+	p := newKVPool(t, 3)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetServerPool(p, nil)
+	done := make(chan error, 1)
+	go func() { done <- ns.Serve(ln) }()
+	addr := ln.Addr().String()
+	defer func() {
+		if err := ln.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	const clients = 6
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			key, val := fmt.Sprintf("pk%d", c), fmt.Sprintf("pv-%d", c)
+			script := fmt.Sprintf("set %s 0 0 %d\r\n%s\r\nget %s\r\nquit\r\n", key, len(val), val, key)
+			out, err := talkErr(addr, script)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			want := fmt.Sprintf("STORED\r\nVALUE %s 0 %d\r\n%s\r\nEND\r\n", key, len(val), val)
+			if out != want {
+				errs <- fmt.Errorf("client %d: %q != %q", c, out, want)
+				return
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+
+	// A wire attack is contained and shows up in aggregated stats.
+	evil := fmt.Sprintf("set x 0 0 %d\r\n%s\r\nquit\r\n", len(AttackMarker), AttackMarker)
+	if out := talk(t, addr, evil); !strings.HasPrefix(out, "SERVER_ERROR") {
+		t.Errorf("attack response = %q", out)
+	}
+	out := talk(t, addr, "get pk0\r\nstats\r\nquit\r\n")
+	if !strings.Contains(out, "VALUE pk0 0 4\r\npv-0") {
+		t.Errorf("victim data lost: %q", out)
+	}
+	if !strings.Contains(out, "STAT contained_violations 1") {
+		t.Errorf("stats missing containment: %q", out)
+	}
+	if !strings.Contains(out, "STAT crashes 0") {
+		t.Errorf("unexpected crash: %q", out)
+	}
+}
+
+// TestPoolWarmup bulk-loads across shards.
+func TestPoolWarmup(t *testing.T) {
+	p := newKVPool(t, 4)
+	n, err := p.Warmup(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("warmup loaded nothing")
+	}
+	if got := p.CacheItems(); got != n {
+		t.Errorf("CacheItems = %d, want %d", got, n)
+	}
+	if p.CacheBytes() < uint64(n)*4096 {
+		t.Errorf("CacheBytes = %d below payload bytes", p.CacheBytes())
+	}
+}
+
+// TestPoolWarmupContinuesPastFullShard asks for more state than the
+// pool holds: warmup must keep loading other shards after the first one
+// fills, ending well past a single shard's capacity.
+func TestPoolWarmupContinuesPastFullShard(t *testing.T) {
+	// 2 shards, floored at MaxValueSize (1 MiB) each.
+	p, err := NewPool(core.DefaultConfig(), ServerConfig{Mode: ModeSDRaD}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Capacity(); got != 2*MaxValueSize {
+		t.Fatalf("Capacity = %d, want %d", got, 2*MaxValueSize)
+	}
+	if _, err := p.Warmup(4<<20, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Key-hash skew fills one shard first; loading must continue on the
+	// other, so the total clearly exceeds one shard's capacity.
+	if got := p.CacheBytes(); got <= MaxValueSize {
+		t.Errorf("CacheBytes = %d, want > one shard's %d", got, MaxValueSize)
+	}
+}

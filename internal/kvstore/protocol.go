@@ -130,10 +130,20 @@ func WriteResponse(w io.Writer, req workload.Request, resp Response) error {
 	}
 }
 
+// StatsSource is the accounting surface the stats command renders; both
+// Server and Pool implement it (the pool's counters are aggregates over
+// its shards).
+type StatsSource interface {
+	Stats() ServerStats
+	CacheStats() CacheStats
+	CacheBytes() uint64
+	CacheItems() int
+}
+
 // WriteStats renders the stats command output.
-func WriteStats(w io.Writer, s *Server) error {
+func WriteStats(w io.Writer, s StatsSource) error {
 	st := s.Stats()
-	cs := s.Cache().Stats()
+	cs := s.CacheStats()
 	rows := []struct {
 		k string
 		v uint64
@@ -146,8 +156,8 @@ func WriteStats(w io.Writer, s *Server) error {
 		{"get_misses", cs.Misses},
 		{"evictions", cs.Evictions},
 		{"expired", cs.Expired},
-		{"bytes", s.Cache().Bytes()},
-		{"curr_items", uint64(s.Cache().Items())},
+		{"bytes", s.CacheBytes()},
+		{"curr_items", uint64(s.CacheItems())},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "STAT %s %d\r\n", r.k, r.v); err != nil {

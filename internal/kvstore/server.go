@@ -157,6 +157,15 @@ func (s *Server) Mode() Mode { return s.cfg.Mode }
 // Cache returns the underlying cache.
 func (s *Server) Cache() *Cache { return s.cache }
 
+// CacheStats returns the cache's counters (StatsSource).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// CacheBytes returns the cache's stored bytes (StatsSource).
+func (s *Server) CacheBytes() uint64 { return s.cache.Bytes() }
+
+// CacheItems returns the cache's item count (StatsSource).
+func (s *Server) CacheItems() int { return s.cache.Items() }
+
 // ServerStats reports server accounting.
 type ServerStats struct {
 	Requests uint64

@@ -1,6 +1,6 @@
 // Package trace provides a lightweight event log for domain lifecycle
-// auditing: every init, enter, exit, violation, rewind, and deinit can be
-// recorded with its virtual timestamp. Operators of the paper's
+// auditing: every init, enter, exit, violation, rewind, discard, and
+// deinit can be recorded with its virtual timestamp. Operators of the paper's
 // service-oriented scenarios need exactly this record ("which client
 // triggered how many violations, when") to drive policies like
 // quarantine and to feed incident forensics; tests use it to assert
@@ -23,6 +23,7 @@ const (
 	KindExit
 	KindViolation
 	KindRewind
+	KindDiscard
 	KindDeinit
 	KindGrant
 	KindRevoke
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "violation"
 	case KindRewind:
 		return "rewind"
+	case KindDiscard:
+		return "discard"
 	case KindDeinit:
 		return "deinit"
 	case KindGrant:

@@ -1,0 +1,242 @@
+package sdrad
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+// This file implements Pool, the concurrency layer of the public API.
+//
+// A Supervisor simulates one single-core machine, so it and its domains
+// must stay on one goroutine. Pool lifts that restriction the way a
+// multi-socket deployment would: it owns N independent workers, each with
+// a private Supervisor (its own simulated machine, PKU keyset, and
+// virtual clock) and a warm, pre-initialized domain. Requests dispatch to
+// the least-loaded worker (round-robin tiebreak), run in that worker's
+// warm domain, and the domain is discarded on return, so every Run starts
+// from pristine memory without paying domain init/deinit per request.
+
+// ErrPoolClosed is returned by Run/RunOn after Close.
+var ErrPoolClosed = errors.New("sdrad: pool is closed")
+
+// poolWorker is one shard: a private simulated machine plus its warm
+// domain. The mutex serializes all access to the worker's Supervisor,
+// upholding the single-goroutine contract per shard.
+type poolWorker struct {
+	mu  sync.Mutex
+	sup *Supervisor
+	dom *Domain
+	// inflight counts requests dispatched to this worker that have not
+	// finished (including those waiting on mu); it drives least-loaded
+	// dispatch and is read without the lock.
+	inflight atomic.Int64
+	requests atomic.Uint64
+}
+
+// Pool executes isolated domains on N parallel workers. Unlike Supervisor
+// and Domain, a Pool is safe for concurrent use by any number of
+// goroutines. Create with NewPool.
+type Pool struct {
+	workers []*poolWorker
+	rr      atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewPool creates a pool of n workers (n <= 0 means runtime.NumCPU()),
+// each owning a private Supervisor built with opts and one warm domain
+// with the default configuration; use NewPoolWithDomain to size the
+// warm domains.
+func NewPool(n int, opts ...Option) (*Pool, error) {
+	return NewPoolWithDomain(n, nil, opts...)
+}
+
+// NewPoolWithDomain is NewPool with explicit configuration for the warm
+// domain of every worker (heap pages, stack pages, ...).
+func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, error) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{workers: make([]*poolWorker, n)}
+	for i := range p.workers {
+		sup := New(opts...)
+		dom, err := sup.NewDomain(domOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("sdrad: pool worker %d: %w", i, err)
+		}
+		p.workers[i] = &poolWorker{sup: sup, dom: dom}
+	}
+	return p, nil
+}
+
+// Workers returns the number of parallel workers.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// pick chooses the least-loaded worker, breaking ties round-robin so
+// idle workers rotate instead of piling onto worker 0.
+func (p *Pool) pick() int {
+	return dispatch.LeastLoaded(len(p.workers), int(p.rr.Add(1)-1), func(i int) int64 {
+		return p.workers[i].inflight.Load()
+	})
+}
+
+// Run executes fn inside a pristine isolated domain on the least-loaded
+// worker. Violations rewind and discard the domain and surface as a
+// *ViolationError, exactly like Domain.Run; on every other return path
+// the domain is discarded too, so state never leaks between Runs.
+func (p *Pool) Run(fn func(*Ctx) error) error {
+	return p.RunOn(p.pick(), fn)
+}
+
+// RunOn is Run pinned to worker (modulo the pool size) — for callers that
+// need affinity, e.g. sharding by a request key so that related requests
+// serialize on one simulated machine.
+func (p *Pool) RunOn(worker int, fn func(*Ctx) error) error {
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	idx := worker % len(p.workers)
+	if idx < 0 {
+		idx += len(p.workers)
+	}
+	w := p.workers[idx]
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	w.requests.Add(1)
+	err := w.dom.Run(fn)
+	if _, rewound := IsViolation(err); !rewound {
+		// Discard-on-return: a violation already discarded the domain
+		// during rewind; every other exit scrubs it here.
+		if derr := w.dom.Discard(); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// RunWithFallback is Run with the paper's alternate action: on a
+// violation, fallback runs with the *ViolationError.
+func (p *Pool) RunWithFallback(fn func(*Ctx) error, fallback func(*ViolationError) error) error {
+	err := p.Run(fn)
+	if v, ok := IsViolation(err); ok && fallback != nil {
+		return fallback(v)
+	}
+	return err
+}
+
+// Close tears down every worker's warm domain. Runs that lost the race
+// return ErrPoolClosed.
+func (p *Pool) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for i, w := range p.workers {
+		w.mu.Lock()
+		err := w.dom.Close()
+		w.mu.Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("sdrad: pool worker %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// DetectionCounts aggregates the per-mechanism containment counters
+// across all workers.
+func (p *Pool) DetectionCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, w := range p.workers {
+		w.mu.Lock()
+		for mech, n := range w.sup.DetectionCounts() {
+			out[mech] += n
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// WorkerDetectionCounts returns each worker's containment counters
+// individually (index = worker); summing them gives DetectionCounts.
+func (p *Pool) WorkerDetectionCounts() []map[string]uint64 {
+	out := make([]map[string]uint64, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		out[i] = w.sup.DetectionCounts()
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// MemoryStats aggregates the simulated-memory accounting across all
+// workers' machines.
+func (p *Pool) MemoryStats() MemoryStats {
+	var agg MemoryStats
+	for _, w := range p.workers {
+		w.mu.Lock()
+		ms := w.sup.MemoryStats()
+		w.mu.Unlock()
+		agg.MappedPages += ms.MappedPages
+		agg.Loads += ms.Loads
+		agg.Stores += ms.Stores
+		agg.BytesRead += ms.BytesRead
+		agg.BytesWritten += ms.BytesWritten
+		agg.Faults += ms.Faults
+		agg.Domains += ms.Domains
+	}
+	return agg
+}
+
+// VirtualTime returns the elapsed virtual time of the pool as a parallel
+// machine: the maximum across workers (they run concurrently, so the
+// slowest worker bounds the makespan).
+func (p *Pool) VirtualTime() time.Duration {
+	var max time.Duration
+	for _, w := range p.workers {
+		w.mu.Lock()
+		vt := w.sup.VirtualTime()
+		w.mu.Unlock()
+		if vt > max {
+			max = vt
+		}
+	}
+	return max
+}
+
+// TotalVirtualTime returns the summed virtual time across workers — the
+// aggregate simulated CPU time consumed, the basis of the sustainability
+// accounting. TotalVirtualTime/VirtualTime measures achieved parallelism.
+func (p *Pool) TotalVirtualTime() time.Duration {
+	var sum time.Duration
+	for _, w := range p.workers {
+		w.mu.Lock()
+		sum += w.sup.VirtualTime()
+		w.mu.Unlock()
+	}
+	return sum
+}
+
+// PoolStats reports per-worker dispatch accounting.
+type PoolStats struct {
+	// Requests is the number of Runs dispatched per worker.
+	Requests []uint64
+}
+
+// Stats returns a snapshot of the dispatch counters.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{Requests: make([]uint64, len(p.workers))}
+	for i, w := range p.workers {
+		st.Requests[i] = w.requests.Load()
+	}
+	return st
+}

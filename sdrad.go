@@ -33,6 +33,31 @@
 // substitution argument. All isolation semantics — 16 protection keys,
 // AD/WD bits, per-page key tags, fault classification — follow the
 // hardware architecture exactly.
+//
+// # Concurrency
+//
+// A Supervisor simulates one single-core machine: a Supervisor and the
+// Domains created from it must be confined to a single goroutine at a
+// time. To execute domains in parallel, use Pool, which is safe for
+// concurrent use by any number of goroutines: it shards work across N
+// workers, each owning a private Supervisor and a warm pre-initialized
+// domain that is discarded (not deinitialized) between requests.
+//
+//	pool, err := sdrad.NewPool(runtime.NumCPU())
+//	if err != nil { ... }
+//	defer pool.Close()
+//
+//	err = pool.Run(func(c *sdrad.Ctx) error {
+//		p := c.MustAlloc(64)
+//		c.MustStore(p, payload)
+//		return nil
+//	})
+//	if v, ok := sdrad.IsViolation(err); ok {
+//		// contained on one worker; all other workers kept serving
+//	}
+//
+// Pool aggregates DetectionCounts, MemoryStats, and virtual time across
+// its workers.
 package sdrad
 
 import (
@@ -89,8 +114,12 @@ func WithZeroOnDiscard(on bool) Option {
 
 // Supervisor owns one simulated machine and its domains. It corresponds
 // to the per-process SDRaD runtime state in the C library. Create with
-// New. A Supervisor and its domains must be used from one goroutine (the
-// simulated machine is single-core).
+// New.
+//
+// A Supervisor and its Domains are not safe for concurrent use: the
+// simulated machine is single-core, so confine each Supervisor to one
+// goroutine at a time. For parallel domain execution across goroutines,
+// use Pool, which owns one Supervisor per worker.
 type Supervisor struct {
 	sys *core.System
 }
@@ -249,6 +278,16 @@ func (d *Domain) Stats() (DomainStats, error) {
 		Rewinds:    st.Rewinds,
 		RewindTime: vclock.CyclesToDuration(st.RewindCycles(), hz),
 	}, nil
+}
+
+// Discard resets the domain's memory to a pristine state in place: the
+// heap is reset (and scrubbed unless WithZeroOnDiscard(false)), while the
+// domain's protection key, page mappings, and stack survive. It is the
+// explicit half of rewind-and-discard — what a violation does implicitly
+// — and is how a warm domain is recycled between requests without paying
+// Close+NewDomain.
+func (d *Domain) Discard() error {
+	return d.sup.sys.DiscardDomain(d.udi)
 }
 
 // Close tears the domain down, releasing its pages and protection key.
