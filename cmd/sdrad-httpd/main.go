@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N]
+//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N] [-req-timeout 0]
 //
 // Try it:
 //
@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpd"
@@ -39,15 +40,16 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (least-loaded dispatch)")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *workers); err != nil {
+	if err := run(*addr, *mode, *workers, *reqTimeout); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-httpd: %v", err)
 	}
 }
 
-func run(addr, modeName string, workers int) error {
+func run(addr, modeName string, workers int, reqTimeout time.Duration) error {
 	var mode httpd.Mode
 	switch modeName {
 	case "sdrad":
@@ -81,5 +83,7 @@ func run(addr, modeName string, workers int) error {
 		}
 	}()
 
-	return httpd.NewNetServerPool(pool, log.Default()).Serve(ln)
+	srv := httpd.NewNetServerPool(pool, log.Default())
+	srv.SetRequestTimeout(reqTimeout)
+	return srv.Serve(ln)
 }

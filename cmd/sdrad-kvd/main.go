@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N]
+//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0]
 //
 // Try it:
 //
@@ -33,6 +33,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kvstore"
@@ -43,15 +44,16 @@ func main() {
 	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
 	capacity := flag.Uint64("capacity", 64<<20, "cache capacity in bytes")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (key-hashed)")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *capacity, *workers); err != nil {
+	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
 
-func run(addr, modeName string, capacity uint64, workers int) error {
+func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -88,5 +90,7 @@ func run(addr, modeName string, capacity uint64, workers int) error {
 		}
 	}()
 
-	return kvstore.NewNetServerPool(pool, log.Default()).Serve(ln)
+	srv := kvstore.NewNetServerPool(pool, log.Default())
+	srv.SetRequestTimeout(reqTimeout)
+	return srv.Serve(ln)
 }

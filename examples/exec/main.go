@@ -1,0 +1,109 @@
+// Exec scenario: typed, codec-backed calls — the Execution API v2
+// replacement for manual Alloc/Write/Read address plumbing.
+//
+// A structured request is encoded with a serde codec, staged through the
+// isolated domain's heap, decoded under the domain's protection key,
+// processed, and the structured response travels back the same way. The
+// demo prices a basket of orders three times: with the binary codec on a
+// Domain, with the JSON codec on a parallel Pool (affinity-pinned), and
+// once against a poisoned order that makes the pricing code scribble
+// through a wild pointer — contained, with the alternate action
+// answering instead.
+//
+//	go run ./examples/exec
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	sdrad "repro"
+)
+
+// Order is the request type; it crosses the domain boundary as encoded
+// bytes, never as shared Go memory.
+type Order struct {
+	SKU      string
+	Quantity int64
+	Poisoned bool // stands in for a crafted exploit payload
+}
+
+// Quote is the response type.
+type Quote struct {
+	SKU   string
+	Total int64
+}
+
+// price is the untrusted computation: it runs inside the domain, with
+// scratch space on the domain heap.
+func price(c *sdrad.Ctx, o Order) (Quote, error) {
+	scratch := c.MustAlloc(64)
+	c.MustStore(scratch, []byte(o.SKU))
+	if o.Poisoned {
+		c.MustStore64(0xbad0000, 0x41) // wild pointer: contained
+	}
+	c.MustFree(scratch)
+	return Quote{SKU: o.SKU, Total: o.Quantity * 250}, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("exec example: %v", err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// 1. Typed call on a single Domain, binary codec (the default).
+	sup := sdrad.New()
+	dom, err := sup.NewDomain()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dom.Close() }()
+
+	q, err := sdrad.Exec(ctx, dom, Order{SKU: "widget", Quantity: 3}, price)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1. domain/binary:  %s = %d\n", q.SKU, q.Total)
+
+	// 2. The same typed call on a Pool: Exec works against any Runner.
+	// WithWorker pins the transfer to one shard, WithCodec swaps the
+	// wire format.
+	pool, err := sdrad.NewPool(2)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = pool.Close() }()
+
+	q, err = sdrad.Exec(ctx, pool, Order{SKU: "gadget", Quantity: 7}, price,
+		sdrad.WithWorker(1), sdrad.WithCodec(sdrad.CodecJSON))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. pool/json:      %s = %d (worker-pinned)\n", q.SKU, q.Total)
+
+	// 3. A poisoned order: the wild write is contained, the domain is
+	// rewound, and the alternate action stands in for the result.
+	q, err = sdrad.Exec(ctx, dom, Order{SKU: "bomb", Quantity: 1, Poisoned: true}, price,
+		sdrad.WithRetries(1), // re-enter once after the rewind
+		sdrad.WithFallback(func(v *sdrad.ViolationError) error {
+			fmt.Printf("3. contained:      %s — serving zero quote instead\n", v.Mechanism)
+			return nil
+		}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   fallback quote: %+v\n", q)
+
+	st, err := dom.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   domain: entries=%d violations=%d rewinds=%d\n", st.Entries, st.Violations, st.Rewinds)
+	return nil
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -74,7 +75,11 @@ func drive(mode kvstore.Mode) ([]any, error) {
 	benign, failures := 0, 0
 	for i := 0; i < requests; i++ {
 		req := mal.Next()
-		resp := srv.Handle(i%clients, req)
+		// Per-request deadline: HandleContext maps it to a virtual-cycle
+		// budget bounding the request's in-domain run.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp := srv.HandleContext(ctx, i%clients, req)
+		cancel()
 		if req.Malicious {
 			continue
 		}

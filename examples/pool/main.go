@@ -1,4 +1,5 @@
-// Pool scenario: parallel domain execution across simulated cores.
+// Pool scenario: parallel domain execution across simulated cores, via
+// the Execution API v2 (Pool.Do with worker affinity and fallbacks).
 //
 // A single Supervisor is one single-core simulated machine, so servers
 // built on it serialize every request. sdrad.Pool runs one Supervisor
@@ -10,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -43,17 +45,29 @@ func run() error {
 			payload := []byte(fmt.Sprintf("request payload from goroutine %d", g))
 			for i := 0; i < perG; i++ {
 				attack := i%100 == 99
-				err := pool.Run(func(c *sdrad.Ctx) error {
+				// Do is the v2 entry point: least-loaded dispatch by
+				// default, and the alternate action composes with it.
+				// Every 10th call pins its shard with WithWorker —
+				// affinity for related requests — and still gets the
+				// fallback if it is the one that violates.
+				opts := []sdrad.RunOption{
+					sdrad.WithFallback(func(v *sdrad.ViolationError) error {
+						contained.Add(1)
+						return nil
+					}),
+				}
+				if i%10 == 0 {
+					opts = append(opts, sdrad.WithWorker(g))
+				}
+				err := pool.Do(context.Background(), func(c *sdrad.Ctx) error {
 					p := c.MustAlloc(len(payload))
 					c.MustStore(p, payload)
 					if attack {
 						c.MustStore64(0xbad000, 1) // wild pointer: contained
 					}
 					return nil
-				})
-				if _, ok := sdrad.IsViolation(err); ok {
-					contained.Add(1)
-				} else if err != nil {
+				}, opts...)
+				if err != nil {
 					log.Printf("goroutine %d: %v", g, err)
 				}
 			}

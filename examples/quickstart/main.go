@@ -1,13 +1,16 @@
-// Quickstart: create a domain, run work in it, survive a memory-safety
-// violation, and keep going.
+// Quickstart: create a domain, run work in it with the Execution API v2
+// (Do + RunOptions), survive a memory-safety violation, and cancel a
+// runaway run with a deterministic cycle budget.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	sdrad "repro"
 )
@@ -47,30 +50,37 @@ func run() error {
 	fmt.Printf("1. domain computed: %q\n", out)
 
 	// 2. A wild write inside the domain. On a conventional server this is
-	// a crash; here the domain is rewound and discarded.
-	err = dom.Run(func(c *sdrad.Ctx) error {
+	// a crash; here the domain is rewound and discarded. The per-call
+	// policy rides in RunOptions: retry the run once after a rewind, and
+	// if it still violates, take the paper's alternate action.
+	attempts := 0
+	err = dom.Do(context.Background(), func(c *sdrad.Ctx) error {
+		attempts++
 		c.MustStore64(0xdeadbeef000, 0x41) // memory-corruption bug fires
 		fmt.Println("   (unreachable)")
 		return nil
-	})
-	if v, ok := sdrad.IsViolation(err); ok {
-		fmt.Printf("2. contained violation: mechanism=%s (domain %d rewound)\n", v.Mechanism, v.UDI)
-	} else if err != nil {
+	},
+		sdrad.WithRetries(1),
+		sdrad.WithFallback(func(v *sdrad.ViolationError) error {
+			fmt.Printf("2. contained violation: mechanism=%s (domain %d rewound, %d attempts)\n",
+				v.Mechanism, v.UDI, attempts)
+			return nil // alternate action: absorb it
+		}))
+	if err != nil {
 		return err
 	}
 
 	// 3. The same domain is immediately reusable — that is the
 	// availability story of the paper.
-	err = dom.RunWithFallback(
+	err = dom.Do(context.Background(),
 		func(c *sdrad.Ctx) error {
 			p := c.MustAlloc(32)
 			c.MustStore(p, []byte("back in business"))
 			return nil
 		},
-		func(v *sdrad.ViolationError) error {
+		sdrad.WithFallback(func(v *sdrad.ViolationError) error {
 			return errors.New("unexpected second violation")
-		},
-	)
+		}))
 	if err != nil {
 		return err
 	}
@@ -80,6 +90,26 @@ func run() error {
 	}
 	fmt.Printf("3. domain healthy again: entries=%d violations=%d rewind-time=%v\n",
 		st.Entries, st.Violations, st.RewindTime)
+
+	// 4. A runaway run is cancelled deterministically: the context
+	// deadline maps to a virtual-cycle budget (WithCycleBudget sets one
+	// explicitly; the tighter of the two applies), and exhausting it
+	// rewinds the domain just like a violation — but typed as a
+	// *BudgetError.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	scratch := make([]byte, 4096)
+	err = dom.Do(ctx, func(c *sdrad.Ctx) error {
+		p := c.MustAlloc(len(scratch))
+		for { // runaway loop: burns virtual cycles forever
+			c.MustStore(p, scratch)
+		}
+	}, sdrad.WithCycleBudget(2_000_000))
+	if b, ok := sdrad.IsBudget(err); ok {
+		fmt.Printf("4. runaway run preempted after %d virtual cycles (budget %d)\n", b.Used, b.Budget)
+	} else if err != nil {
+		return err
+	}
 	fmt.Printf("   virtual machine time elapsed: %v\n", sup.VirtualTime())
 	return nil
 }

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	sdrad "repro"
 	"repro/internal/httpd"
@@ -60,7 +62,12 @@ func drive(mode httpd.Mode) ([]any, error) {
 		} else {
 			raw = httpd.BuildRequest("GET", "/app.js", nil)
 		}
-		resp := srv.Serve(i%16, raw)
+		// Every request carries its own deadline; the server maps it to
+		// a virtual-cycle budget, so even a pathological request could
+		// not stall the parse domain past it.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp := srv.ServeContext(ctx, i%16, raw)
+		cancel()
 		switch {
 		case errors.Is(resp.Err, httpd.ErrUnavailable):
 			down503++

@@ -1,0 +1,193 @@
+package sdrad
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// This file implements typed transfer on top of Runner: Exec encodes a
+// request value into the domain heap with a serde codec, runs the
+// function isolated, and decodes the response back out — replacing the
+// hand-rolled Alloc/Write/Read address plumbing that every data-carrying
+// call previously needed.
+
+// Value tags of the Exec wire vector: ["v", primitive] carries one of
+// the codec-native kinds (bool, int64, uint64, float64, string, []byte),
+// ["j", bytes] carries any other Go value as JSON. The JSON envelope
+// rides inside every codec — including Raw, whose payloads must be
+// bytes — so struct requests work with all three.
+const (
+	execTagValue = "v"
+	execTagJSON  = "j"
+)
+
+// ErrExecCorrupt is returned when an Exec transfer decodes to something
+// other than a tagged value vector.
+var ErrExecCorrupt = fmt.Errorf("sdrad: corrupt exec transfer")
+
+// Exec runs fn isolated on any Runner with a typed request and response.
+//
+// The full SDRaD-FFI transfer pipeline runs inside the domain: the
+// encoded request is staged in the domain heap, loaded and decoded under
+// the domain's protection key, fn computes, and the encoded response is
+// staged back through the heap — so the simulated machine charges every
+// cross-boundary byte, while the call site stays free of address
+// plumbing. All RunOptions apply; WithCodec selects the transfer codec
+// (CodecBinary by default; CodecRaw restricts Req/Resp primitives to
+// string/[]byte, though structs always work via the JSON envelope).
+//
+// Violations, retries, budgets, and deadlines behave as in Do. If a
+// WithFallback alternate action swallows a violation (returns nil), Exec
+// returns the zero Resp with a nil error.
+func Exec[Req, Resp any](ctx context.Context, r Runner, req Req, fn func(*Ctx, Req) (Resp, error), opts ...RunOption) (Resp, error) {
+	var zero Resp
+	set := applyRunOptions(opts)
+	codec, err := set.resolveCodec()
+	if err != nil {
+		return zero, fmt.Errorf("sdrad: exec: %w", err)
+	}
+	enc, err := encodeValue(codec, req)
+	if err != nil {
+		return zero, fmt.Errorf("sdrad: exec: encode request: %w", err)
+	}
+
+	// The violation fallback is applied here, not inside Do: Exec must
+	// return the zero Resp whenever the run was violated — including a
+	// violation detected after the closure completed (the exit-time heap
+	// integrity sweep) — and never decode bytes staged by a rewound run.
+	// The target probe tells us which domain Do entered, so the fallback
+	// fires only for that domain's own violations, matching Do's
+	// contract.
+	var target runTarget
+	doOpts := make([]RunOption, 0, len(opts)+2)
+	doOpts = append(doOpts, opts...)
+	doOpts = append(doOpts, WithFallback(nil), withTargetProbe(&target))
+
+	var out []byte
+	err = r.Do(ctx, func(c *Ctx) error {
+		// A retried attempt starts from scratch: drop any bytes a prior
+		// attempt staged before it was rewound.
+		out = nil
+		// Copy-in: the encoded request lands in the domain heap and is
+		// loaded back under the domain's own protection key. The buffer
+		// is freed as soon as it is decoded, so error returns below
+		// cannot leak it across runs on a long-lived domain.
+		in := c.MustAlloc(len(enc) + 1)
+		c.MustStore(in, enc)
+		raw := make([]byte, len(enc))
+		c.MustLoad(in, raw)
+		c.MustFree(in)
+		decoded, err := decodeValue[Req](codec, raw)
+		if err != nil {
+			return fmt.Errorf("sdrad: exec: decode request in domain: %w", err)
+		}
+
+		resp, err := fn(c, decoded)
+		if err != nil {
+			return err
+		}
+
+		// Copy-out: the encoded response is staged through the domain
+		// heap before crossing back to the trusted side.
+		renc, err := encodeValue(codec, resp)
+		if err != nil {
+			return fmt.Errorf("sdrad: exec: encode response: %w", err)
+		}
+		p := c.MustAlloc(len(renc))
+		c.MustStore(p, renc)
+		out = make([]byte, len(renc))
+		c.MustLoad(p, out)
+		c.MustFree(p)
+		return nil
+	}, doOpts...)
+	if err != nil {
+		if v, ok := IsViolation(err); ok && set.fallback != nil &&
+			core.RewoundBy(err, target.sys, target.udi) {
+			return zero, set.fallback(v)
+		}
+		return zero, err
+	}
+	if out == nil {
+		// Defensive: a clean exit always stages a response; never decode
+		// without one.
+		return zero, nil
+	}
+	return decodeValue[Resp](codec, out)
+}
+
+// encodeValue serializes one Go value as a tagged codec vector.
+func encodeValue(codec serde.Codec, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case bool, int64, uint64, float64, string, []byte:
+		return codec.Encode([]any{execTagValue, x})
+	case int:
+		return codec.Encode([]any{execTagValue, int64(x)})
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Encode([]any{execTagJSON, b})
+	}
+}
+
+// decodeValue reverses encodeValue into a T.
+func decodeValue[T any](codec serde.Codec, data []byte) (T, error) {
+	var zero T
+	vec, err := codec.Decode(data)
+	if err != nil {
+		return zero, err
+	}
+	if len(vec) != 2 {
+		return zero, fmt.Errorf("%w: %d-element vector", ErrExecCorrupt, len(vec))
+	}
+	tag, err := coerceValue[string](vec[0])
+	if err != nil {
+		return zero, fmt.Errorf("%w: tag: %v", ErrExecCorrupt, err)
+	}
+	switch tag {
+	case execTagJSON:
+		b, err := coerceValue[[]byte](vec[1])
+		if err != nil {
+			return zero, fmt.Errorf("%w: json payload: %v", ErrExecCorrupt, err)
+		}
+		var out T
+		if err := json.Unmarshal(b, &out); err != nil {
+			return zero, fmt.Errorf("%w: %v", ErrExecCorrupt, err)
+		}
+		return out, nil
+	case execTagValue:
+		return coerceValue[T](vec[1])
+	default:
+		return zero, fmt.Errorf("%w: unknown tag %q", ErrExecCorrupt, tag)
+	}
+}
+
+// coerceValue converts a decoded codec value to T, bridging the
+// representation differences between codecs (Raw decodes everything to
+// []byte; int travels as int64).
+func coerceValue[T any](v any) (T, error) {
+	if t, ok := v.(T); ok {
+		return t, nil
+	}
+	var zero T
+	switch any(zero).(type) {
+	case string:
+		if b, ok := v.([]byte); ok {
+			return any(string(b)).(T), nil
+		}
+	case []byte:
+		if s, ok := v.(string); ok {
+			return any([]byte(s)).(T), nil
+		}
+	case int:
+		if i, ok := v.(int64); ok {
+			return any(int(i)).(T), nil
+		}
+	}
+	return zero, fmt.Errorf("sdrad: exec: cannot convert %T to %T", v, zero)
+}

@@ -1,0 +1,288 @@
+package sdrad_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"unicode/utf8"
+
+	sdrad "repro"
+)
+
+var allCodecs = []string{sdrad.CodecRaw, sdrad.CodecBinary, sdrad.CodecJSON}
+
+func newTestDomain(t testing.TB) *sdrad.Domain {
+	t.Helper()
+	sup := sdrad.New()
+	dom, err := sup.NewDomain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dom.Close() })
+	return dom
+}
+
+// echo returns its request unchanged from inside the domain.
+func echo[T any](c *sdrad.Ctx, req T) (T, error) { return req, nil }
+
+func TestExecStringRoundTrip(t *testing.T) {
+	dom := newTestDomain(t)
+	for _, codec := range allCodecs {
+		got, err := sdrad.Exec(context.Background(), dom, "hello isolated world", echo[string],
+			sdrad.WithCodec(codec))
+		if err != nil {
+			t.Fatalf("codec %s: %v", codec, err)
+		}
+		if got != "hello isolated world" {
+			t.Errorf("codec %s: got %q", codec, got)
+		}
+	}
+}
+
+func TestExecBytesRoundTrip(t *testing.T) {
+	dom := newTestDomain(t)
+	payload := []byte{0, 1, 2, 0xff, 0xfe}
+	for _, codec := range allCodecs {
+		got, err := sdrad.Exec(context.Background(), dom, payload, echo[[]byte],
+			sdrad.WithCodec(codec))
+		if err != nil {
+			t.Fatalf("codec %s: %v", codec, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("codec %s: got %v", codec, got)
+		}
+	}
+}
+
+func TestExecPrimitiveRoundTrips(t *testing.T) {
+	dom := newTestDomain(t)
+	// Raw carries only bytes/strings; Binary and JSON carry the full set.
+	for _, codec := range []string{sdrad.CodecBinary, sdrad.CodecJSON} {
+		if got, err := sdrad.Exec(context.Background(), dom, int64(-42), echo[int64], sdrad.WithCodec(codec)); err != nil || got != -42 {
+			t.Errorf("codec %s int64: %v %v", codec, got, err)
+		}
+		if got, err := sdrad.Exec(context.Background(), dom, 42, echo[int], sdrad.WithCodec(codec)); err != nil || got != 42 {
+			t.Errorf("codec %s int: %v %v", codec, got, err)
+		}
+		if got, err := sdrad.Exec(context.Background(), dom, uint64(7), echo[uint64], sdrad.WithCodec(codec)); err != nil || got != 7 {
+			t.Errorf("codec %s uint64: %v %v", codec, got, err)
+		}
+		if got, err := sdrad.Exec(context.Background(), dom, 2.5, echo[float64], sdrad.WithCodec(codec)); err != nil || got != 2.5 {
+			t.Errorf("codec %s float64: %v %v", codec, got, err)
+		}
+		if got, err := sdrad.Exec(context.Background(), dom, true, echo[bool], sdrad.WithCodec(codec)); err != nil || got != true {
+			t.Errorf("codec %s bool: %v %v", codec, got, err)
+		}
+	}
+}
+
+type execReq struct {
+	Name  string
+	N     int64
+	Blob  []byte
+	Ratio float64
+}
+
+func TestExecStructRoundTripAllCodecs(t *testing.T) {
+	dom := newTestDomain(t)
+	req := execReq{Name: "struct", N: -9, Blob: []byte{1, 2, 3}, Ratio: 0.25}
+	// Structs travel in a JSON envelope inside every codec, including Raw.
+	for _, codec := range allCodecs {
+		got, err := sdrad.Exec(context.Background(), dom, req, echo[execReq], sdrad.WithCodec(codec))
+		if err != nil {
+			t.Fatalf("codec %s: %v", codec, err)
+		}
+		if got.Name != req.Name || got.N != req.N || !bytes.Equal(got.Blob, req.Blob) || got.Ratio != req.Ratio {
+			t.Errorf("codec %s: got %+v", codec, got)
+		}
+	}
+}
+
+func TestExecRawRejectsNumericPrimitives(t *testing.T) {
+	dom := newTestDomain(t)
+	if _, err := sdrad.Exec(context.Background(), dom, int64(1), echo[int64], sdrad.WithCodec(sdrad.CodecRaw)); err == nil {
+		t.Error("raw codec accepted an int64 primitive")
+	}
+}
+
+func TestExecUnknownCodec(t *testing.T) {
+	dom := newTestDomain(t)
+	if _, err := sdrad.Exec(context.Background(), dom, "x", echo[string], sdrad.WithCodec("protobuf")); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestExecOnPool(t *testing.T) {
+	pool, err := sdrad.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+
+	got, err := sdrad.Exec(context.Background(), pool, execReq{Name: "pooled", N: 3}, echo[execReq],
+		sdrad.WithWorker(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "pooled" || got.N != 3 {
+		t.Errorf("got %+v", got)
+	}
+	if reqs := pool.Stats().Requests; reqs[1] != 1 || reqs[0] != 0 {
+		t.Errorf("affinity not honoured: %v", reqs)
+	}
+}
+
+func TestExecOnBridge(t *testing.T) {
+	sup := sdrad.New()
+	bridge, err := sup.NewBridge(sdrad.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = bridge.Close() }()
+
+	got, err := sdrad.Exec(context.Background(), bridge, "via bridge", echo[string])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "via bridge" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExecViolationFallback(t *testing.T) {
+	dom := newTestDomain(t)
+	got, err := sdrad.Exec(context.Background(), dom, "poison",
+		func(c *sdrad.Ctx, req string) (string, error) {
+			c.MustStore64(0xbad000, 1)
+			return "unreachable", nil
+		},
+		sdrad.WithFallback(func(v *sdrad.ViolationError) error { return nil }))
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the violation: %v", err)
+	}
+	if got != "" {
+		t.Errorf("got %q, want the zero response after an absorbed violation", got)
+	}
+}
+
+func TestExecApplicationError(t *testing.T) {
+	dom := newTestDomain(t)
+	boom := errors.New("domain says no")
+	_, err := sdrad.Exec(context.Background(), dom, "x",
+		func(c *sdrad.Ctx, req string) (string, error) { return "", boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the application error", err)
+	}
+}
+
+// TestExecExitSweepViolationYieldsZeroResp: when the violation is only
+// detected by the exit-time heap integrity sweep — after fn completed
+// and the response was staged — an absorbed fallback must still yield
+// the zero Resp, never the bytes staged by the rewound run.
+func TestExecExitSweepViolationYieldsZeroResp(t *testing.T) {
+	dom := newTestDomain(t)
+	got, err := sdrad.Exec(context.Background(), dom, "req",
+		func(c *sdrad.Ctx, req string) (string, error) {
+			q := c.MustAlloc(16)
+			c.MustStore(q, make([]byte, 32)) // smash the chunk redzone
+			return "stale", nil
+		},
+		sdrad.WithFallback(func(v *sdrad.ViolationError) error { return nil }))
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the sweep violation: %v", err)
+	}
+	if got != "" {
+		t.Errorf("got %q, want the zero Resp after a post-completion violation", got)
+	}
+	if st, _ := dom.Stats(); st.Violations != 1 {
+		t.Errorf("violations = %d, want 1 (exit sweep)", st.Violations)
+	}
+}
+
+// TestExecErrorPathDoesNotLeakDomainHeap: a long-lived domain's memory
+// persists across Execs, so the staged request buffer must be released
+// even when fn fails — otherwise repeated failures exhaust the heap and
+// surface as spurious violations.
+func TestExecErrorPathDoesNotLeakDomainHeap(t *testing.T) {
+	sup := sdrad.New()
+	dom, err := sup.NewDomain(sdrad.WithHeapPages(2), sdrad.WithMaxHeapPages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dom.Close() }()
+
+	boom := errors.New("always fails")
+	payload := make([]byte, 1024)
+	for i := 0; i < 100; i++ { // 100 KiB of staged requests vs an 8 KiB heap
+		_, err := sdrad.Exec(context.Background(), dom, payload,
+			func(c *sdrad.Ctx, req []byte) ([]byte, error) { return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("iteration %d: err = %v, want the application error (heap leak?)", i, err)
+		}
+	}
+	if st, _ := dom.Stats(); st.Violations != 0 {
+		t.Errorf("error-path Execs caused %d violations", st.Violations)
+	}
+}
+
+// FuzzExecRoundTrip fuzzes the typed transfer across all three serde
+// codecs: whatever bytes and strings go in must come back bit-identical
+// through the domain heap, under every codec, both as primitives and
+// embedded in a struct.
+func FuzzExecRoundTrip(f *testing.F) {
+	f.Add("", []byte{}, int64(0), uint8(0))
+	f.Add("hello", []byte{1, 2, 3}, int64(-1), uint8(1))
+	f.Add("\x00\xff weird \r\n", []byte{0xde, 0xad, 0xbe, 0xef}, int64(1<<62), uint8(2))
+	f.Add("unicode ✓ züge", []byte("payload"), int64(42), uint8(5))
+
+	f.Fuzz(func(t *testing.T, s string, b []byte, n int64, codecSel uint8) {
+		codec := allCodecs[int(codecSel)%len(allCodecs)]
+		sup := sdrad.New()
+		dom, err := sup.NewDomain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = dom.Close() }()
+		ctx := context.Background()
+		opt := sdrad.WithCodec(codec)
+
+		// JSON-borne strings cannot represent invalid UTF-8 (encoding/
+		// json substitutes U+FFFD), so string-identity assertions only
+		// hold for valid strings on the JSON paths. Bytes always
+		// round-trip bit-exactly under every codec.
+		validStr := utf8.ValidString(s)
+
+		if codec != sdrad.CodecJSON || validStr {
+			gotS, err := sdrad.Exec(ctx, dom, s, echo[string], opt)
+			if err != nil {
+				t.Fatalf("codec %s string: %v", codec, err)
+			}
+			if gotS != s {
+				t.Errorf("codec %s string: %q != %q", codec, gotS, s)
+			}
+		}
+
+		gotB, err := sdrad.Exec(ctx, dom, b, echo[[]byte], opt)
+		if err != nil {
+			t.Fatalf("codec %s bytes: %v", codec, err)
+		}
+		if !bytes.Equal(gotB, b) {
+			t.Errorf("codec %s bytes: %v != %v", codec, gotB, b)
+		}
+
+		// Structs travel in a JSON envelope under every codec, and carry
+		// the numeric field Raw cannot carry natively.
+		req := execReq{Name: s, N: n, Blob: b}
+		gotR, err := sdrad.Exec(ctx, dom, req, echo[execReq], opt)
+		if err != nil {
+			t.Fatalf("codec %s struct: %v", codec, err)
+		}
+		if validStr && gotR.Name != s {
+			t.Errorf("codec %s struct name: %q != %q", codec, gotR.Name, s)
+		}
+		if gotR.N != n || !bytes.Equal(gotR.Blob, b) {
+			t.Errorf("codec %s struct: %+v != %+v", codec, gotR, req)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sdrad
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -78,9 +79,17 @@ func (b *Bridge) Register(f Foreign) error { return b.b.Register(f) }
 // into the domain, the function runs isolated, and results are
 // serialized back out. On a violation the domain is rewound; if the
 // function declared a fallback its results are returned, otherwise the
-// *ViolationError is.
+// *ViolationError is. It is CallContext with a background context.
 func (b *Bridge) Call(name string, args ...any) ([]any, error) {
 	return b.b.Call(name, args...)
+}
+
+// CallContext is Call with cancellation and deadline support: a ctx
+// deadline maps to a virtual-cycle budget for the foreign run, so a
+// runaway foreign function is deterministically preempted, rewound, and
+// reported as a *BudgetError.
+func (b *Bridge) CallContext(ctx context.Context, name string, args ...any) ([]any, error) {
+	return b.b.CallContext(ctx, name, args...)
 }
 
 // Stats returns bridge accounting.

@@ -1,0 +1,86 @@
+package sdrad_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoWallClockInLibraryCode is the clock guardrail: non-test library
+// code must never consult the wall clock, or virtual time stops being
+// deterministic. Only internal/vclock (which owns the one sanctioned
+// deadline-to-cycles conversion) and cmd/ binaries may call time.Now,
+// time.Since, or time.Until. The check parses every library source file,
+// so comments and strings cannot trip it and import aliases cannot dodge
+// it.
+func TestNoWallClockInLibraryCode(t *testing.T) {
+	forbidden := map[string]bool{"Now": true, "Since": true, "Until": true}
+
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			// Exempt: cmd binaries and the virtual clock itself.
+			if path == "cmd" || path == filepath.Join("internal", "vclock") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		// Resolve the local name(s) of the "time" package in this file.
+		timeNames := map[string]bool{}
+		for _, imp := range file.Imports {
+			p, perr := strconv.Unquote(imp.Path.Value)
+			if perr != nil || p != "time" {
+				continue
+			}
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			timeNames[name] = true
+		}
+		if len(timeNames) == 0 {
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[ident.Name] || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			violations = append(violations,
+				fset.Position(sel.Pos()).String()+": time."+sel.Sel.Name)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("wall clock call in library code: %s (route it through internal/vclock)", v)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+)
+
+func newBudgetSystem(t *testing.T) (*System, *Domain) {
+	t.Helper()
+	sys := NewSystem(DefaultConfig())
+	d, err := sys.CreateDomain(DomainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, d
+}
+
+func TestEnterWithBudgetZeroIsUnlimited(t *testing.T) {
+	sys, d := newBudgetSystem(t)
+	err := sys.EnterWithBudget(d.UDI(), 0, func(c *DomainCtx) error {
+		p := c.MustAlloc(4096)
+		for i := 0; i < 100; i++ {
+			c.MustStore(p, make([]byte, 4096))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("unbudgeted run failed: %v", err)
+	}
+}
+
+func TestEnterWithBudgetPreempts(t *testing.T) {
+	sys, d := newBudgetSystem(t)
+	const budget = 50_000
+	err := sys.EnterWithBudget(d.UDI(), budget, func(c *DomainCtx) error {
+		p := c.MustAlloc(4096)
+		for {
+			c.MustStore(p, make([]byte, 4096))
+		}
+	})
+	b, ok := IsBudget(err)
+	if !ok {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if b.UDI != d.UDI() {
+		t.Errorf("UDI = %d, want %d", b.UDI, d.UDI())
+	}
+	if b.Budget != budget {
+		t.Errorf("Budget = %d, want %d", b.Budget, budget)
+	}
+	if b.Used < budget {
+		t.Errorf("Used = %d, want >= budget %d", b.Used, budget)
+	}
+
+	st := d.Stats()
+	if st.Preemptions != 1 {
+		t.Errorf("Preemptions = %d, want 1", st.Preemptions)
+	}
+	if st.Violations != 0 {
+		t.Errorf("Violations = %d, want 0 (preemption is not a detection)", st.Violations)
+	}
+	if st.Rewinds != 1 {
+		t.Errorf("Rewinds = %d, want 1 (the domain was rewound)", st.Rewinds)
+	}
+	if st.RewindCycles() == 0 {
+		t.Error("rewind cycles not accounted")
+	}
+}
+
+// TestEnterWithBudgetDiscardsHeap: a preempted run's heap writes are
+// discarded, like a violated run's.
+func TestEnterWithBudgetDiscardsHeap(t *testing.T) {
+	sys, d := newBudgetSystem(t)
+	// A clean run persists its allocation across entries...
+	var addr uint64
+	err := sys.Enter(d.UDI(), func(c *DomainCtx) error {
+		p := c.MustAlloc(64)
+		addr = uint64(p)
+		c.MustStore(p, []byte("persisted"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but a preempted run resets the whole heap, including it.
+	err = sys.EnterWithBudget(d.UDI(), 10_000, func(c *DomainCtx) error {
+		buf := make([]byte, 4096)
+		p := c.MustAlloc(len(buf))
+		for {
+			c.MustStore(p, buf)
+		}
+	})
+	if _, ok := IsBudget(err); !ok {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	err = sys.Enter(d.UDI(), func(c *DomainCtx) error {
+		p := c.MustAlloc(64)
+		if uint64(p) != addr {
+			t.Errorf("post-preemption alloc at %#x, want pristine heap reusing %#x", p, addr)
+		}
+		buf := make([]byte, 9)
+		c.MustLoad(p, buf)
+		if string(buf) == "persisted" {
+			t.Error("heap data survived the discard")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnterWithBudgetNestedInheritsTighterLimit: a nested enter cannot
+// escape the outer budget — the inner run is preempted by the outer
+// limit even with a generous inner budget.
+func TestEnterWithBudgetNestedInheritsTighterLimit(t *testing.T) {
+	sys := NewSystem(DefaultConfig())
+	outer, err := sys.CreateDomain(DomainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := sys.CreateDomain(DomainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = sys.EnterWithBudget(outer.UDI(), 50_000, func(c *DomainCtx) error {
+		// The inner enter asks for far more than the outer has left.
+		return sys.EnterWithBudget(inner.UDI(), 1<<40, func(ci *DomainCtx) error {
+			p := ci.MustAlloc(4096)
+			for {
+				ci.MustStore(p, make([]byte, 4096))
+			}
+		})
+	})
+	b, ok := IsBudget(err)
+	if !ok {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	// The inner enter hit the limit, was rewound there, and its
+	// BudgetError propagated out as an application error of the outer
+	// run (the outer domain itself exited without rewinding).
+	if b.UDI != inner.UDI() {
+		t.Errorf("preempted UDI = %d, want inner %d", b.UDI, inner.UDI())
+	}
+	if inner.Stats().Preemptions != 1 {
+		t.Errorf("inner preemptions = %d, want 1", inner.Stats().Preemptions)
+	}
+	if outer.Stats().Preemptions != 0 {
+		t.Errorf("outer preemptions = %d, want 0", outer.Stats().Preemptions)
+	}
+}

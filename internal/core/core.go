@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/alloc"
 	"repro/internal/detect"
@@ -67,6 +68,9 @@ type ViolationError struct {
 	Cause error
 	// RewindTime is the virtual time the rewind-and-discard took.
 	RewindTime vclock.Clock
+	// sys identifies the System whose domain was rewound: UDIs are
+	// per-System, so RewoundBy needs both to attribute the rewind.
+	sys *System
 }
 
 // Error implements error.
@@ -142,10 +146,14 @@ func (c *DomainConfig) fill() {
 
 // DomainStats tracks per-domain accounting.
 type DomainStats struct {
-	Entries     uint64
-	CleanExits  uint64
-	Violations  uint64
-	Rewinds     uint64
+	Entries    uint64
+	CleanExits uint64
+	Violations uint64
+	Rewinds    uint64
+	// Preemptions counts runs cancelled by an exhausted cycle budget
+	// (rewound and discarded like violations, but not memory-safety
+	// events: they do not count toward Violations or quarantine).
+	Preemptions uint64
 	rewindCycle uint64
 }
 
@@ -169,6 +177,10 @@ type System struct {
 	tracer   trace.Recorder
 	// pkru is the current simulated PKRU register value.
 	pkru pku.PKRU
+	// budgetLimit is the absolute virtual-cycle count at which the
+	// current budgeted Enter preempts (0 = no budget in force). Nested
+	// budgeted enters keep the tighter limit.
+	budgetLimit uint64
 }
 
 // Domain is one isolated domain.
@@ -395,12 +407,36 @@ func pkruFor(d *Domain) pku.PKRU {
 // a *ViolationError. Application errors returned by fn pass through
 // unchanged and do not rewind the domain.
 func (s *System) Enter(udi UDI, fn func(*DomainCtx) error) error {
+	return s.EnterWithBudget(udi, 0, fn)
+}
+
+// EnterWithBudget is Enter with a virtual-cycle budget: if the run
+// consumes budget or more cycles, the next simulated-machine operation
+// preempts it, the domain is rewound and discarded exactly as for a
+// violation, and EnterWithBudget returns a *BudgetError. budget == 0
+// means no budget. A nested budgeted enter inherits the outer limit when
+// that is tighter.
+func (s *System) EnterWithBudget(udi UDI, budget uint64, fn func(*DomainCtx) error) error {
 	d, ok := s.domains[udi]
 	if !ok {
 		return fmt.Errorf("%w: UDI %d", ErrNoDomain, udi)
 	}
 	if d.quarantined() {
 		return fmt.Errorf("%w: UDI %d after %d violations", ErrQuarantined, udi, d.stats.Violations)
+	}
+
+	entry := s.clock.Cycles()
+	prevLimit := s.budgetLimit
+	if budget > 0 {
+		limit := entry + budget
+		if limit < entry {
+			// Saturate: a budget near 2^64 means "effectively unlimited",
+			// not "wrapped below the clock and preempt immediately".
+			limit = math.MaxUint64
+		}
+		if prevLimit == 0 || limit < prevLimit {
+			s.budgetLimit = limit
+		}
 	}
 
 	// Context snapshot (setjmp analog) + PKRU switch into the domain.
@@ -415,9 +451,11 @@ func (s *System) Enter(udi UDI, fn func(*DomainCtx) error) error {
 	ctx := &DomainCtx{sys: s, d: d}
 	err := s.runGuarded(ctx, fn)
 
-	// Leave the domain: restore the caller's PKRU.
+	// Leave the domain: restore the caller's PKRU and budget.
 	s.active = s.active[:len(s.active)-1]
 	s.pkru = prevPKRU
+	limit := s.budgetLimit
+	s.budgetLimit = prevLimit
 	s.clock.Advance(s.cfg.Cost.WRPKRU)
 
 	if err == nil && s.cfg.IntegrityCheckOnExit {
@@ -426,6 +464,17 @@ func (s *System) Enter(udi UDI, fn func(*DomainCtx) error) error {
 		}
 	}
 
+	if _, ok := err.(*budgetSignal); ok {
+		// Used is captured before the rewind advances the clock, so it is
+		// a deterministic function of the work the run performed.
+		used := s.clock.Cycles() - entry
+		if rerr := s.discardAndRewind(d, snap); rerr != nil {
+			return rerr
+		}
+		d.stats.Preemptions++
+		s.emit(trace.KindRewind, d.udi, fmt.Sprintf("budget=%d used=%d", limit-entry, used))
+		return &BudgetError{UDI: d.udi, Budget: limit - entry, Used: used, sys: s}
+	}
 	if vs, ok := err.(*violationSignal); ok {
 		return s.rewind(d, snap, vs.cause)
 	}
@@ -454,6 +503,10 @@ func (s *System) runGuarded(ctx *DomainCtx, fn func(*DomainCtx) error) (err erro
 			err = &violationSignal{cause: vp.cause}
 			return
 		}
+		if _, ok := r.(budgetPanic); ok {
+			err = &budgetSignal{}
+			return
+		}
 		// A Go runtime panic in domain code models an in-domain crash
 		// (e.g. a null dereference compiled into the component).
 		err = &violationSignal{cause: fmt.Errorf("domain panic: %v", r)}
@@ -465,9 +518,12 @@ func (s *System) runGuarded(ctx *DomainCtx, fn func(*DomainCtx) error) (err erro
 	return err
 }
 
-// rewind performs secure rewind and discard of domain d and returns the
-// resulting *ViolationError.
-func (s *System) rewind(d *Domain, snap stack.Snapshot, cause error) error {
+// discardAndRewind performs the mechanical half of secure rewind and
+// discard — signal delivery, stack unwind to the enter point, heap
+// discard — shared by the violation and budget-preemption paths. It
+// accounts the recovery in Rewinds/rewind cycles; the caller classifies
+// the event.
+func (s *System) discardAndRewind(d *Domain, snap stack.Snapshot) error {
 	start := s.clock.Cycles()
 
 	// Signal delivery + longjmp back to the enter point.
@@ -487,6 +543,18 @@ func (s *System) rewind(d *Domain, snap stack.Snapshot, cause error) error {
 			return fmt.Errorf("sdrad: discard of domain %d failed: %w", d.udi, err)
 		}
 	}
+	d.stats.Rewinds++
+	d.stats.rewindCycle += s.clock.Cycles() - start
+	return nil
+}
+
+// rewind performs secure rewind and discard of domain d and returns the
+// resulting *ViolationError.
+func (s *System) rewind(d *Domain, snap stack.Snapshot, cause error) error {
+	start := s.clock.Cycles()
+	if err := s.discardAndRewind(d, snap); err != nil {
+		return err
+	}
 
 	mech := detect.Classify(cause)
 	if mech == detect.MechNone {
@@ -497,12 +565,10 @@ func (s *System) rewind(d *Domain, snap stack.Snapshot, cause error) error {
 	}
 	s.counters.Add(mech)
 	d.stats.Violations++
-	d.stats.Rewinds++
-	d.stats.rewindCycle += s.clock.Cycles() - start
 	s.emit(trace.KindViolation, d.udi, mech.String())
 	s.emit(trace.KindRewind, d.udi, fmt.Sprintf("cycles=%d", s.clock.Cycles()-start))
 
-	return &ViolationError{UDI: d.udi, Mechanism: mech, Cause: cause}
+	return &ViolationError{UDI: d.udi, Mechanism: mech, Cause: cause, sys: s}
 }
 
 // RewindCycles returns the cumulative virtual cycles domain udi has

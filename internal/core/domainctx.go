@@ -21,6 +21,10 @@ import (
 //     never escapes the package), exactly as a SIGSEGV would abort the
 //     compartment in the C implementation. Application code after a
 //     faulting Must* access never runs — matching real-machine semantics.
+//
+// Every operation additionally checks the run's virtual-cycle budget
+// (EnterWithBudget): an exhausted budget preempts the run the same way a
+// fault does, surfacing as a *BudgetError at the Enter boundary.
 type DomainCtx struct {
 	sys *System
 	d   *Domain
@@ -55,11 +59,13 @@ func (c *DomainCtx) Violate(cause error) {
 
 // Alloc allocates n bytes on the domain heap.
 func (c *DomainCtx) Alloc(n int) (mem.Addr, error) {
+	c.preempt()
 	return c.d.heap.Alloc(n)
 }
 
 // MustAlloc is Alloc with trap-on-failure semantics.
 func (c *DomainCtx) MustAlloc(n int) mem.Addr {
+	c.preempt()
 	p, err := c.d.heap.Alloc(n)
 	if err != nil {
 		c.trap(err)
@@ -71,27 +77,34 @@ func (c *DomainCtx) MustAlloc(n int) mem.Addr {
 // as an error (and classified as a heap-canary detection by Enter if
 // propagated).
 func (c *DomainCtx) Free(p mem.Addr) error {
+	c.preempt()
 	return c.d.heap.Free(p)
 }
 
 // MustFree is Free with trap-on-failure semantics: a corrupted chunk
 // aborts the compartment, like glibc's heap hardening calling abort().
 func (c *DomainCtx) MustFree(p mem.Addr) {
+	c.preempt()
 	if err := c.d.heap.Free(p); err != nil {
 		c.trap(err)
 	}
 }
 
 // CheckHeap sweeps the domain heap's canaries.
-func (c *DomainCtx) CheckHeap() error { return c.d.heap.CheckIntegrity() }
+func (c *DomainCtx) CheckHeap() error {
+	c.preempt()
+	return c.d.heap.CheckIntegrity()
+}
 
 // Load copies len(dst) bytes from addr under the domain's PKRU.
 func (c *DomainCtx) Load(addr mem.Addr, dst []byte) error {
+	c.preempt()
 	return c.sys.mem.LoadBytes(c.pkru(), addr, dst)
 }
 
 // Store copies src to addr under the domain's PKRU.
 func (c *DomainCtx) Store(addr mem.Addr, src []byte) error {
+	c.preempt()
 	return c.sys.mem.StoreBytes(c.pkru(), addr, src)
 }
 
@@ -111,11 +124,13 @@ func (c *DomainCtx) MustStore(addr mem.Addr, src []byte) {
 
 // Load64 loads a little-endian uint64.
 func (c *DomainCtx) Load64(addr mem.Addr) (uint64, error) {
+	c.preempt()
 	return c.sys.mem.Load64(c.pkru(), addr)
 }
 
 // Store64 stores a little-endian uint64.
 func (c *DomainCtx) Store64(addr mem.Addr, v uint64) error {
+	c.preempt()
 	return c.sys.mem.Store64(c.pkru(), addr, v)
 }
 
@@ -139,6 +154,7 @@ func (c *DomainCtx) MustStore64(addr mem.Addr, v uint64) {
 // frame, and pops it, validating the canary. A smashed canary aborts the
 // compartment (the __stack_chk_fail path).
 func (c *DomainCtx) WithFrame(size int, fn func(base mem.Addr) error) error {
+	c.preempt()
 	fr, err := c.d.stack.Push(size)
 	if err != nil {
 		return err
@@ -163,5 +179,6 @@ func (c *DomainCtx) StackRemaining() int { return c.d.stack.Remaining() }
 // contained: they rewind only the nested domain, and the error is
 // delivered here, where this domain can take an alternate action.
 func (c *DomainCtx) Enter(udi UDI, fn func(*DomainCtx) error) error {
+	c.preempt()
 	return c.sys.Enter(udi, fn)
 }

@@ -16,12 +16,14 @@
 package ffi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/serde"
+	"repro/internal/vclock"
 )
 
 // Sentinel errors.
@@ -125,7 +127,13 @@ func (b *Bridge) Stats() Stats {
 	}
 }
 
-// Call invokes the named foreign function with args.
+// Call invokes the named foreign function with args. It is CallContext
+// with a background context.
+func (b *Bridge) Call(name string, args ...any) ([]any, error) {
+	return b.CallContext(context.Background(), name, args...)
+}
+
+// CallContext invokes the named foreign function with args.
 //
 // The full SDRaD-FFI pipeline runs: args are encoded with the codec and
 // copied into the foreign domain's heap; the domain is entered; inside,
@@ -135,10 +143,19 @@ func (b *Bridge) Stats() Stats {
 // violation the domain has been rewound and discarded; if the function
 // has a Fallback it supplies substitute results, otherwise the
 // *core.ViolationError is returned.
-func (b *Bridge) Call(name string, args ...any) ([]any, error) {
+//
+// A ctx deadline maps to a virtual-cycle budget for the foreign run: an
+// exhausted budget rewinds and discards the domain the same way and
+// returns a *core.BudgetError (the Fallback does not apply — the foreign
+// code was slow, not faulty). A ctx cancelled before entry returns
+// ctx.Err().
+func (b *Bridge) CallContext(ctx context.Context, name string, args ...any) ([]any, error) {
 	reg, ok := b.funcs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownFunc, name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	b.calls++
 
@@ -162,9 +179,14 @@ func (b *Bridge) Call(name string, args ...any) ([]any, error) {
 		return nil, fmt.Errorf("ffi: copy-in: %w", err)
 	}
 
+	var budget uint64
+	if deadline, ok := ctx.Deadline(); ok {
+		budget = vclock.CyclesUntilDeadline(deadline, b.sys.Clock().Model().CPUHz)
+	}
+
 	var outAddr mem.Addr
 	var outLen int
-	callErr := b.sys.Enter(b.udi, func(c *core.DomainCtx) error {
+	callErr := b.sys.EnterWithBudget(b.udi, budget, func(c *core.DomainCtx) error {
 		// Inside the domain: load + decode the arguments.
 		raw := make([]byte, len(enc))
 		c.MustLoad(inAddr, raw)
@@ -190,10 +212,12 @@ func (b *Bridge) Call(name string, args ...any) ([]any, error) {
 		return nil
 	})
 
-	// On a violation the rewind already discarded every domain
-	// allocation, including the in-buffer; on all other paths the trusted
-	// side frees it (sdrad_free).
-	if _, isViol := core.IsViolation(callErr); !isViol {
+	// If the bridge domain itself was rewound — by a violation or a
+	// budget preemption — the discard already released every domain
+	// allocation, including the in-buffer; on all other paths (clean
+	// exit, application errors, a *nested* domain's rewind propagating
+	// through) the trusted side frees it (sdrad_free).
+	if !core.RewoundBy(callErr, b.sys, b.udi) {
 		if err := d.Heap().Free(inAddr); err != nil {
 			return nil, fmt.Errorf("ffi: free in-buffer: %w", err)
 		}

@@ -13,11 +13,13 @@
 package httpd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	sdrad "repro"
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -173,7 +175,7 @@ type Server struct {
 	sys     *core.System
 	cfg     Config
 	routes  map[string][]byte
-	workers []*core.Domain
+	workers []*sdrad.Domain
 	scratch *alloc.Heap
 
 	downUntil uint64
@@ -182,6 +184,7 @@ type Server struct {
 	violations uint64
 	crashes    uint64
 	dropped    uint64
+	preempted  uint64
 }
 
 // NewServer builds a server on sys.
@@ -190,11 +193,16 @@ func NewServer(sys *core.System, cfg Config) (*Server, error) {
 	s := &Server{sys: sys, cfg: cfg, routes: make(map[string][]byte)}
 	switch cfg.Mode {
 	case ModeSDRaD:
+		sup := sdrad.Attach(sys)
 		for i := 0; i < cfg.Workers; i++ {
-			d, err := sys.InitDomain(cfg.FirstWorkerUDI+core.UDI(i), core.DomainConfig{
+			udi := cfg.FirstWorkerUDI + core.UDI(i)
+			if _, err := sys.InitDomain(udi, core.DomainConfig{
 				HeapPages:  8,
 				StackPages: 4,
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("httpd: worker %d: %w", i, err)
+			}
+			d, err := sup.DomainAt(int(udi))
 			if err != nil {
 				return nil, fmt.Errorf("httpd: worker %d: %w", i, err)
 			}
@@ -226,11 +234,15 @@ type Stats struct {
 	Violations uint64
 	Crashes    uint64
 	Dropped    uint64
+	// Preempted counts requests cancelled by their context: the parse
+	// run exhausted its deadline-derived virtual-cycle budget, or the
+	// context expired before the domain was entered.
+	Preempted uint64
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return Stats{Requests: s.requests, Violations: s.violations, Crashes: s.crashes, Dropped: s.dropped}
+	return Stats{Requests: s.requests, Violations: s.violations, Crashes: s.crashes, Dropped: s.dropped, Preempted: s.preempted}
 }
 
 // ContentBytes returns the total bytes of registered content (the state a
@@ -243,8 +255,17 @@ func (s *Server) ContentBytes() uint64 {
 	return n
 }
 
-// Serve handles one raw HTTP request from clientID.
+// Serve handles one raw HTTP request from clientID. It is ServeContext
+// with a background context.
 func (s *Server) Serve(clientID int, raw []byte) Response {
+	return s.ServeContext(context.Background(), clientID, raw)
+}
+
+// ServeContext handles one raw HTTP request from clientID. In SDRaD mode
+// a ctx deadline bounds the parse run with a virtual-cycle budget: a
+// request that exhausts it gets a 408 and the parsing domain is rewound,
+// exactly like a contained exploit.
+func (s *Server) ServeContext(ctx context.Context, clientID int, raw []byte) Response {
 	s.requests++
 	clk := s.sys.Clock()
 	cost := clk.Model()
@@ -261,7 +282,7 @@ func (s *Server) Serve(clientID int, raw []byte) Response {
 	var resp Response
 	switch s.cfg.Mode {
 	case ModeSDRaD:
-		resp = s.serveSDRaD(clientID, raw)
+		resp = s.serveSDRaD(ctx, clientID, raw)
 	default:
 		resp = s.serveNative(raw)
 	}
@@ -269,13 +290,13 @@ func (s *Server) Serve(clientID int, raw []byte) Response {
 	return resp
 }
 
-// serveSDRaD parses inside the client's parsing domain; routing and
-// content live in the trusted root.
-func (s *Server) serveSDRaD(clientID int, raw []byte) Response {
+// serveSDRaD parses inside the client's parsing domain via the Runner
+// API; routing and content live in the trusted root.
+func (s *Server) serveSDRaD(ctx context.Context, clientID int, raw []byte) Response {
 	d := s.workers[clientID%len(s.workers)]
 	var pr ParsedRequest
 	var perr error
-	verr := s.sys.Enter(d.UDI(), func(c *core.DomainCtx) error {
+	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw) + 1)
 		c.MustStore(buf, raw)
 		tmp := make([]byte, len(raw))
@@ -293,6 +314,17 @@ func (s *Server) serveSDRaD(clientID int, raw []byte) Response {
 		s.violations++
 		return Response{Status: 400, Err: v, Contained: true}
 	}
+	if b, ok := core.IsBudget(verr); ok {
+		s.preempted++
+		return Response{Status: 408, Err: b}
+	}
+	if errors.Is(verr, context.DeadlineExceeded) || errors.Is(verr, context.Canceled) {
+		// The deadline passed (or the caller cancelled) before the parse
+		// domain was ever entered — e.g. the request sat queued behind a
+		// busy shard. Same client-visible outcome as a mid-run preemption.
+		s.preempted++
+		return Response{Status: 408, Err: verr}
+	}
 	if verr != nil {
 		return Response{Status: 500, Err: verr}
 	}
@@ -304,16 +336,16 @@ func (s *Server) serveSDRaD(clientID int, raw []byte) Response {
 	// connection's output buffer, which belongs to the parsing domain.
 	// This cross-boundary copy exists only in SDRaD mode.
 	const headLen = 128
-	out, aerr := d.Heap().Alloc(headLen)
+	out, aerr := d.Alloc(headLen)
 	if aerr != nil {
 		return Response{Status: 500, Err: aerr}
 	}
 	head := make([]byte, headLen)
 	copy(head, fmt.Sprintf("HTTP/1.1 %d\r\ncontent-length: %d\r\n\r\n", resp.Status, len(resp.Body)))
-	if cerr := s.sys.CopyToDomain(out, head); cerr != nil {
+	if cerr := d.Write(out, head); cerr != nil {
 		return Response{Status: 500, Err: cerr}
 	}
-	if ferr := d.Heap().Free(out); ferr != nil {
+	if ferr := d.Free(out); ferr != nil {
 		return Response{Status: 500, Err: ferr}
 	}
 	return resp

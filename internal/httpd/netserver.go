@@ -2,20 +2,26 @@ package httpd
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // NetServer serves HTTP/1.1 over TCP on top of a Server or a Pool, with
 // connections multiplexing on real sockets. One request per connection
 // (Connection: close semantics) keeps the demo loop simple.
 type NetServer struct {
-	handle func(clientID int, raw []byte) Response
+	handle func(ctx context.Context, clientID int, raw []byte) Response
 	log    *log.Logger
+
+	// reqTimeout, when non-zero, caps each request with a context
+	// deadline (mapped to a virtual-cycle budget by the server).
+	reqTimeout time.Duration
 
 	connMu sync.Mutex
 	nextID int
@@ -29,10 +35,10 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 	var mu sync.Mutex
 	return &NetServer{
 		log: logger,
-		handle: func(clientID int, raw []byte) Response {
+		handle: func(ctx context.Context, clientID int, raw []byte) Response {
 			mu.Lock()
 			defer mu.Unlock()
-			return srv.Serve(clientID, raw)
+			return srv.ServeContext(ctx, clientID, raw)
 		},
 	}
 }
@@ -41,8 +47,12 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 // pool synchronizes internally per worker, so requests on different
 // workers execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
-	return &NetServer{log: logger, handle: p.Serve}
+	return &NetServer{log: logger, handle: p.ServeContext}
 }
+
+// SetRequestTimeout installs a per-request deadline (0 disables it, the
+// default). Call before Serve.
+func (n *NetServer) SetRequestTimeout(d time.Duration) { n.reqTimeout = d }
 
 func (n *NetServer) logf(format string, args ...any) {
 	if n.log != nil {
@@ -85,7 +95,13 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 		n.logf("conn %d read: %v", id, err)
 		return
 	}
-	resp := n.handle(id, raw)
+	ctx := context.Background()
+	if n.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.reqTimeout)
+		defer cancel()
+	}
+	resp := n.handle(ctx, id, raw)
 	if resp.Contained {
 		n.logf("conn %d: contained parser exploit (domain rewound)", id)
 	}
@@ -144,6 +160,8 @@ func StatusText(code int) string {
 		return "Not Found"
 	case 405:
 		return "Method Not Allowed"
+	case 408:
+		return "Request Timeout"
 	case 503:
 		return "Service Unavailable"
 	default:

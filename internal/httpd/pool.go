@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -64,8 +65,16 @@ func (p *Pool) HandleFunc(path string, content []byte) {
 	}
 }
 
-// Serve handles one raw HTTP request on the least-loaded worker.
+// Serve handles one raw HTTP request on the least-loaded worker. It is
+// ServeContext with a background context.
 func (p *Pool) Serve(clientID int, raw []byte) Response {
+	return p.ServeContext(context.Background(), clientID, raw)
+}
+
+// ServeContext handles one raw HTTP request on the least-loaded worker;
+// the context's deadline bounds the request's parse run (see
+// Server.ServeContext).
+func (p *Pool) ServeContext(ctx context.Context, clientID int, raw []byte) Response {
 	best := dispatch.LeastLoaded(len(p.shards), int(p.rr.Add(1)-1), func(i int) int64 {
 		return p.shards[i].inflight.Load()
 	})
@@ -74,7 +83,7 @@ func (p *Pool) Serve(clientID int, raw []byte) Response {
 	defer sh.inflight.Add(-1)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.srv.Serve(clientID, raw)
+	return sh.srv.ServeContext(ctx, clientID, raw)
 }
 
 // Stats aggregates server accounting across workers.
@@ -88,6 +97,7 @@ func (p *Pool) Stats() Stats {
 		agg.Violations += st.Violations
 		agg.Crashes += st.Crashes
 		agg.Dropped += st.Dropped
+		agg.Preempted += st.Preempted
 	}
 	return agg
 }

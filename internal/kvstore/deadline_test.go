@@ -1,0 +1,73 @@
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// newSlowServer builds an SDRaD server on a 1 MHz simulated core, so a
+// large SET's in-domain parse exceeds a deadline-derived cycle budget.
+func newSlowServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Cost.CPUHz = 1_000_000
+	sys := core.NewSystem(cfg)
+	cache, err := NewCache(sys, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys, cache, ServerConfig{Mode: ModeSDRaD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestHandleContextDeadlinePreempts: the request deadline maps to a
+// virtual-cycle budget bounding the in-domain run; a SET whose parse
+// exceeds it is preempted and rewound, the cache stays untouched, and
+// the preemption point is the same on every run.
+func TestHandleContextDeadlinePreempts(t *testing.T) {
+	req := workload.Request{Op: workload.OpSet, Key: "big", Value: bytes.Repeat([]byte("v"), 64<<10)}
+
+	run := func() (Response, *Server) {
+		srv := newSlowServer(t)
+		ctx, cancel := context.WithTimeout(context.Background(), vclock.DeadlineQuantum/2)
+		defer cancel()
+		return srv.HandleContext(ctx, 0, req), srv
+	}
+
+	resp1, srv1 := run()
+	b1, ok := core.IsBudget(resp1.Err)
+	if !ok {
+		t.Fatalf("err = %v, want *core.BudgetError", resp1.Err)
+	}
+	st := srv1.Stats()
+	if st.Preempted != 1 || st.Violations != 0 {
+		t.Errorf("stats = %+v, want 1 preemption and no violations", st)
+	}
+	if srv1.CacheItems() != 0 {
+		t.Errorf("preempted SET reached the cache: %d items", srv1.CacheItems())
+	}
+
+	resp2, _ := run()
+	b2, ok := core.IsBudget(resp2.Err)
+	if !ok {
+		t.Fatalf("second run err = %v, want *core.BudgetError", resp2.Err)
+	}
+	if b1.Used != b2.Used || b1.Budget != b2.Budget {
+		t.Errorf("preemption point differs across runs: used %d/%d vs %d/%d",
+			b1.Used, b1.Budget, b2.Used, b2.Budget)
+	}
+
+	// Without a deadline the same request succeeds.
+	srv := newSlowServer(t)
+	if resp := srv.HandleContext(context.Background(), 0, req); resp.Err != nil || !resp.OK {
+		t.Fatalf("unbudgeted SET failed: ok=%v err=%v", resp.OK, resp.Err)
+	}
+}

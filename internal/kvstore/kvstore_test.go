@@ -420,7 +420,7 @@ func TestWorkersCannotTouchCacheStorage(t *testing.T) {
 	// Find the value's address via a root-side lookup of the element.
 	el := cache.item["secret"]
 	addr := el.Value.(*entry).addr
-	verr := sys.Enter(srv.workers[0].UDI(), func(c *core.DomainCtx) error {
+	verr := sys.Enter(core.UDI(srv.workers[0].UDI()), func(c *core.DomainCtx) error {
 		buf := make([]byte, 5)
 		c.MustLoad(addr, buf) // must trap: storage-domain key not enabled
 		return nil

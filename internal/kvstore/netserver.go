@@ -3,12 +3,14 @@ package kvstore
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -20,9 +22,13 @@ const AttackMarker = "!!exploit"
 // NetServer serves the memcached text protocol over TCP on top of a
 // Server or a Pool, with connections multiplexing on real sockets.
 type NetServer struct {
-	handle func(clientID int, req workload.Request) Response
+	handle func(ctx context.Context, clientID int, req workload.Request) Response
 	stats  func(w io.Writer) error
 	log    *log.Logger
+
+	// reqTimeout, when non-zero, caps each request with a context
+	// deadline (mapped to a virtual-cycle budget by the server).
+	reqTimeout time.Duration
 
 	connMu sync.Mutex
 	nextID int
@@ -37,10 +43,10 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 	var mu sync.Mutex
 	return &NetServer{
 		log: logger,
-		handle: func(clientID int, req workload.Request) Response {
+		handle: func(ctx context.Context, clientID int, req workload.Request) Response {
 			mu.Lock()
 			defer mu.Unlock()
-			return srv.Handle(clientID, req)
+			return srv.HandleContext(ctx, clientID, req)
 		},
 		stats: func(w io.Writer) error {
 			mu.Lock()
@@ -56,10 +62,14 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 	return &NetServer{
 		log:    logger,
-		handle: p.Handle,
+		handle: p.HandleContext,
 		stats:  func(w io.Writer) error { return WriteStats(w, p) },
 	}
 }
+
+// SetRequestTimeout installs a per-request deadline (0 disables it, the
+// default). Call before Serve.
+func (n *NetServer) SetRequestTimeout(d time.Duration) { n.reqTimeout = d }
 
 func (n *NetServer) logf(format string, args ...any) {
 	if n.log != nil {
@@ -120,7 +130,7 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
 				req.Malicious = true
 			}
-			resp := n.handle(id, req)
+			resp := n.handleTimed(id, req)
 			if resp.Contained {
 				n.logf("conn %d: contained memory-safety violation (domain rewound)", id)
 			}
@@ -135,4 +145,16 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			return
 		}
 	}
+}
+
+// handleTimed wraps handle with the per-request deadline, when one is
+// configured.
+func (n *NetServer) handleTimed(id int, req workload.Request) Response {
+	ctx := context.Background()
+	if n.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.reqTimeout)
+		defer cancel()
+	}
+	return n.handle(ctx, id, req)
 }

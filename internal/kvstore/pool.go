@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -105,12 +106,19 @@ func (p *Pool) shardFor(key string) *kvShard {
 	return p.shards[p.shardIndex(key)]
 }
 
-// Handle serves one request on the shard owning req.Key.
+// Handle serves one request on the shard owning req.Key. It is
+// HandleContext with a background context.
 func (p *Pool) Handle(clientID int, req workload.Request) Response {
+	return p.HandleContext(context.Background(), clientID, req)
+}
+
+// HandleContext serves one request on the shard owning req.Key; the
+// context's deadline bounds the in-domain run (see Server.HandleContext).
+func (p *Pool) HandleContext(ctx context.Context, clientID int, req workload.Request) Response {
 	sh := p.shardFor(req.Key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.srv.Handle(clientID, req)
+	return sh.srv.HandleContext(ctx, clientID, req)
 }
 
 // Stats aggregates server accounting across shards.
@@ -124,6 +132,7 @@ func (p *Pool) Stats() ServerStats {
 		agg.Violations += st.Violations
 		agg.Crashes += st.Crashes
 		agg.Dropped += st.Dropped
+		agg.Preempted += st.Preempted
 	}
 	return agg
 }

@@ -1,10 +1,12 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	sdrad "repro"
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -111,7 +113,7 @@ type Server struct {
 	sys     *core.System
 	cache   *Cache
 	cfg     ServerConfig
-	workers []*core.Domain
+	workers []*sdrad.Domain
 	scratch *alloc.Heap // native-mode parse buffers (key 0)
 
 	downUntil uint64 // virtual cycle until which the native server is down
@@ -121,6 +123,7 @@ type Server struct {
 	violations uint64
 	crashes    uint64
 	dropped    uint64
+	preempted  uint64
 }
 
 // NewServer builds a server over an existing system and cache.
@@ -129,11 +132,16 @@ func NewServer(sys *core.System, cache *Cache, cfg ServerConfig) (*Server, error
 	s := &Server{sys: sys, cache: cache, cfg: cfg}
 	switch cfg.Mode {
 	case ModeSDRaD:
+		sup := sdrad.Attach(sys)
 		for i := 0; i < cfg.Workers; i++ {
-			d, err := sys.InitDomain(cfg.FirstWorkerUDI+core.UDI(i), core.DomainConfig{
+			udi := cfg.FirstWorkerUDI + core.UDI(i)
+			if _, err := sys.InitDomain(udi, core.DomainConfig{
 				HeapPages:  8,
 				StackPages: 4,
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("kvstore: worker %d: %w", i, err)
+			}
+			d, err := sup.DomainAt(int(udi))
 			if err != nil {
 				return nil, fmt.Errorf("kvstore: worker %d: %w", i, err)
 			}
@@ -175,6 +183,10 @@ type ServerStats struct {
 	Crashes uint64
 	// Dropped is the number of requests rejected during restart downtime.
 	Dropped uint64
+	// Preempted is the number of requests cancelled by their context:
+	// the in-domain run exhausted its deadline-derived virtual-cycle
+	// budget, or the context expired before the domain was entered.
+	Preempted uint64
 }
 
 // Stats returns a snapshot of server accounting.
@@ -184,6 +196,7 @@ func (s *Server) Stats() ServerStats {
 		Violations: s.violations,
 		Crashes:    s.crashes,
 		Dropped:    s.dropped,
+		Preempted:  s.preempted,
 	}
 }
 
@@ -205,10 +218,18 @@ func payload(req workload.Request) []byte {
 	}
 }
 
-// Handle serves one request from clientID. The virtual clock advances by
-// the request's full service time (network, parsing, cache access, and —
-// on faults — recovery).
+// Handle serves one request from clientID. It is HandleContext with a
+// background context.
 func (s *Server) Handle(clientID int, req workload.Request) Response {
+	return s.HandleContext(context.Background(), clientID, req)
+}
+
+// HandleContext serves one request from clientID. The virtual clock
+// advances by the request's full service time (network, parsing, cache
+// access, and — on faults — recovery). In SDRaD mode a ctx deadline
+// bounds the in-domain run with a virtual-cycle budget: a request that
+// exhausts it is rewound and answered with a *core.BudgetError.
+func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.Request) Response {
 	s.requests++
 	clk := s.sys.Clock()
 	cost := clk.Model()
@@ -229,7 +250,7 @@ func (s *Server) Handle(clientID int, req workload.Request) Response {
 	var err error
 	switch s.cfg.Mode {
 	case ModeSDRaD:
-		resp, err = s.handleSDRaD(clientID, req, raw)
+		resp, err = s.handleSDRaD(ctx, clientID, req, raw)
 	case ModeSandbox:
 		resp, err = s.handleSandbox(req, raw)
 	default:
@@ -242,11 +263,12 @@ func (s *Server) Handle(clientID int, req workload.Request) Response {
 	return resp
 }
 
-// handleSDRaD parses the request inside the client's worker domain, then
-// applies the operation to the protected cache from the trusted side.
-func (s *Server) handleSDRaD(clientID int, req workload.Request, raw []byte) (Response, error) {
+// handleSDRaD parses the request inside the client's worker domain via
+// the Runner API, then applies the operation to the protected cache from
+// the trusted side.
+func (s *Server) handleSDRaD(ctx context.Context, clientID int, req workload.Request, raw []byte) (Response, error) {
 	d := s.workers[clientID%len(s.workers)]
-	verr := s.sys.Enter(d.UDI(), func(c *core.DomainCtx) error {
+	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw))
 		c.MustStore(buf, raw)
 		parseInDomain(c, buf, len(raw))
@@ -263,6 +285,19 @@ func (s *Server) handleSDRaD(clientID int, req workload.Request, raw []byte) (Re
 		s.violations++
 		return Response{Err: v, Contained: true}, nil
 	}
+	if b, ok := core.IsBudget(verr); ok {
+		// Preempted: the run blew its deadline-derived cycle budget and
+		// was rewound; the slow request fails, the cache is untouched.
+		s.preempted++
+		return Response{Err: b}, nil
+	}
+	if errors.Is(verr, context.DeadlineExceeded) || errors.Is(verr, context.Canceled) {
+		// The deadline passed (or the caller cancelled) before the worker
+		// domain was ever entered — e.g. the request sat queued behind a
+		// busy shard. Same client-visible outcome as a mid-run preemption.
+		s.preempted++
+		return Response{Err: verr}, nil
+	}
 	if verr != nil {
 		return Response{}, verr
 	}
@@ -275,14 +310,14 @@ func (s *Server) handleSDRaD(clientID int, req workload.Request, raw []byte) (Re
 	// send. This cross-boundary copy exists only in SDRaD mode and is the
 	// dominant component of the paper's 2–4% overhead.
 	if req.Op == workload.OpGet && resp.OK && len(resp.Value) > 0 {
-		out, aerr := d.Heap().Alloc(len(resp.Value) + 32)
+		out, aerr := d.Alloc(len(resp.Value) + 32)
 		if aerr != nil {
 			return resp, fmt.Errorf("kvstore: response staging: %w", aerr)
 		}
-		if cerr := s.sys.CopyToDomain(out, resp.Value); cerr != nil {
+		if cerr := d.Write(out, resp.Value); cerr != nil {
 			return resp, fmt.Errorf("kvstore: response staging: %w", cerr)
 		}
-		if ferr := d.Heap().Free(out); ferr != nil {
+		if ferr := d.Free(out); ferr != nil {
 			return resp, fmt.Errorf("kvstore: response staging: %w", ferr)
 		}
 	}

@@ -12,6 +12,7 @@ package vclock
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -157,6 +158,40 @@ func (c *Clock) Since(start uint64) time.Duration {
 		return 0
 	}
 	return CyclesToDuration(c.cycles-start, c.model.CPUHz)
+}
+
+// DeadlineQuantum is the granularity to which wall-clock deadlines are
+// rounded when mapped to virtual-cycle budgets. Rounding the remaining
+// wall time *up* to the next quantum makes the derived budget — and
+// therefore the virtual cycle at which a budgeted run is preempted —
+// reproducible across runs despite host scheduling jitter: any capture
+// point within the same 100 ms band yields the same budget.
+const DeadlineQuantum = 100 * time.Millisecond
+
+// maxBudgetWindow caps the wall-time horizon a deadline can impose as a
+// cycle budget: anything further out is effectively unlimited for a
+// single domain run, and capping it keeps the quantization and
+// cycles-conversion arithmetic far away from int64/uint64 overflow.
+const maxBudgetWindow = 24 * time.Hour
+
+// CyclesUntilDeadline converts the wall time remaining until deadline
+// into a virtual-cycle budget at hz, quantized to DeadlineQuantum. An
+// already-expired deadline yields a 1-cycle budget (which preempts a run
+// at its first simulated-machine operation); a deadline beyond
+// maxBudgetWindow yields the saturating "effectively unlimited" budget.
+// The result is never 0, so callers can use 0 to mean "no budget". This
+// is the only place the library consults the wall clock: everything
+// downstream of the returned budget is deterministic virtual time.
+func CyclesUntilDeadline(deadline time.Time, hz uint64) uint64 {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return 1
+	}
+	if remaining >= maxBudgetWindow {
+		return math.MaxUint64
+	}
+	quanta := (remaining + DeadlineQuantum - 1) / DeadlineQuantum
+	return DurationToCycles(quanta*DeadlineQuantum, hz)
 }
 
 // CyclesToDuration converts a cycle count at hz to a duration. The

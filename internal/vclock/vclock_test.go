@@ -1,6 +1,7 @@
 package vclock
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -116,5 +117,22 @@ func TestStringContainsCycleCount(t *testing.T) {
 	c.Advance(7)
 	if s := c.String(); s == "" {
 		t.Error("String() empty")
+	}
+}
+
+func TestCyclesUntilDeadlineNeverZeroAndSaturates(t *testing.T) {
+	// Expired deadline: minimal non-zero budget.
+	if got := CyclesUntilDeadline(time.Now().Add(-time.Second), DefaultCPUHz); got != 1 {
+		t.Errorf("expired deadline budget = %d, want 1", got)
+	}
+	// Near deadline: quantized up, never 0.
+	if got := CyclesUntilDeadline(time.Now().Add(time.Millisecond), DefaultCPUHz); got == 0 || got < DurationToCycles(DeadlineQuantum, DefaultCPUHz) {
+		t.Errorf("near deadline budget = %d, want >= one quantum", got)
+	}
+	// Far-future deadline: saturates instead of overflowing to 0 (which
+	// would silently erase an explicit WithCycleBudget in the min-merge).
+	far := time.Now().Add(100 * 365 * 24 * time.Hour)
+	if got := CyclesUntilDeadline(far, DefaultCPUHz); got != math.MaxUint64 {
+		t.Errorf("far-future deadline budget = %d, want MaxUint64", got)
 	}
 }

@@ -1,6 +1,7 @@
 package sdrad
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dispatch"
 )
 
@@ -56,8 +58,16 @@ func NewPool(n int, opts ...Option) (*Pool, error) {
 	return NewPoolWithDomain(n, nil, opts...)
 }
 
+// testHookWorkerCreated, when non-nil, observes each worker as pool
+// construction brings it up. It is a test seam: the partial-failure
+// cleanup test uses it to reach workers that a failed NewPoolWithDomain
+// never returns.
+var testHookWorkerCreated func(i int, w *poolWorker)
+
 // NewPoolWithDomain is NewPool with explicit configuration for the warm
-// domain of every worker (heap pages, stack pages, ...).
+// domain of every worker (heap pages, stack pages, ...). If any worker
+// fails to initialize, the domains of the workers already brought up are
+// closed before the error returns.
 func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, error) {
 	if n <= 0 {
 		n = runtime.NumCPU()
@@ -67,9 +77,15 @@ func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, er
 		sup := New(opts...)
 		dom, err := sup.NewDomain(domOpts...)
 		if err != nil {
+			for _, w := range p.workers[:i] {
+				_ = w.dom.Close()
+			}
 			return nil, fmt.Errorf("sdrad: pool worker %d: %w", i, err)
 		}
 		p.workers[i] = &poolWorker{sup: sup, dom: dom}
+		if testHookWorkerCreated != nil {
+			testHookWorkerCreated(i, p.workers[i])
+		}
 	}
 	return p, nil
 }
@@ -85,25 +101,39 @@ func (p *Pool) pick() int {
 	})
 }
 
-// Run executes fn inside a pristine isolated domain on the least-loaded
-// worker. Violations rewind and discard the domain and surface as a
-// *ViolationError, exactly like Domain.Run; on every other return path
-// the domain is discarded too, so state never leaks between Runs.
-func (p *Pool) Run(fn func(*Ctx) error) error {
-	return p.RunOn(p.pick(), fn)
-}
-
-// RunOn is Run pinned to worker (modulo the pool size) — for callers that
-// need affinity, e.g. sharding by a request key so that related requests
-// serialize on one simulated machine.
-func (p *Pool) RunOn(worker int, fn func(*Ctx) error) error {
+// Do implements Runner: it executes fn inside a pristine isolated domain
+// under the given per-call policy. Without WithWorker, every attempt
+// dispatches to the least-loaded worker; WithWorker pins all attempts
+// (including retries) to one worker, composing with WithFallback so an
+// affinity-bound call still gets the paper's alternate action.
+// Violations rewind and discard the worker's domain, exactly like
+// Domain.Do; on every other return path the domain is discarded too, so
+// state never leaks between calls.
+func (p *Pool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
+	set := applyRunOptions(opts)
 	if p.closed.Load() {
 		return ErrPoolClosed
 	}
-	idx := worker % len(p.workers)
-	if idx < 0 {
-		idx += len(p.workers)
-	}
+	hz := p.workers[0].sup.sys.Clock().Model().CPUHz
+	return runPolicy(ctx, set, hz, func(budget uint64) (*core.System, core.UDI, error) {
+		var idx int
+		if set.hasWorker {
+			idx = set.worker % len(p.workers)
+			if idx < 0 {
+				idx += len(p.workers)
+			}
+		} else {
+			idx = p.pick()
+		}
+		w := p.workers[idx]
+		return w.sup.sys, w.dom.udi, p.runOn(idx, budget, fn)
+	})
+}
+
+// runOn executes one attempt on worker idx with the given cycle budget,
+// upholding the worker's single-goroutine contract and the discard-on-
+// return invariant.
+func (p *Pool) runOn(idx int, budget uint64, fn func(*Ctx) error) error {
 	w := p.workers[idx]
 	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
@@ -113,10 +143,14 @@ func (p *Pool) RunOn(worker int, fn func(*Ctx) error) error {
 		return ErrPoolClosed
 	}
 	w.requests.Add(1)
-	err := w.dom.Run(fn)
-	if _, rewound := IsViolation(err); !rewound {
-		// Discard-on-return: a violation already discarded the domain
-		// during rewind; every other exit scrubs it here.
+	err := w.sup.sys.EnterWithBudget(w.dom.udi, budget, fn)
+	// Discard-on-return: if the worker's own domain was rewound (by a
+	// violation or a budget preemption), it was already discarded; every
+	// other exit scrubs it here. The UDI check inside RewoundBy matters:
+	// a nested or foreign domain's rewind error propagating through fn
+	// does not rewind the worker domain, which must then still be
+	// discarded.
+	if !core.RewoundBy(err, w.sup.sys, w.dom.udi) {
 		if derr := w.dom.Discard(); derr != nil && err == nil {
 			err = derr
 		}
@@ -124,14 +158,23 @@ func (p *Pool) RunOn(worker int, fn func(*Ctx) error) error {
 	return err
 }
 
+// Run executes fn inside a pristine isolated domain on the least-loaded
+// worker. It is Do with a background context and no options.
+func (p *Pool) Run(fn func(*Ctx) error) error {
+	return p.Do(context.Background(), fn)
+}
+
+// RunOn is Run pinned to worker (modulo the pool size). It is Do with
+// WithWorker; new code should use Do directly.
+func (p *Pool) RunOn(worker int, fn func(*Ctx) error) error {
+	return p.Do(context.Background(), fn, WithWorker(worker))
+}
+
 // RunWithFallback is Run with the paper's alternate action: on a
-// violation, fallback runs with the *ViolationError.
+// violation, fallback runs with the *ViolationError. It is Do with
+// WithFallback.
 func (p *Pool) RunWithFallback(fn func(*Ctx) error, fallback func(*ViolationError) error) error {
-	err := p.Run(fn)
-	if v, ok := IsViolation(err); ok && fallback != nil {
-		return fallback(v)
-	}
-	return err
+	return p.Do(context.Background(), fn, WithFallback(fallback))
 }
 
 // Close tears down every worker's warm domain. Runs that lost the race

@@ -1,0 +1,215 @@
+package sdrad
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+	"repro/internal/vclock"
+)
+
+// This file is Execution API v2: the Runner interface unifies the three
+// execution backends (Domain, Pool, Bridge) behind one cancellable,
+// policy-carrying entry point, and RunOptions carry the paper's per-call
+// policy — retries after rewind, the alternate action, worker affinity,
+// and virtual-cycle budgets derived from context deadlines.
+
+// Runner executes a function inside an isolated, rewindable domain. It is
+// implemented by *Domain, *Pool, and *Bridge (via its backing domain), so
+// policy-carrying call sites — and the typed Exec helper — work against
+// any backend.
+type Runner interface {
+	// Do executes fn inside a domain, applying the per-call policy in
+	// opts. A memory-safety violation rewinds and discards the domain and
+	// surfaces as a *ViolationError (after retries and the fallback, if
+	// configured). A context deadline maps to a virtual-cycle budget: a
+	// run that exhausts it is rewound the same way and surfaces as a
+	// *BudgetError. A context cancelled before (or between) attempts
+	// returns ctx.Err() without entering a domain.
+	Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error
+}
+
+// Interface compliance checks.
+var (
+	_ Runner = (*Domain)(nil)
+	_ Runner = (*Pool)(nil)
+	_ Runner = (*Bridge)(nil)
+)
+
+// BudgetError reports that a run exhausted its virtual-cycle budget
+// (from WithCycleBudget or a context deadline) and was preempted: the
+// domain was rewound and discarded exactly as after a violation, but the
+// event is not a memory-safety detection.
+type BudgetError = core.BudgetError
+
+// IsBudget reports whether err is (or wraps) a *BudgetError.
+func IsBudget(err error) (*BudgetError, bool) { return core.IsBudget(err) }
+
+// RunOption configures one Do or Exec call.
+type RunOption func(*runSettings)
+
+// runTarget records which domain the last attempt of a Do call entered;
+// Exec probes it to attribute violations (see withTargetProbe).
+type runTarget struct {
+	sys *core.System
+	udi core.UDI
+}
+
+// runSettings is the resolved per-call policy.
+type runSettings struct {
+	fallback  func(*ViolationError) error
+	retries   int
+	worker    int
+	hasWorker bool
+	budget    uint64
+	codecName string
+	target    *runTarget
+}
+
+// withTargetProbe (internal) lets Exec learn which domain Do actually
+// entered, so it can apply the fallback only to that domain's own
+// violations.
+func withTargetProbe(t *runTarget) RunOption {
+	return func(s *runSettings) { s.target = t }
+}
+
+func applyRunOptions(opts []RunOption) runSettings {
+	var set runSettings
+	for _, o := range opts {
+		o(&set)
+	}
+	return set
+}
+
+// WithFallback installs the paper's alternate action: if the run still
+// ends in a violation of the entered domain after any retries, fallback
+// is invoked with the *ViolationError (the domain has already been
+// rewound and discarded) and its result becomes Do's result. A nested
+// or foreign domain's *ViolationError returned by fn passes through as
+// an ordinary error — the entered domain was not rewound.
+func WithFallback(fallback func(*ViolationError) error) RunOption {
+	return func(s *runSettings) { s.fallback = fallback }
+}
+
+// WithRetries re-enters the domain up to n more times after a rewind:
+// each violation of the entered domain counts one retry, so a call makes
+// at most n+1 attempts. Application errors (including foreign domains'
+// rewind errors) and budget preemptions are not retried.
+func WithRetries(n int) RunOption {
+	return func(s *runSettings) {
+		if n > 0 {
+			s.retries = n
+		}
+	}
+}
+
+// WithWorker pins the call to pool worker i (modulo the pool size),
+// replacing Pool.RunOn: all attempts — including retries — run on that
+// worker, so related calls serialize on one simulated machine. Domain
+// and Bridge runners, which have no workers, ignore it.
+func WithWorker(i int) RunOption {
+	return func(s *runSettings) {
+		s.worker = i
+		s.hasWorker = true
+	}
+}
+
+// WithCycleBudget bounds the run to c virtual cycles: a run that
+// consumes the budget is preempted at its next simulated-machine
+// operation, rewound, and surfaces as a *BudgetError. When the context
+// also carries a deadline, the tighter of the two budgets applies.
+func WithCycleBudget(c uint64) RunOption {
+	return func(s *runSettings) { s.budget = c }
+}
+
+// WithCodec selects the serde codec Exec transfers request and response
+// values with: CodecRaw, CodecBinary (the default), or CodecJSON. Do
+// ignores it (Do moves no data).
+func WithCodec(name string) RunOption {
+	return func(s *runSettings) { s.codecName = name }
+}
+
+// resolveCodec returns the codec Exec should use.
+func (s *runSettings) resolveCodec() (serde.Codec, error) {
+	if s.codecName == "" {
+		return serde.Binary{}, nil
+	}
+	return serde.ByName(s.codecName)
+}
+
+// budgetFor computes the effective cycle budget for one attempt: the
+// explicit WithCycleBudget value, tightened by the context deadline
+// mapped through the cost model (vclock.CyclesUntilDeadline). 0 means no
+// budget.
+func (s *runSettings) budgetFor(ctx context.Context, hz uint64) uint64 {
+	budget := s.budget
+	if deadline, ok := ctx.Deadline(); ok {
+		if db := vclock.CyclesUntilDeadline(deadline, hz); budget == 0 || db < budget {
+			budget = db
+		}
+	}
+	return budget
+}
+
+// runPolicy drives one Do call: attempt/retry/fallback around a backend-
+// supplied attempt function. attempt receives the cycle budget for that
+// attempt and returns the UDI of the domain it entered plus the outcome
+// of that entry. Retries and the fallback apply only when the attempted
+// domain itself was violated and rewound — a nested or foreign domain's
+// *ViolationError propagating through fn is an application error here
+// (the attempted domain was never rewound, so re-entering it would run
+// against dirty state and the fallback's contract would be false).
+func runPolicy(ctx context.Context, set runSettings, hz uint64, attempt func(budget uint64) (*core.System, core.UDI, error)) error {
+	var lastViolation *ViolationError
+	for tries := 0; ; tries++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sys, udi, err := attempt(set.budgetFor(ctx, hz))
+		if set.target != nil {
+			set.target.sys, set.target.udi = sys, udi
+		}
+		if errors.Is(err, core.ErrQuarantined) && lastViolation != nil {
+			// A retry found the domain quarantined by the violation(s)
+			// absorbed just above: the run's outcome IS the violation,
+			// so the alternate action still applies.
+			if set.fallback != nil {
+				return set.fallback(lastViolation)
+			}
+			return err
+		}
+		v, isViolation := IsViolation(err)
+		if !isViolation || !core.RewoundBy(err, sys, udi) {
+			// Clean exit, application error (including foreign rewind
+			// errors), or budget preemption: none of these retry, and
+			// the fallback is own-violations-only.
+			return err
+		}
+		lastViolation = v
+		if tries < set.retries {
+			continue
+		}
+		if set.fallback != nil {
+			return set.fallback(v)
+		}
+		return err
+	}
+}
+
+// Do implements Runner: it executes fn inside the domain under the given
+// per-call policy. With no options and a background context it behaves
+// exactly like Run. WithWorker is ignored (a Domain is one worker).
+func (d *Domain) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
+	set := applyRunOptions(opts)
+	hz := d.sup.sys.Clock().Model().CPUHz
+	return runPolicy(ctx, set, hz, func(budget uint64) (*core.System, core.UDI, error) {
+		return d.sup.sys, d.udi, d.sup.sys.EnterWithBudget(d.udi, budget, fn)
+	})
+}
+
+// Do implements Runner on the bridge's backing domain: fn runs isolated
+// in the same domain Call uses, under the same per-call policy surface.
+func (b *Bridge) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
+	return b.d.Do(ctx, fn, opts...)
+}

@@ -13,26 +13,50 @@
 //
 // # Quick start
 //
+// Every execution backend — Domain, Pool, Bridge — implements Runner:
+// one cancellable, policy-carrying entry point, Do. Per-call policy
+// rides in RunOptions: retries after rewind, the paper's alternate
+// action, pool-worker affinity, and virtual-cycle budgets derived from
+// the context deadline.
+//
 //	sup := sdrad.New()
 //	dom, err := sup.NewDomain()
 //	if err != nil { ... }
 //	defer dom.Close()
 //
-//	err = dom.Run(func(c *sdrad.Ctx) error {
+//	err = dom.Do(ctx, func(c *sdrad.Ctx) error {
 //		p := c.MustAlloc(64)
 //		c.MustStore(p, payload) // contained: faults rewind the domain
 //		return nil
-//	})
-//	if v, ok := sdrad.IsViolation(err); ok {
-//		// the domain was rewound & discarded; take an alternate action
-//	}
+//	},
+//		sdrad.WithRetries(2),                               // re-enter after rewind
+//		sdrad.WithFallback(func(v *sdrad.ViolationError) error {
+//			return nil // alternate action: serve a degraded result
+//		}))
+//
+// A ctx deadline deterministically preempts a runaway run: the deadline
+// maps to a virtual-cycle budget, the domain is rewound and discarded
+// exactly as for a violation, and Do returns a *BudgetError
+// (sdrad.IsBudget). Violations still surface as *ViolationError
+// (sdrad.IsViolation) when no fallback is installed.
+//
+// Typed data transfer goes through Exec, which serializes the request
+// into the domain heap with a serde codec, runs isolated, and decodes
+// the response back out — no manual Alloc/Write/Read plumbing:
+//
+//	sum, err := sdrad.Exec(ctx, dom, req,
+//		func(c *sdrad.Ctx, r Request) (Response, error) {
+//			return handle(c, r), nil // runs inside the domain
+//		})
 //
 // The library runs against a deterministic simulated machine (paged
 // memory, software PKRU register, virtual cycle clock), because real PKU
-// hardware is not reachable from portable Go; see DESIGN.md for the
+// hardware is not reachable from portable Go; see DESIGN.md §2 for the
 // substitution argument. All isolation semantics — 16 protection keys,
 // AD/WD bits, per-page key tags, fault classification — follow the
-// hardware architecture exactly.
+// hardware architecture exactly. DESIGN.md §3 has the v1→v2 API
+// migration table (Run/RunOn/RunWithFallback remain as thin wrappers
+// over Do).
 //
 // # Concurrency
 //
@@ -47,11 +71,11 @@
 //	if err != nil { ... }
 //	defer pool.Close()
 //
-//	err = pool.Run(func(c *sdrad.Ctx) error {
+//	err = pool.Do(ctx, func(c *sdrad.Ctx) error {
 //		p := c.MustAlloc(64)
 //		c.MustStore(p, payload)
 //		return nil
-//	})
+//	}, sdrad.WithWorker(shard)) // affinity: pin related calls to one worker
 //	if v, ok := sdrad.IsViolation(err); ok {
 //		// contained on one worker; all other workers kept serving
 //	}
@@ -61,6 +85,7 @@
 package sdrad
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -133,6 +158,21 @@ func New(opts ...Option) *Supervisor {
 	return &Supervisor{sys: core.NewSystem(cfg)}
 }
 
+// Attach wraps an existing core system in a Supervisor, so integrations
+// layered directly on internal/core (the in-repo network servers and
+// experiment harness) can expose their domains through the public
+// Runner API. It is the inverse of (*Supervisor).System.
+func Attach(sys *core.System) *Supervisor { return &Supervisor{sys: sys} }
+
+// DomainAt returns a handle to the already-initialized domain at udi —
+// the companion to Attach for domains created via core.System.InitDomain.
+func (s *Supervisor) DomainAt(udi int) (*Domain, error) {
+	if _, err := s.sys.Domain(core.UDI(udi)); err != nil {
+		return nil, err
+	}
+	return &Domain{sup: s, udi: core.UDI(udi)}, nil
+}
+
 // DomainOption configures a domain.
 type DomainOption func(*core.DomainConfig)
 
@@ -196,8 +236,11 @@ type DomainStats struct {
 	CleanExits uint64
 	// Violations counts contained memory-safety events.
 	Violations uint64
-	// Rewinds counts rewind-and-discard recoveries (== Violations).
+	// Rewinds counts rewind-and-discard recoveries (violations plus
+	// budget preemptions).
 	Rewinds uint64
+	// Preemptions counts runs cancelled by an exhausted cycle budget.
+	Preemptions uint64
 	// RewindTime is the total virtual time spent recovering.
 	RewindTime time.Duration
 }
@@ -216,20 +259,17 @@ func (d *Domain) UDI() int { return int(d.udi) }
 // If fn triggers a memory-safety violation (or panics), the domain is
 // rewound and discarded and Run returns a *ViolationError. Errors
 // returned by fn pass through unchanged, and the domain's memory persists
-// across Runs until a violation or Close.
+// across Runs until a violation or Close. It is Do with a background
+// context and no options.
 func (d *Domain) Run(fn func(*Ctx) error) error {
-	return d.sup.sys.Enter(d.udi, fn)
+	return d.Do(context.Background(), fn)
 }
 
 // RunWithFallback executes fn inside the domain; on a violation, the
 // domain is rewound and fallback runs with the violation (the paper's
-// "alternate action").
+// "alternate action"). It is Do with WithFallback.
 func (d *Domain) RunWithFallback(fn func(*Ctx) error, fallback func(*ViolationError) error) error {
-	err := d.Run(fn)
-	if v, ok := IsViolation(err); ok && fallback != nil {
-		return fallback(v)
-	}
-	return err
+	return d.Do(context.Background(), fn, WithFallback(fallback))
 }
 
 // Write copies data into the domain's memory at addr with supervisor
@@ -272,11 +312,12 @@ func (d *Domain) Stats() (DomainStats, error) {
 	st := dom.Stats()
 	hz := d.sup.sys.Clock().Model().CPUHz
 	return DomainStats{
-		Entries:    st.Entries,
-		CleanExits: st.CleanExits,
-		Violations: st.Violations,
-		Rewinds:    st.Rewinds,
-		RewindTime: vclock.CyclesToDuration(st.RewindCycles(), hz),
+		Entries:     st.Entries,
+		CleanExits:  st.CleanExits,
+		Violations:  st.Violations,
+		Rewinds:     st.Rewinds,
+		Preemptions: st.Preemptions,
+		RewindTime:  vclock.CyclesToDuration(st.RewindCycles(), hz),
 	}, nil
 }
 
