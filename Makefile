@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-pools bench-smoke
 
 check: fmt vet build test race
 
@@ -24,6 +24,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Throughput-scaling benchmarks for the supervisor pools (E1 parallel).
+# Full E1-E8 + ablation suite with fixed flags, emitting BENCH_PR3.json
+# (name -> iters, ns/op, vops/s, ...) for PR-over-PR perf diffing. Pass
+# BASELINE=<prev.json> to embed a previous report for comparison.
+BASELINE ?=
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json $(if $(BASELINE),-baseline $(BASELINE))
+
+# Throughput-scaling benchmarks for the supervisor pools (E1 parallel).
+bench-pools:
 	$(GO) test -run '^$$' -bench 'E1KVSDRaDParallel|E1HTTPSDRaDParallel' -benchtime 1s .
+
+# One-iteration smoke pass over the suite (CI: proves the benches run).
+bench-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_CI.json

@@ -40,11 +40,16 @@ func benchKV(b *testing.B, mode kvstore.Mode) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	startVT := sys.Clock().Now() // exclude setup from the virtual metric
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if resp := srv.Handle(i%8, gen.Next()); resp.Err != nil {
 			b.Fatal(resp.Err)
 		}
+	}
+	b.StopTimer()
+	if vt := sys.Clock().Now() - startVT; vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
 	}
 }
 
@@ -60,11 +65,16 @@ func benchHTTP(b *testing.B, mode httpd.Mode) {
 	}
 	srv.HandleFunc("/", []byte("<html>index</html>"))
 	raw := httpd.BuildRequest("GET", "/", nil)
+	startVT := sys.Clock().Now() // exclude setup from the virtual metric
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if resp := srv.Serve(i%8, raw); resp.Err != nil {
 			b.Fatal(resp.Err)
 		}
+	}
+	b.StopTimer()
+	if vt := sys.Clock().Now() - startVT; vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
 	}
 }
 
@@ -329,27 +339,40 @@ func BenchmarkE8Codec(b *testing.B) {
 // ---- Ablations (DESIGN.md §5) ----
 
 // BenchmarkAblationDiscardZeroing compares rewind with and without the
-// page scrub.
+// page scrub. The dirty= dimension varies how many of the 64 heap pages
+// the run writes before violating: with dirty-page-bounded discard the
+// host cost of zero=true scales with dirty, not with the mapped heap
+// size (virtual cycles charge the full range either way).
 func BenchmarkAblationDiscardZeroing(b *testing.B) {
-	for _, zero := range []bool{true, false} {
-		b.Run(fmt.Sprintf("zero=%v", zero), func(b *testing.B) {
-			cfg := core.DefaultConfig()
-			cfg.ZeroOnDiscard = zero
-			sys := core.NewSystem(cfg)
-			if _, err := sys.InitDomain(1, core.DomainConfig{HeapPages: 64}); err != nil {
+	bench := func(b *testing.B, zero bool, dirtyPages int) {
+		cfg := core.DefaultConfig()
+		cfg.ZeroOnDiscard = zero
+		sys := core.NewSystem(cfg)
+		if _, err := sys.InitDomain(1, core.DomainConfig{HeapPages: 64, MaxHeapPages: 64}); err != nil {
+			b.Fatal(err)
+		}
+		// Touch ~one page per chunk: payload 4072 + overhead = 4096+24.
+		dirt := make([]byte, 4072)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			err := sys.Enter(1, func(c *core.DomainCtx) error {
+				for j := 0; j < dirtyPages; j++ {
+					p := c.MustAlloc(len(dirt))
+					c.MustStore(p, dirt)
+				}
+				c.Violate(nil)
+				return nil
+			})
+			if _, ok := core.IsViolation(err); !ok {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				err := sys.Enter(1, func(c *core.DomainCtx) error {
-					c.Violate(nil)
-					return nil
-				})
-				if _, ok := core.IsViolation(err); !ok {
-					b.Fatal(err)
-				}
-			}
-		})
+		}
+	}
+	for _, zero := range []bool{true, false} {
+		b.Run(fmt.Sprintf("zero=%v", zero), func(b *testing.B) { bench(b, zero, 0) })
+	}
+	for _, dirty := range []int{1, 8, 32, 56} {
+		b.Run(fmt.Sprintf("zero=true/dirty=%d", dirty), func(b *testing.B) { bench(b, true, dirty) })
 	}
 }
 

@@ -1,0 +1,172 @@
+// Command benchjson runs the repository's E1–E8 benchmark suite (plus
+// the ablations) with fixed flags and emits a machine-readable JSON
+// report, so successive PRs can diff performance. A previous report can
+// be embedded as the baseline:
+//
+//	go run ./cmd/benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json
+//
+// The report records, per benchmark: iterations, ns/op, and every extra
+// metric the benchmark reports (vops/s, B/op, ...). Wall-clock numbers
+// measure the simulator's host-side speed; vops/s measures requests per
+// second of simulated machine time (the paper-shaped metric, invariant
+// under host-side optimization).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the E1–E8 suite and the ablations.
+const defaultBench = "E1|E2|E3|E4|E6|E7|E8|Ablation|PoolRoundTrip|FFICallRoundTrip"
+
+// Result is one benchmark's parsed outcome.
+type Result struct {
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	GoVersion     string            `json:"go_version"`
+	CPU           string            `json:"cpu,omitempty"`
+	BenchRegexp   string            `json:"bench_regexp"`
+	BenchTime     string            `json:"bench_time"`
+	Count         int               `json:"count"`
+	Results       map[string]Result `json:"results"`
+	// Baseline is a previous report (its own baseline stripped), embedded
+	// verbatim for before/after diffing.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+	cpuLine   = regexp.MustCompile(`^cpu:\s*(.*)$`)
+	// metricPair matches "<value> <unit>" segments of a benchmark line.
+	metricPair = regexp.MustCompile(`([0-9][0-9.e+\-]*)\s+([^\s]+)`)
+)
+
+// parseBenchOutput extracts results from `go test -bench` output. When a
+// benchmark appears multiple times (-count > 1), the fastest ns/op run
+// wins (the usual noise-floor convention).
+func parseBenchOutput(out string) (map[string]Result, string) {
+	results := make(map[string]Result)
+	cpu := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iters: iters}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if pair[2] == "ns/op" {
+				r.NsPerOp = v
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[pair[2]] = v
+		}
+		if prev, ok := results[name]; !ok || r.NsPerOp < prev.NsPerOp {
+			results[name] = r
+		}
+	}
+	return results, cpu
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 100x, 1x)")
+		count     = flag.Int("count", 1, "go test -count value")
+		outPath   = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		baseline  = flag.String("baseline", "", "previous report to embed as baseline (optional)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	results, cpu := parseBenchOutput(string(out))
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results parsed from output:\n%s", out)
+	}
+
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		CPU:           cpu,
+		BenchRegexp:   *bench,
+		BenchTime:     *benchtime,
+		Count:         *count,
+		Results:       results,
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		// Strip the baseline's own baseline so reports do not nest
+		// unboundedly.
+		var prev map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		delete(prev, "baseline")
+		flat, err := json.Marshal(prev)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Baseline = flat
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *outPath)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

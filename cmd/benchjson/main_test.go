@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE1KVSDRaD-8             850454          1554 ns/op        460913 vops/s
+BenchmarkE1KVSDRaD-8             900000          1500 ns/op        460913 vops/s
+BenchmarkAblationDiscardZeroing/zero=true/dirty=8-8   97687   3687 ns/op
+BenchmarkE8Codec/raw/16B-8     12345678            95.31 ns/op     167.9 MB/s
+PASS
+ok      repro   11.109s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, cpu := parseBenchOutput(sample)
+	if cpu == "" {
+		t.Error("cpu line not parsed")
+	}
+	kv, ok := results["BenchmarkE1KVSDRaD"]
+	if !ok {
+		t.Fatalf("E1KVSDRaD missing: %v", results)
+	}
+	// -count collapsing keeps the fastest run.
+	if kv.NsPerOp != 1500 || kv.Iters != 900000 {
+		t.Errorf("E1KVSDRaD = %+v, want fastest of the two runs", kv)
+	}
+	if kv.Metrics["vops/s"] != 460913 {
+		t.Errorf("vops/s = %v", kv.Metrics)
+	}
+	abl, ok := results["BenchmarkAblationDiscardZeroing/zero=true/dirty=8"]
+	if !ok || abl.NsPerOp != 3687 {
+		t.Errorf("sub-benchmark with GOMAXPROCS suffix: %+v (ok=%v)", abl, ok)
+	}
+	codec, ok := results["BenchmarkE8Codec/raw/16B"]
+	if !ok || codec.NsPerOp != 95.31 || codec.Metrics["MB/s"] != 167.9 {
+		t.Errorf("fractional ns/op + MB/s: %+v (ok=%v)", codec, ok)
+	}
+	if len(results) != 3 {
+		t.Errorf("parsed %d results, want 3", len(results))
+	}
+}

@@ -11,11 +11,29 @@
 // time or by an explicit CheckIntegrity sweep. These canaries are one of
 // the "pre-existing detection mechanisms" (§II of the paper) that trigger
 // secure rewind.
+//
+// # Metadata
+//
+// All per-chunk metadata is in-band: the header holds the requested size
+// (from which the size class is derived) and the canary word, which
+// doubles as the liveness marker — a live chunk carries canary(chunk), a
+// freed chunk carries canary(chunk) XOR freedMark. There is no host-side
+// per-chunk map; Free and the integrity sweep walk the headers. Double
+// frees surface as ErrBadFree via the freed marker (the tcache-key
+// technique of hardened glibc), and a smashed size field is now itself
+// detectable: the redzone check lands at the wrong offset and fails.
+//
+// Virtual-cycle accounting on the benign Alloc/Free paths is identical
+// to the seed implementation (see TestAllocFreeCycleParity): the header
+// walk uses kernel-side Peek/Poke accesses, which cost nothing — exactly
+// what the former host-side live map cost.
 package alloc
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/pku"
@@ -29,6 +47,11 @@ const (
 	// numClasses covers payloads 16 B .. 8 MiB.
 	numClasses = 20
 )
+
+// freedMark is XORed into the header canary when a chunk is freed: the
+// marker is unforgeable without the heap secret (it is derived from the
+// live canary) and never equals the live canary.
+const freedMark = 0x6672_6565_6672_6565 // "freefree"
 
 // Overhead is the per-allocation metadata overhead in bytes.
 const Overhead = headerSize + trailerSize
@@ -58,8 +81,9 @@ type Heap struct {
 	regions []region
 	// free[i] holds freed chunk base addresses for class i.
 	free [numClasses][]mem.Addr
-	// live maps chunk payload address -> class index.
-	live map[mem.Addr]int
+	// liveChunks counts allocations not yet freed (chunk liveness itself
+	// is recorded in-band via the header canary marker).
+	liveChunks int
 
 	maxPages   int
 	allocated  uint64 // current live payload bytes
@@ -101,7 +125,6 @@ func New(m *mem.Memory, key pku.Key, cfg Config) (*Heap, error) {
 		key:      key,
 		pkru:     pku.OnlyKeys(pku.DefaultKey, key),
 		secret:   cfg.Secret,
-		live:     make(map[mem.Addr]int),
 		maxPages: cfg.MaxPages,
 	}
 	if err := h.grow(cfg.InitialPages); err != nil {
@@ -162,18 +185,34 @@ func classFor(n int) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: size %d", ErrTooLarge, n)
 	}
-	sz := minClass
-	for c := 0; c < numClasses; c++ {
-		if n <= sz {
-			return c, nil
-		}
-		sz <<= 1
+	if n <= minClass {
+		return 0, nil
 	}
-	return 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, minClass<<(numClasses-1))
+	c := bits.Len64(uint64(n-1)) - 4 // smallest c with minClass<<c >= n
+	if c >= numClasses {
+		return 0, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, minClass<<(numClasses-1))
+	}
+	return c, nil
 }
 
 // ClassSize returns the payload capacity of size class c.
 func ClassSize(c int) int { return minClass << c }
+
+// zeroSrc is a process-wide, grow-only all-zero buffer used as the
+// source for payload scrubs: one buffer serves every heap (pool workers
+// included) instead of each heap retaining its own up-to-8-MiB copy.
+// Its contents are never written, so concurrent readers are safe; a
+// racing grow is last-writer-wins, which only costs a re-allocation.
+var zeroSrc atomic.Pointer[[]byte]
+
+func zeroBuf(n int) []byte {
+	if p := zeroSrc.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n]
+	}
+	b := make([]byte, n)
+	zeroSrc.Store(&b)
+	return b
+}
 
 func (h *Heap) canary(chunk mem.Addr) uint64 {
 	// Mix the chunk address with the heap secret (xorshift-style).
@@ -185,6 +224,58 @@ func (h *Heap) canary(chunk mem.Addr) uint64 {
 		x = h.secret | 1
 	}
 	return x
+}
+
+// isChunkStart walks the bump chain of the region containing chunk and
+// reports whether chunk is an actual chunk base. Kernel-side peeks only
+// (no virtual cost); used on Free's error path to classify bad
+// pointers. A desynced walk (smashed size field en route) conservatively
+// reports true: the heap is corrupt either way.
+func (h *Heap) isChunkStart(chunk mem.Addr) bool {
+	for ri := range h.regions {
+		r := &h.regions[ri]
+		if chunk < r.base || chunk >= r.base+mem.Addr(r.used) {
+			continue
+		}
+		for off := uint64(0); off < r.used; {
+			at := r.base + mem.Addr(off)
+			if at == chunk {
+				return true
+			}
+			if at > chunk {
+				return false
+			}
+			size, err := h.m.Peek64(at)
+			if err != nil {
+				return true
+			}
+			c, err := classFor(int(size))
+			if err != nil {
+				return true
+			}
+			off += uint64(ClassSize(c)) + Overhead
+		}
+		return false
+	}
+	return false
+}
+
+// chunkOf reports whether p can be the payload address of a chunk in one
+// of the heap's regions (in-band metadata range check — the replacement
+// for the former live-map membership test, at the same zero virtual
+// cost).
+func (h *Heap) chunkOf(p mem.Addr) (mem.Addr, bool) {
+	if p < headerSize {
+		return 0, false
+	}
+	chunk := p - headerSize
+	for i := range h.regions {
+		r := &h.regions[i]
+		if chunk >= r.base && chunk < r.base+mem.Addr(r.used) {
+			return chunk, true
+		}
+	}
+	return 0, false
 }
 
 // Alloc allocates n bytes and returns the payload address. The payload is
@@ -208,7 +299,8 @@ func (h *Heap) Alloc(n int) (mem.Addr, error) {
 	}
 
 	payload := chunk + headerSize
-	// Write header: size and canary.
+	// Write header: size and canary (the live canary also clears any
+	// freed marker left by a previous Free of this chunk).
 	if err := h.m.Store64(h.pkru, chunk, uint64(n)); err != nil {
 		return 0, fmt.Errorf("alloc: header write: %w", err)
 	}
@@ -216,15 +308,14 @@ func (h *Heap) Alloc(n int) (mem.Addr, error) {
 		return 0, fmt.Errorf("alloc: canary write: %w", err)
 	}
 	// Zero payload and write trailing redzone.
-	zero := make([]byte, ClassSize(c))
-	if err := h.m.StoreBytes(h.pkru, payload, zero); err != nil {
+	if err := h.m.StoreBytes(h.pkru, payload, zeroBuf(ClassSize(c))); err != nil {
 		return 0, fmt.Errorf("alloc: payload zero: %w", err)
 	}
 	if err := h.m.Store64(h.pkru, payload+mem.Addr(ClassSize(c)), h.canary(chunk)); err != nil {
 		return 0, fmt.Errorf("alloc: redzone write: %w", err)
 	}
 
-	h.live[payload] = c
+	h.liveChunks++
 	h.allocated += uint64(n)
 	h.totalAlloc++
 	if h.allocated > h.peak {
@@ -278,21 +369,57 @@ func (h *Heap) checkChunk(p mem.Addr, class int) error {
 
 // Free releases the allocation whose payload address is p, after
 // validating both canaries. A canary mismatch returns ErrHeapCorruption —
-// SDRaD's cue to rewind the domain.
+// SDRaD's cue to rewind the domain. A double free (freed-marker canary)
+// or an address outside any chunk returns ErrBadFree.
 func (h *Heap) Free(p mem.Addr) error {
-	c, ok := h.live[p]
+	chunk, ok := h.chunkOf(p)
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(p))
 	}
-	if err := h.checkChunk(p, c); err != nil {
-		return err
+	want := h.canary(chunk)
+	got, err := h.m.Load64(h.pkru, chunk+8)
+	if err != nil {
+		return fmt.Errorf("alloc: canary read: %w", err)
 	}
-	size, err := h.m.Load64(h.pkru, p-headerSize)
+	if got == want^freedMark {
+		return fmt.Errorf("%w: double free of %#x", ErrBadFree, uint64(p))
+	}
+	if got != want {
+		// The canary alone cannot tell a real chunk with a smashed
+		// header from an interior/garbage pointer. Walk the region's
+		// chunk chain (kernel-side, error path only) to decide: a true
+		// chunk start means corruption (seed semantics — the live map
+		// knew it was an allocation), anything else is an invalid free.
+		if h.isChunkStart(chunk) {
+			return fmt.Errorf("%w: header canary at %#x (got %#x want %#x)",
+				ErrHeapCorruption, uint64(chunk), got, want)
+		}
+		return fmt.Errorf("%w: %#x is not an allocation", ErrBadFree, uint64(p))
+	}
+	size, err := h.m.Load64(h.pkru, chunk)
 	if err != nil {
 		return fmt.Errorf("alloc: size read: %w", err)
 	}
-	delete(h.live, p)
-	h.free[c] = append(h.free[c], p-headerSize)
+	c, err := classFor(int(size))
+	if err != nil {
+		// The size field was overwritten: the header itself is corrupt.
+		return fmt.Errorf("%w: size field at %#x smashed (%d)", ErrHeapCorruption, uint64(chunk), size)
+	}
+	rz, err := h.m.Load64(h.pkru, p+mem.Addr(ClassSize(c)))
+	if err != nil {
+		return fmt.Errorf("alloc: redzone read: %w", err)
+	}
+	if rz != want {
+		return fmt.Errorf("%w: redzone at %#x (got %#x want %#x)",
+			ErrHeapCorruption, uint64(p)+uint64(ClassSize(c)), rz, want)
+	}
+	// Mark the header freed. Kernel-side metadata write: no virtual cost,
+	// matching the seed's host-side map delete.
+	if err := h.m.Poke64(chunk+8, want^freedMark); err != nil {
+		return fmt.Errorf("alloc: freed marker: %w", err)
+	}
+	h.free[c] = append(h.free[c], chunk)
+	h.liveChunks--
 	if size <= h.allocated {
 		h.allocated -= size
 	} else {
@@ -304,38 +431,108 @@ func (h *Heap) Free(p mem.Addr) error {
 
 // UsableSize returns the payload capacity of the allocation at p.
 func (h *Heap) UsableSize(p mem.Addr) (int, error) {
-	c, ok := h.live[p]
+	chunk, ok := h.chunkOf(p)
 	if !ok {
 		return 0, fmt.Errorf("%w: %#x", ErrBadFree, uint64(p))
+	}
+	got, err := h.m.Peek64(chunk + 8)
+	if err != nil {
+		return 0, fmt.Errorf("alloc: canary read: %w", err)
+	}
+	if got != h.canary(chunk) {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, uint64(p))
+	}
+	size, err := h.m.Peek64(chunk)
+	if err != nil {
+		return 0, fmt.Errorf("alloc: size read: %w", err)
+	}
+	c, err := classFor(int(size))
+	if err != nil {
+		return 0, fmt.Errorf("%w: size field at %#x smashed (%d)", ErrHeapCorruption, uint64(chunk), size)
 	}
 	return ClassSize(c), nil
 }
 
-// CheckIntegrity sweeps every live chunk and validates its canaries,
-// returning the first corruption found. This is the heap-integrity probe
+// CheckIntegrity walks every chunk in bump order and validates canaries,
+// returning the first corruption found (in address order, so the report
+// is deterministic — the former live-map sweep visited chunks in random
+// order). Live chunks get the full charged canary + redzone validation
+// the seed performed; freed chunks are checked against their freed
+// marker via kernel-side peeks, which detects use-after-free header
+// smashes at no extra virtual cost. This is the heap-integrity probe
 // SDRaD runs when a domain exits cleanly.
 func (h *Heap) CheckIntegrity() error {
-	for p, c := range h.live {
-		if err := h.checkChunk(p, c); err != nil {
-			return err
+	for ri := range h.regions {
+		r := &h.regions[ri]
+		for off := uint64(0); off < r.used; {
+			chunk := r.base + mem.Addr(off)
+			size, err := h.m.Peek64(chunk)
+			if err != nil {
+				return fmt.Errorf("alloc: sweep header read: %w", err)
+			}
+			c, err := classFor(int(size))
+			if err != nil {
+				return fmt.Errorf("%w: size field at %#x smashed (%d)", ErrHeapCorruption, uint64(chunk), size)
+			}
+			got, err := h.m.Peek64(chunk + 8)
+			if err != nil {
+				return fmt.Errorf("alloc: sweep canary read: %w", err)
+			}
+			want := h.canary(chunk)
+			switch got {
+			case want:
+				// Live: the charged canary + redzone validation.
+				if err := h.checkChunk(chunk+headerSize, c); err != nil {
+					return err
+				}
+			case want ^ freedMark:
+				// Freed: the marker proves the canary word, and the
+				// redzone (left holding the live canary by Free) must sit
+				// where the header's size says — otherwise the size field
+				// was overwritten after the free, which would desync this
+				// walk and let it skip later chunks. Kernel-side peek: no
+				// charged traffic for freed chunks, matching the seed.
+				rz, err := h.m.Peek64(chunk + headerSize + mem.Addr(ClassSize(c)))
+				if err != nil {
+					return fmt.Errorf("alloc: sweep redzone read: %w", err)
+				}
+				if rz != want {
+					return fmt.Errorf("%w: freed chunk at %#x size/redzone mismatch (redzone %#x want %#x)",
+						ErrHeapCorruption, uint64(chunk), rz, want)
+				}
+			default:
+				return fmt.Errorf("%w: header canary at %#x (got %#x want %#x)",
+					ErrHeapCorruption, uint64(chunk), got, want)
+			}
+			off += uint64(ClassSize(c)) + Overhead
 		}
 	}
 	return nil
 }
 
-// Reset discards every allocation without individual frees and zeroes the
-// heap pages. This is the "discard" half of secure rewind: the domain's
-// heap returns to a pristine state in O(pages) page-zero operations, with
-// no dependence on live object count.
-func (h *Heap) Reset() error {
+// reset clears the allocator's bookkeeping (free lists, bump offsets,
+// counters) without touching page contents.
+func (h *Heap) reset() {
 	for i := range h.free {
 		h.free[i] = h.free[i][:0]
 	}
-	clear(h.live)
+	h.liveChunks = 0
 	h.allocated = 0
 	for i := range h.regions {
+		h.regions[i].used = 0
+	}
+}
+
+// Reset discards every allocation without individual frees and zeroes the
+// heap pages. This is the "discard" half of secure rewind: the domain's
+// heap returns to a pristine state, with no dependence on live object
+// count. The page scrub is dirty-page-bounded on the host (mem.Zero
+// skips pages that are already all-zero) while still charging the full
+// per-page virtual cost.
+func (h *Heap) Reset() error {
+	h.reset()
+	for i := range h.regions {
 		r := &h.regions[i]
-		r.used = 0
 		if err := h.m.Zero(r.base, r.npages); err != nil {
 			return fmt.Errorf("alloc: reset: %w", err)
 		}
@@ -350,14 +547,7 @@ func (h *Heap) Reset() error {
 // confidentiality of discarded data. This is the "fast discard" ablation
 // called out in DESIGN.md §5.
 func (h *Heap) ResetNoZero() error {
-	for i := range h.free {
-		h.free[i] = h.free[i][:0]
-	}
-	clear(h.live)
-	h.allocated = 0
-	for i := range h.regions {
-		h.regions[i].used = 0
-	}
+	h.reset()
 	return nil
 }
 
@@ -369,7 +559,7 @@ func (h *Heap) Release() error {
 		}
 	}
 	h.regions = nil
-	clear(h.live)
+	h.liveChunks = 0
 	return nil
 }
 
@@ -390,7 +580,7 @@ func (h *Heap) Stats() Stats {
 		pages += r.npages
 	}
 	return Stats{
-		LiveChunks:  len(h.live),
+		LiveChunks:  h.liveChunks,
 		LiveBytes:   h.allocated,
 		PeakBytes:   h.peak,
 		TotalAllocs: h.totalAlloc,

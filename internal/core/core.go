@@ -191,6 +191,10 @@ type Domain struct {
 	stack *stack.Stack
 	stats DomainStats
 	sys   *System
+	// pkru caches pkruFor(d) — the register value installed while d
+	// executes. Recomputed whenever the domain's read grants change, so
+	// Enter does not rebuild it per entry.
+	pkru pku.PKRU
 	// readKeys are foreign keys this domain may read (write-disabled),
 	// installed by System.GrantRead.
 	readKeys map[pku.Key]bool
@@ -288,6 +292,7 @@ func (s *System) InitDomain(udi UDI, cfg DomainConfig) (*Domain, error) {
 		return nil, fmt.Errorf("sdrad: init domain %d stack: %w", udi, err)
 	}
 	d := &Domain{udi: udi, key: key, heap: h, stack: st, sys: s}
+	d.pkru = pkruFor(d)
 	s.domains[udi] = d
 	s.emit(trace.KindInit, udi, fmt.Sprintf("key=%v", key))
 	if udi >= s.nextUDI {
@@ -352,7 +357,10 @@ func (s *System) DeinitDomain(udi UDI) error {
 // and stack survive. This is the explicit-discard half of rewind-and-
 // discard, used to recycle a warm domain between requests — far cheaper
 // than DeinitDomain+InitDomain, which would also free and re-allocate the
-// pkey and remap every page.
+// pkey and remap every page. The scrub's host cost is bounded by the
+// pages the run actually dirtied (mem.Zero skips known-zero pages), so
+// recycling a warm domain costs O(pages touched), not O(heap size) —
+// virtual cycles are still charged for the full range.
 func (s *System) DiscardDomain(udi UDI) error {
 	d, ok := s.domains[udi]
 	if !ok {
@@ -443,7 +451,7 @@ func (s *System) EnterWithBudget(udi UDI, budget uint64, fn func(*DomainCtx) err
 	s.clock.Advance(s.cfg.Cost.SnapshotCtx + s.cfg.Cost.WRPKRU)
 	snap := d.stack.Snapshot()
 	prevPKRU := s.pkru
-	s.pkru = pkruFor(d)
+	s.pkru = d.pkru
 	s.active = append(s.active, d)
 	d.stats.Entries++
 	s.emit(trace.KindEnter, udi, "")

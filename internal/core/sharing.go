@@ -73,12 +73,13 @@ func (s *System) RevokeRead(viewer, owner UDI) error {
 	return nil
 }
 
-// refreshPKRU reinstalls the register if d is currently the innermost
-// active domain, so grants take effect immediately (a WRPKRU on real
-// hardware).
+// refreshPKRU recomputes the domain's cached register value and
+// reinstalls it if d is currently the innermost active domain, so grants
+// take effect immediately (a WRPKRU on real hardware).
 func (s *System) refreshPKRU(d *Domain) {
+	d.pkru = pkruFor(d)
 	if s.current() == d {
-		s.pkru = pkruFor(d)
+		s.pkru = d.pkru
 		s.clock.Advance(s.cfg.Cost.WRPKRU)
 	}
 }

@@ -177,6 +177,11 @@ type Server struct {
 	routes  map[string][]byte
 	workers []*sdrad.Domain
 	scratch *alloc.Heap
+	// parseBuf and headBuf are reusable host-side staging buffers (the
+	// server is single-threaded): parseBuf stages the request bytes for
+	// the parse, headBuf the fixed-size response head.
+	parseBuf []byte
+	headBuf  []byte
 
 	downUntil uint64
 
@@ -299,7 +304,7 @@ func (s *Server) serveSDRaD(ctx context.Context, clientID int, raw []byte) Respo
 	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw) + 1)
 		c.MustStore(buf, raw)
-		tmp := make([]byte, len(raw))
+		tmp := s.stage(len(raw))
 		c.MustLoad(buf, tmp)
 		pr, perr = parse(tmp)
 		if perr == nil {
@@ -340,7 +345,11 @@ func (s *Server) serveSDRaD(ctx context.Context, clientID int, raw []byte) Respo
 	if aerr != nil {
 		return Response{Status: 500, Err: aerr}
 	}
-	head := make([]byte, headLen)
+	if cap(s.headBuf) < headLen {
+		s.headBuf = make([]byte, headLen)
+	}
+	head := s.headBuf[:headLen]
+	clear(head)
 	copy(head, fmt.Sprintf("HTTP/1.1 %d\r\ncontent-length: %d\r\n\r\n", resp.Status, len(resp.Body)))
 	if cerr := d.Write(out, head); cerr != nil {
 		return Response{Status: 500, Err: cerr}
@@ -362,7 +371,7 @@ func (s *Server) serveNative(raw []byte) Response {
 	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
 		return Response{Status: 500, Err: err}
 	}
-	tmp := make([]byte, len(raw))
+	tmp := s.stage(len(raw))
 	if err := m.LoadBytes(pku.PKRUAllowAll, buf, tmp); err != nil {
 		return Response{Status: 500, Err: err}
 	}
@@ -427,3 +436,11 @@ func BuildRequest(method, path string, headers map[string]string) []byte {
 
 // Interface compliance check.
 var _ fmt.Stringer = ModeNative
+
+// stage returns the server's reusable n-byte parse staging buffer.
+func (s *Server) stage(n int) []byte {
+	if cap(s.parseBuf) < n {
+		s.parseBuf = make([]byte, n)
+	}
+	return s.parseBuf[:n]
+}

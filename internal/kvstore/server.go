@@ -115,6 +115,9 @@ type Server struct {
 	cfg     ServerConfig
 	workers []*sdrad.Domain
 	scratch *alloc.Heap // native-mode parse buffers (key 0)
+	// parseBuf is the reusable host-side staging buffer for the parse
+	// scan (the server is single-threaded, so one buffer suffices).
+	parseBuf []byte
 
 	downUntil uint64 // virtual cycle until which the native server is down
 
@@ -271,7 +274,7 @@ func (s *Server) handleSDRaD(ctx context.Context, clientID int, req workload.Req
 	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw))
 		c.MustStore(buf, raw)
-		parseInDomain(c, buf, len(raw))
+		parseInDomain(c, buf, s.stage(len(raw)))
 		if req.Malicious {
 			fault.Inject(c, s.cfg.MaliciousKind, 0)
 		}
@@ -335,7 +338,7 @@ func (s *Server) handleNative(req workload.Request, raw []byte) (Response, error
 	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
 		return Response{}, fmt.Errorf("kvstore: scratch store: %w", err)
 	}
-	parseNative(m, buf, len(raw))
+	parseNative(m, buf, s.stage(len(raw)))
 	if req.Malicious {
 		return s.crash()
 	}
@@ -364,7 +367,7 @@ func (s *Server) handleSandbox(req workload.Request, raw []byte) (Response, erro
 	if err := m.StoreBytes(pku.PKRUAllowAll, buf, raw); err != nil {
 		return Response{}, fmt.Errorf("kvstore: sandbox store: %w", err)
 	}
-	parseNative(m, buf, len(raw))
+	parseNative(m, buf, s.stage(len(raw)))
 	if err := s.scratch.Free(buf); err != nil {
 		return Response{}, fmt.Errorf("kvstore: sandbox free: %w", err)
 	}
@@ -419,18 +422,24 @@ func (s *Server) apply(req workload.Request) (Response, error) {
 	}
 }
 
+// stage returns the server's reusable n-byte parse staging buffer.
+func (s *Server) stage(n int) []byte {
+	if cap(s.parseBuf) < n {
+		s.parseBuf = make([]byte, n)
+	}
+	return s.parseBuf[:n]
+}
+
 // parseInDomain models request parsing inside a domain: a linear scan of
 // the buffer (token split + length validation), costed through real
-// simulated loads.
-func parseInDomain(c *core.DomainCtx, buf mem.Addr, n int) {
-	tmp := make([]byte, n)
+// simulated loads. tmp is host-side staging for the scan.
+func parseInDomain(c *core.DomainCtx, buf mem.Addr, tmp []byte) {
 	c.MustLoad(buf, tmp)
 	scan(tmp)
 }
 
 // parseNative is the same parse against unprotected memory.
-func parseNative(m *mem.Memory, buf mem.Addr, n int) {
-	tmp := make([]byte, n)
+func parseNative(m *mem.Memory, buf mem.Addr, tmp []byte) {
 	// The native server runs with full rights.
 	if err := m.LoadBytes(pku.PKRUAllowAll, buf, tmp); err != nil {
 		return

@@ -9,6 +9,25 @@
 // information a SIGSEGV siginfo would (faulting address, access type,
 // protection key). SDRaD's isolation guarantee — a memory defect inside a
 // domain can only touch that domain's pages — is enforced here.
+//
+// # Host-side fast path
+//
+// Translation is a two-level radix walk (a dense leaf array indexed by
+// the low page-number bits under a growable top-level table) fronted by a
+// small direct-mapped software TLB that caches the outcome of the full
+// page-walk + PKU check per (page, PKRU) pair. The TLB is flushed on
+// Unmap/Protect/TagKey — the simulated equivalents of the operations that
+// shoot down a hardware TLB — and a PKRU change needs no flush because
+// the register value is part of the entry tag. Stores additionally
+// maintain a per-page dirty bitmap so Zero can scrub only pages that were
+// actually written since they were last known-zero. The fast path itself
+// never changes virtual-cycle accounting — benign loads, stores, maps,
+// and zeroes charge exactly the cycles the seed implementation charged
+// (see the package tests for the pinned values). Two deliberate
+// accounting changes ride alongside it: Protect/TagKey charge
+// PkeyMprotect per page (the syscall updates every PTE in the range),
+// and Load8/Store8 charge before the permission check, unifying the
+// charge-before-fault ordering LoadBytes/StoreBytes already had.
 package mem
 
 import (
@@ -129,16 +148,62 @@ type page struct {
 	key  pku.Key
 }
 
+// Radix-table geometry: the page-number space is split into leaves of
+// leafSize pages. The top level is a growable slice (page numbers are
+// handed out by a monotone bump pointer, so they are dense from zero),
+// the second level is a fixed array — one pointer chase per walk instead
+// of a map probe, and leaf storage doubles as the dirty bitmap.
+const (
+	leafBits  = 10
+	leafSize  = 1 << leafBits // pages per leaf (4 MiB of address space)
+	leafMask  = leafSize - 1
+	leafWords = leafSize / 64
+)
+
+type leaf struct {
+	pages [leafSize]*page
+	// dirty marks pages whose contents may differ from all-zero: the bit
+	// is set on every store and cleared when Zero scrubs the page. Fresh
+	// mappings start clean (Map hands out zeroed pages).
+	dirty  [leafWords]uint64
+	mapped int // non-nil entries; the leaf is freed when it reaches 0
+}
+
+// Software-TLB geometry. The TLB is direct-mapped and caches the result
+// of a successful page walk + protection + PKU check for one (page
+// number, PKRU) pair. Faulting outcomes are never cached, so the fault
+// bookkeeping below stays on the slow path.
+const (
+	tlbBits = 8
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+type tlbEntry struct {
+	pg    *page // nil marks an invalid entry
+	lf    *leaf // leaf holding pn, for the store path's dirty-bit update
+	pn    uint64
+	pkru  pku.PKRU
+	read  bool // pkru+prot permit reads of this page
+	write bool // pkru+prot permit writes to this page
+}
+
 // Memory is the simulated address space. The zero value is not usable;
 // call New. Memory is not safe for concurrent use: the simulation is
 // single-core (matching the deterministic virtual clock).
 type Memory struct {
-	pages map[uint64]*page
-	clock *vclock.Clock
+	leaves []*leaf
+	tlb    [tlbSize]tlbEntry
+	clock  *vclock.Clock
+	// cost caches the clock's cost model (immutable after vclock.New) so
+	// the access paths never re-copy the full CostModel struct.
+	cost vclock.CostModel
 	// next is the bump pointer for fresh mappings, in pages. Start well
 	// above zero so that address 0 is never valid (null dereferences
-	// fault as unmapped).
-	next uint64
+	// fault as unmapped). Page numbers are never reused.
+	next       uint64
+	mapped     int
+	dirtyPages int
 
 	stats Stats
 }
@@ -152,6 +217,9 @@ type Stats struct {
 	BytesRead, BytesWritten uint64
 	// Faults counts failed accesses.
 	Faults uint64
+	// TLBHits and TLBMisses count software-TLB outcomes on the access
+	// path (host-side instrumentation; no virtual cost).
+	TLBHits, TLBMisses uint64
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -160,11 +228,14 @@ func (m *Memory) Stats() Stats { return m.stats }
 // New returns an empty address space. The clock may be nil, in which case
 // no cycle costs are charged.
 func New(clock *vclock.Clock) *Memory {
-	return &Memory{
-		pages: make(map[uint64]*page),
+	m := &Memory{
 		clock: clock,
 		next:  0x10, // first mapping at 0x10000
 	}
+	if clock != nil {
+		m.cost = clock.Model()
+	}
+	return m
 }
 
 // Clock returns the attached virtual clock (may be nil).
@@ -176,12 +247,56 @@ func (m *Memory) charge(n uint64) {
 	}
 }
 
-func (m *Memory) model() vclock.CostModel {
-	if m.clock != nil {
-		return m.clock.Model()
+// lookup walks the radix table, returning the page and its leaf (nil,
+// nil when unmapped).
+func (m *Memory) lookup(pn uint64) (*page, *leaf) {
+	li := pn >> leafBits
+	if li >= uint64(len(m.leaves)) {
+		return nil, nil
 	}
-	return vclock.CostModel{}
+	lf := m.leaves[li]
+	if lf == nil {
+		return nil, nil
+	}
+	return lf.pages[pn&leafMask], lf
 }
+
+// leafAt returns the leaf for pn, growing the table as needed.
+func (m *Memory) leafAt(pn uint64) *leaf {
+	li := pn >> leafBits
+	for uint64(len(m.leaves)) <= li {
+		m.leaves = append(m.leaves, nil)
+	}
+	if m.leaves[li] == nil {
+		m.leaves[li] = new(leaf)
+	}
+	return m.leaves[li]
+}
+
+// flushTLB invalidates every cached translation. Called by the mapping
+// operations (Unmap/Protect/TagKey) — the simulated counterparts of the
+// kernel paths that perform TLB shootdowns. PKRU writes need no flush:
+// the register value tags each entry.
+func (m *Memory) flushTLB() {
+	for i := range m.tlb {
+		m.tlb[i].pg = nil
+	}
+}
+
+// markDirty records that page pn (held by lf) may now hold nonzero
+// bytes.
+func (m *Memory) markDirty(lf *leaf, pn uint64) {
+	w := &lf.dirty[(pn&leafMask)>>6]
+	bit := uint64(1) << (pn & 63)
+	if *w&bit == 0 {
+		*w |= bit
+		m.dirtyPages++
+	}
+}
+
+// DirtyPages returns the number of mapped pages currently marked dirty
+// (written since they were last known all-zero).
+func (m *Memory) DirtyPages() int { return m.dirtyPages }
 
 // Map allocates npages fresh pages with the given protections and key tag
 // and returns the base address of the new region.
@@ -194,14 +309,18 @@ func (m *Memory) Map(npages int, prot Prot, key pku.Key) (Addr, error) {
 	}
 	base := m.next
 	for i := 0; i < npages; i++ {
-		m.pages[base+uint64(i)] = &page{
+		pn := base + uint64(i)
+		lf := m.leafAt(pn)
+		lf.pages[pn&leafMask] = &page{
 			data: make([]byte, PageSize),
 			prot: prot,
 			key:  key,
 		}
+		lf.mapped++
 	}
+	m.mapped += npages
 	m.next = base + uint64(npages)
-	m.charge(m.model().PageMap * uint64(npages))
+	m.charge(m.cost.PageMap * uint64(npages))
 	return Addr(base << PageShift), nil
 }
 
@@ -213,28 +332,48 @@ func (m *Memory) Unmap(base Addr, npages int) error {
 	}
 	pn := base.PageNumber()
 	for i := 0; i < npages; i++ {
-		delete(m.pages, pn+uint64(i))
+		p := pn + uint64(i)
+		li := p >> leafBits
+		lf := m.leaves[li]
+		idx := p & leafMask
+		lf.pages[idx] = nil
+		w := &lf.dirty[idx>>6]
+		if bit := uint64(1) << (idx & 63); *w&bit != 0 {
+			*w &^= bit
+			m.dirtyPages--
+		}
+		lf.mapped--
+		if lf.mapped == 0 {
+			m.leaves[li] = nil
+		}
 	}
-	m.charge(m.model().PageUnmap * uint64(npages))
+	m.mapped -= npages
+	m.flushTLB()
+	m.charge(m.cost.PageUnmap * uint64(npages))
 	return nil
 }
 
 // Protect changes the page protections of npages pages starting at base,
-// like mprotect(2).
+// like mprotect(2). The pkey_mprotect cost is charged per page: the
+// syscall updates every PTE in the range (and shoots down its TLB
+// entries), so an n-page range costs n times the single-page operation.
 func (m *Memory) Protect(base Addr, npages int, prot Prot) error {
 	if err := m.checkRange(base, npages); err != nil {
 		return err
 	}
 	pn := base.PageNumber()
 	for i := 0; i < npages; i++ {
-		m.pages[pn+uint64(i)].prot = prot
+		pg, _ := m.lookup(pn + uint64(i))
+		pg.prot = prot
 	}
-	m.charge(m.model().PkeyMprotect)
+	m.flushTLB()
+	m.charge(m.cost.PkeyMprotect * uint64(npages))
 	return nil
 }
 
 // TagKey assigns protection key to npages pages starting at base, like
-// pkey_mprotect(2) without changing protections.
+// pkey_mprotect(2) without changing protections. Charged per page, like
+// Protect.
 func (m *Memory) TagKey(base Addr, npages int, key pku.Key) error {
 	if !key.Valid() {
 		return fmt.Errorf("mem: %w: %v", pku.ErrKeyNotAllocated, key)
@@ -244,30 +383,53 @@ func (m *Memory) TagKey(base Addr, npages int, key pku.Key) error {
 	}
 	pn := base.PageNumber()
 	for i := 0; i < npages; i++ {
-		m.pages[pn+uint64(i)].key = key
+		pg, _ := m.lookup(pn + uint64(i))
+		pg.key = key
 	}
-	m.charge(m.model().PkeyMprotect)
+	m.flushTLB()
+	m.charge(m.cost.PkeyMprotect * uint64(npages))
 	return nil
 }
 
 // Zero clears the contents of npages pages starting at base without any
 // permission checks (kernel-side operation used by domain discard).
+//
+// The virtual cost is PageZero per page over the whole range — the
+// simulated machine scrubs every page — but the host only memsets pages
+// whose dirty bit is set: a page that was never written since its last
+// Zero (or since Map) is already all-zero, so skipping it is
+// unobservable. This is what makes discard O(pages touched) instead of
+// O(pages mapped) on the host.
 func (m *Memory) Zero(base Addr, npages int) error {
 	if err := m.checkRange(base, npages); err != nil {
 		return err
 	}
 	pn := base.PageNumber()
-	for i := 0; i < npages; i++ {
-		clear(m.pages[pn+uint64(i)].data)
+	for i := 0; i < npages; {
+		p := pn + uint64(i)
+		lf := m.leaves[p>>leafBits]
+		idx := p & leafMask
+		// Skip a whole clean bitmap word when the range covers it.
+		if idx&63 == 0 && npages-i >= 64 && lf.dirty[idx>>6] == 0 {
+			i += 64
+			continue
+		}
+		w := &lf.dirty[idx>>6]
+		if bit := uint64(1) << (idx & 63); *w&bit != 0 {
+			clear(lf.pages[idx].data)
+			*w &^= bit
+			m.dirtyPages--
+		}
+		i++
 	}
-	m.charge(m.model().PageZero * uint64(npages))
+	m.charge(m.cost.PageZero * uint64(npages))
 	return nil
 }
 
 // KeyOf returns the protection key tag of the page containing addr.
 func (m *Memory) KeyOf(addr Addr) (pku.Key, error) {
-	pg, ok := m.pages[addr.PageNumber()]
-	if !ok {
+	pg, _ := m.lookup(addr.PageNumber())
+	if pg == nil {
 		return 0, &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
 	return pg.key, nil
@@ -275,8 +437,8 @@ func (m *Memory) KeyOf(addr Addr) (pku.Key, error) {
 
 // ProtOf returns the protections of the page containing addr.
 func (m *Memory) ProtOf(addr Addr) (Prot, error) {
-	pg, ok := m.pages[addr.PageNumber()]
-	if !ok {
+	pg, _ := m.lookup(addr.PageNumber())
+	if pg == nil {
 		return 0, &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
 	return pg.prot, nil
@@ -284,12 +446,12 @@ func (m *Memory) ProtOf(addr Addr) (Prot, error) {
 
 // Mapped reports whether the page containing addr is mapped.
 func (m *Memory) Mapped(addr Addr) bool {
-	_, ok := m.pages[addr.PageNumber()]
-	return ok
+	pg, _ := m.lookup(addr.PageNumber())
+	return pg != nil
 }
 
 // MappedPages returns the number of currently mapped pages.
-func (m *Memory) MappedPages() int { return len(m.pages) }
+func (m *Memory) MappedPages() int { return m.mapped }
 
 func (m *Memory) checkRange(base Addr, npages int) error {
 	if npages <= 0 || base.Offset() != 0 {
@@ -297,17 +459,40 @@ func (m *Memory) checkRange(base Addr, npages int) error {
 	}
 	pn := base.PageNumber()
 	for i := 0; i < npages; i++ {
-		if _, ok := m.pages[pn+uint64(i)]; !ok {
+		if pg, _ := m.lookup(pn + uint64(i)); pg == nil {
 			return fmt.Errorf("%w: page %#x not mapped", ErrBadRange, (pn+uint64(i))<<PageShift)
 		}
 	}
 	return nil
 }
 
-// access validates a single-page access and returns the page.
+// access validates a single-page access and returns the page. The TLB
+// fast path serves repeat accesses to the same (page, PKRU) pair without
+// re-walking the table or re-evaluating protections; misses and faults
+// take accessSlow.
 func (m *Memory) access(pkru pku.PKRU, addr Addr, write bool) (*page, error) {
-	pg, ok := m.pages[addr.PageNumber()]
-	if !ok {
+	pn := addr.PageNumber()
+	e := &m.tlb[pn&tlbMask]
+	if e.pg != nil && e.pn == pn && e.pkru == pkru {
+		if write {
+			if e.write {
+				m.stats.TLBHits++
+				m.markDirty(e.lf, pn)
+				return e.pg, nil
+			}
+		} else if e.read {
+			m.stats.TLBHits++
+			return e.pg, nil
+		}
+	}
+	return m.accessSlow(pkru, addr, write)
+}
+
+func (m *Memory) accessSlow(pkru pku.PKRU, addr Addr, write bool) (*page, error) {
+	m.stats.TLBMisses++
+	pn := addr.PageNumber()
+	pg, lf := m.lookup(pn)
+	if pg == nil {
 		m.stats.Faults++
 		return nil, &Fault{Kind: FaultUnmapped, Addr: addr, Write: write}
 	}
@@ -329,14 +514,27 @@ func (m *Memory) access(pkru pku.PKRU, addr Addr, write bool) (*page, error) {
 		m.stats.Faults++
 		return nil, &Fault{Kind: FaultPkey, Addr: addr, Write: false, Key: pg.key}
 	}
+	// Successful walk: cache the full outcome for this (page, PKRU).
+	m.tlb[pn&tlbMask] = tlbEntry{
+		pg:    pg,
+		lf:    lf,
+		pn:    pn,
+		pkru:  pkru,
+		read:  pg.prot&ProtRead != 0 && pkru.CanRead(pg.key),
+		write: pg.prot&ProtWrite != 0 && pkru.CanWrite(pg.key),
+	}
+	if write {
+		m.markDirty(lf, pn)
+	}
 	return pg, nil
 }
 
 // LoadBytes copies len(dst) bytes starting at addr into dst, checking
 // permissions page by page. On fault, dst contents are unspecified.
+// Cycles are charged before the permission check (charge-before-fault):
+// the access consumes its cost whether or not it faults.
 func (m *Memory) LoadBytes(pkru pku.PKRU, addr Addr, dst []byte) error {
-	mdl := m.model()
-	m.charge(mdl.MemLoad + mdl.MemPerByte*uint64(len(dst)))
+	m.charge(m.cost.MemLoad + m.cost.MemPerByte*uint64(len(dst)))
 	m.stats.Loads++
 	m.stats.BytesRead += uint64(len(dst))
 	for len(dst) > 0 {
@@ -354,10 +552,10 @@ func (m *Memory) LoadBytes(pkru pku.PKRU, addr Addr, dst []byte) error {
 
 // StoreBytes copies src into memory starting at addr, checking
 // permissions page by page. A fault midway leaves earlier pages written
-// (matching hardware semantics of a multi-page copy).
+// (matching hardware semantics of a multi-page copy). Cycles are charged
+// before the permission check, like LoadBytes.
 func (m *Memory) StoreBytes(pkru pku.PKRU, addr Addr, src []byte) error {
-	mdl := m.model()
-	m.charge(mdl.MemStore + mdl.MemPerByte*uint64(len(src)))
+	m.charge(m.cost.MemStore + m.cost.MemPerByte*uint64(len(src)))
 	m.stats.Stores++
 	m.stats.BytesWritten += uint64(len(src))
 	for len(src) > 0 {
@@ -373,27 +571,27 @@ func (m *Memory) StoreBytes(pkru pku.PKRU, addr Addr, src []byte) error {
 	return nil
 }
 
-// Load8 loads one byte.
+// Load8 loads one byte. Charge-before-fault, like LoadBytes.
 func (m *Memory) Load8(pkru pku.PKRU, addr Addr) (byte, error) {
+	m.charge(m.cost.MemLoad)
+	m.stats.Loads++
+	m.stats.BytesRead++
 	pg, err := m.access(pkru, addr, false)
 	if err != nil {
 		return 0, err
 	}
-	m.charge(m.model().MemLoad)
-	m.stats.Loads++
-	m.stats.BytesRead++
 	return pg.data[addr.Offset()], nil
 }
 
-// Store8 stores one byte.
+// Store8 stores one byte. Charge-before-fault, like StoreBytes.
 func (m *Memory) Store8(pkru pku.PKRU, addr Addr, v byte) error {
+	m.charge(m.cost.MemStore)
+	m.stats.Stores++
+	m.stats.BytesWritten++
 	pg, err := m.access(pkru, addr, true)
 	if err != nil {
 		return err
 	}
-	m.charge(m.model().MemStore)
-	m.stats.Stores++
-	m.stats.BytesWritten++
 	pg.data[addr.Offset()] = v
 	return nil
 }
@@ -428,4 +626,54 @@ func (m *Memory) Store64(pkru pku.PKRU, addr Addr, v uint64) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	return m.StoreBytes(pkru, addr, buf[:])
+}
+
+// PeekBytes copies bytes out of mapped memory without permission checks
+// or cycle charges — kernel-side metadata access, in the same class as
+// KeyOf/ProtOf. The allocator uses it to walk its in-band chunk headers
+// at the same (zero) virtual cost its former host-side side tables had,
+// keeping cycle accounting identical to the seed.
+func (m *Memory) PeekBytes(addr Addr, dst []byte) error {
+	for len(dst) > 0 {
+		pg, _ := m.lookup(addr.PageNumber())
+		if pg == nil {
+			return &Fault{Kind: FaultUnmapped, Addr: addr}
+		}
+		n := copy(dst, pg.data[addr.Offset():])
+		dst = dst[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// Peek64 reads a little-endian uint64 without permission checks or cycle
+// charges (see PeekBytes).
+func (m *Memory) Peek64(addr Addr) (uint64, error) {
+	var buf [8]byte
+	if err := m.PeekBytes(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Poke64 writes a little-endian uint64 without permission checks or
+// cycle charges — the store-side counterpart of Peek64, for allocator
+// metadata maintenance. The touched page is marked dirty so a later Zero
+// still scrubs it.
+func (m *Memory) Poke64(addr Addr, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	src := buf[:]
+	for len(src) > 0 {
+		pn := addr.PageNumber()
+		pg, lf := m.lookup(pn)
+		if pg == nil {
+			return &Fault{Kind: FaultUnmapped, Addr: addr, Write: true}
+		}
+		n := copy(pg.data[addr.Offset():], src)
+		m.markDirty(lf, pn)
+		src = src[n:]
+		addr += Addr(n)
+	}
+	return nil
 }

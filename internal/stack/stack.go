@@ -8,6 +8,12 @@
 // at the top of each frame when it is pushed and validated when the frame
 // is popped. A smashed canary is reported as ErrStackSmash, which SDRaD
 // treats as a domain violation triggering secure rewind.
+//
+// The push/pop canary traffic rides the memory subsystem's software-TLB
+// fast path: frames cluster on the top stack pages, so repeat pushes hit
+// cached translations, while the ProtNone guard page below can never be
+// TLB-resident (only successful accesses are cached) — a stack overflow
+// always takes the slow-path walk and faults exactly as before.
 package stack
 
 import (

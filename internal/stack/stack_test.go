@@ -224,3 +224,40 @@ func TestCheckTopEmptyStack(t *testing.T) {
 	}
 	_ = s.Pop(fr)
 }
+
+// TestGuardPageNeverTLBResident: the memory fast path only caches
+// successful translations, so a warm stack working set must not weaken
+// the guard page — overflowing into it faults on every attempt, even
+// after heavy adjacent traffic.
+func TestGuardPageNeverTLBResident(t *testing.T) {
+	m := mem.New(nil)
+	s, err := New(m, pku.Key(1), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the stack pages: push/pop frames that fill most of the stack.
+	for i := 0; i < 50; i++ {
+		fr, err := s.Push(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.m.StoreBytes(s.pkru, fr.Base, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Pop(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A direct write into the guard page must fault every time.
+	for i := 0; i < 3; i++ {
+		err := s.m.Store8(s.pkru, s.Guard()+mem.Addr(i), 0x41)
+		f, ok := mem.IsFault(err)
+		if !ok || f.Kind != mem.FaultProt {
+			t.Fatalf("guard write %d = %v, want FaultProt", i, err)
+		}
+	}
+	// And a Push that would cross into the guard is still refused.
+	if _, err := s.Push(s.Remaining() + 1); err == nil {
+		t.Fatal("overflowing Push succeeded")
+	}
+}

@@ -235,6 +235,9 @@ func (p *Pool) MemoryStats() MemoryStats {
 		agg.BytesRead += ms.BytesRead
 		agg.BytesWritten += ms.BytesWritten
 		agg.Faults += ms.Faults
+		agg.DirtyPages += ms.DirtyPages
+		agg.TLBHits += ms.TLBHits
+		agg.TLBMisses += ms.TLBMisses
 		agg.Domains += ms.Domains
 	}
 	return agg

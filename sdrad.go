@@ -351,6 +351,14 @@ type MemoryStats struct {
 	BytesRead, BytesWritten uint64
 	// Faults counts denied accesses (all kinds).
 	Faults uint64
+	// DirtyPages is the number of mapped pages written since they were
+	// last known all-zero — the bound on the host-side cost of the next
+	// discard scrub.
+	DirtyPages int
+	// TLBHits and TLBMisses count software-TLB outcomes on the machine's
+	// access path (host-side instrumentation of the translation fast
+	// path; no virtual cost).
+	TLBHits, TLBMisses uint64
 	// Domains is the number of live domains.
 	Domains int
 }
@@ -365,6 +373,9 @@ func (s *Supervisor) MemoryStats() MemoryStats {
 		BytesRead:    ms.BytesRead,
 		BytesWritten: ms.BytesWritten,
 		Faults:       ms.Faults,
+		DirtyPages:   s.sys.Mem().DirtyPages(),
+		TLBHits:      ms.TLBHits,
+		TLBMisses:    ms.TLBMisses,
 		Domains:      s.sys.Domains(),
 	}
 }
