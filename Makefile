@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pools bench-smoke
+.PHONY: check fmt vet build test race bench bench-pools bench-smoke campaign-smoke
 
 check: fmt vet build test race
 
@@ -38,3 +38,13 @@ bench-pools:
 # One-iteration smoke pass over the suite (CI: proves the benches run).
 bench-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_CI.json
+
+# Deterministic resilience-campaign smoke (CI): fixed seed, three
+# attacked scenarios plus one benign control (so every oracle — same
+# seed, worker counts, benign cycle parity — actually runs), ~1s wall
+# budget. Writes the JSON trace to CAMPAIGN_CI.json for artifact
+# upload; two runs of this target produce byte-identical traces.
+campaign-smoke:
+	$(GO) run ./cmd/sdrad-campaign -seed 42 -requests 100 \
+		-scenarios kv-pool-mixed,http-domain-malformed,ffi-bridge-binary,kv-pool-benign \
+		-oracles -out CAMPAIGN_CI.json

@@ -1,0 +1,154 @@
+package sdrad_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	sdrad "repro"
+	"repro/internal/campaign"
+	"repro/internal/campaign/scenarios"
+)
+
+// quickCampaign is the shipped scenario table at a CI-friendly request
+// count.
+func quickCampaign(seed uint64) campaign.Config {
+	return campaign.Config{Seed: seed, Workers: 4, Requests: 120, Scenarios: scenarios.All()}
+}
+
+// TestRunCampaignSameSeedBitIdentical is the acceptance contract: two
+// runs with the same seed against the real Domain/Pool/Bridge backends
+// produce byte-identical JSON traces.
+func TestRunCampaignSameSeedBitIdentical(t *testing.T) {
+	t1, err := sdrad.RunCampaign(quickCampaign(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := sdrad.RunCampaign(quickCampaign(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := t1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := t2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("same seed produced different traces on the real backends")
+	}
+}
+
+// TestCampaignOracles runs the full differential-oracle suite — same
+// seed, worker counts 1/4/8, benign zero-detection + cycle parity — on
+// every shipped scenario against the real backends.
+func TestCampaignOracles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full oracle suite re-runs every scenario five times")
+	}
+	cfg := quickCampaign(42)
+	cfg.Requests = 80
+	results, err := sdrad.CheckCampaignOracles(cfg, 1, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no oracle results")
+	}
+	for _, r := range campaign.Failures(results) {
+		t.Errorf("%s", r)
+	}
+}
+
+// TestCampaignDeterminismAcrossGOMAXPROCS is the determinism regression
+// test from the campaign issue: the same seed must produce identical
+// traces whether the Go runtime schedules on one CPU or eight. Under
+// `make race` this also proves the engine is race-clean at both
+// settings.
+func TestCampaignDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	cfg := quickCampaign(1234)
+	cfg.Requests = 60
+
+	run := func(procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		tr, err := sdrad.RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := tr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	at1 := run(1)
+	at8 := run(8)
+	again1 := run(1)
+	if !bytes.Equal(at1, at8) {
+		t.Error("GOMAXPROCS=1 and GOMAXPROCS=8 traces differ")
+	}
+	if !bytes.Equal(at1, again1) {
+		t.Error("repeated GOMAXPROCS=1 runs differ")
+	}
+}
+
+// TestCampaignContainmentSurvivesEveryScenario asserts the supervisor-
+// level claim behind the whole campaign: after every shipped scenario —
+// hundreds of injected UAFs, overflows, smashes, crashes, runaway
+// requests, and malformed payloads — the executors kept serving and the
+// attacked scenarios actually recorded detections.
+func TestCampaignContainmentSurvivesEveryScenario(t *testing.T) {
+	tr, err := sdrad.RunCampaign(quickCampaign(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Scenarios) != len(scenarios.All()) {
+		t.Fatalf("trace has %d scenarios, want %d", len(tr.Scenarios), len(scenarios.All()))
+	}
+	for _, sc := range scenarios.All() {
+		st := tr.Scenario(sc.Name)
+		if st == nil {
+			t.Errorf("scenario %q missing from trace", sc.Name)
+			continue
+		}
+		if st.OK == 0 {
+			t.Errorf("%s: no request survived", sc.Name)
+		}
+		if sc.Benign() {
+			if st.DetectionTotal != 0 || st.Preemptions != 0 || st.Rewinds != 0 {
+				t.Errorf("%s: benign scenario recorded det=%d pre=%d rew=%d",
+					sc.Name, st.DetectionTotal, st.Preemptions, st.Rewinds)
+			}
+			continue
+		}
+		// Attacked scenarios: something must have been injected, and
+		// every memory-safety injection must show up as a detection.
+		var detected, preempted, injected uint64
+		for _, out := range st.Outcomes {
+			if out.Fault != "" {
+				injected++
+			}
+			switch out.Outcome {
+			case campaign.OutcomeDetected:
+				detected++
+			case campaign.OutcomePreempted:
+				preempted++
+			}
+		}
+		if injected == 0 {
+			t.Errorf("%s: schedule injected nothing across %d requests", sc.Name, st.Requests)
+		}
+		if detected != st.DetectionTotal {
+			t.Errorf("%s: outcome stream shows %d detections, executor counted %d",
+				sc.Name, detected, st.DetectionTotal)
+		}
+		if st.Rewinds != detected+preempted {
+			t.Errorf("%s: rewinds %d != detections %d + preemptions %d",
+				sc.Name, st.Rewinds, detected, preempted)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command sdrad-campaign runs the deterministic resilience-campaign
+// engine: seeded scenario schedules that mix benign kvstore/httpd/FFI
+// traffic with injected memory-safety faults across the Domain, Pool,
+// and Bridge backends, recording a structured outcome trace.
+//
+// Usage:
+//
+//	sdrad-campaign [-seed N] [-scenarios a,b|all] [-workers N]
+//	               [-requests N] [-json] [-oracles] [-list] [-out FILE]
+//
+// The trace is a pure function of the flags: the same invocation
+// produces byte-identical output, which is the property the campaign's
+// differential oracles (-oracles) verify — same-seed determinism,
+// worker-count invariance (1/4/8), and benign cycle parity. Exit status
+// is 1 if any oracle fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sdrad "repro"
+	"repro/internal/campaign"
+	"repro/internal/campaign/scenarios"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout *os.File) int {
+	fs := flag.NewFlagSet("sdrad-campaign", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "campaign seed (same seed, same trace bytes)")
+	list := fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+	workers := fs.Int("workers", 4, "isolated workers per scenario")
+	requests := fs.Int("requests", 400, "requests per scenario")
+	asJSON := fs.Bool("json", false, "emit the full JSON trace instead of the text summary")
+	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity)")
+	showList := fs.Bool("list", false, "list shipped scenarios and exit")
+	out := fs.String("out", "", "also write the JSON trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *showList {
+		for _, sc := range scenarios.All() {
+			kind := "benign"
+			if !sc.Benign() {
+				kind = fmt.Sprintf("attack 1/%d", sc.AttackEvery)
+			}
+			fmt.Fprintf(stdout, "%-28s %-6s %-6s %s\n", sc.Name, sc.Workload, sc.Target, kind)
+		}
+		return 0
+	}
+
+	scs, err := scenarios.Select(*list)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+		return 2
+	}
+	cfg := campaign.Config{Seed: *seed, Workers: *workers, Requests: *requests, Scenarios: scs}
+
+	trace, err := sdrad.RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+		return 1
+	}
+	blob, err := trace.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+			return 1
+		}
+	}
+	if *asJSON {
+		fmt.Fprintf(stdout, "%s\n", blob)
+	} else {
+		fmt.Fprint(stdout, trace.Summary())
+	}
+
+	if !*oracles {
+		return 0
+	}
+	results, err := sdrad.CheckCampaignOraclesAgainst(trace, cfg, 1, 4, 8)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
+		return 1
+	}
+	failed := 0
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s\n", r)
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "oracles: %d/%d FAILED\n", failed, len(results))
+		return 1
+	}
+	fmt.Fprintf(stdout, "oracles: %d/%d pass\n", len(results), len(results))
+	return 0
+}

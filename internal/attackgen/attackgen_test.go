@@ -1,10 +1,11 @@
-package attackgen
+package attackgen_test
 
 import (
 	"net"
 	"strings"
 	"testing"
 
+	"repro/internal/attackgen"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 )
@@ -40,7 +41,7 @@ func TestAttackRunAgainstSDRaD(t *testing.T) {
 	addr, stop := startServer(t, kvstore.ModeSDRaD)
 	defer stop()
 
-	report, err := Run(Config{Addr: addr, Requests: 400, AttackEvery: 40, Clients: 2, Seed: 7})
+	report, err := attackgen.Run(attackgen.Config{Addr: addr, Requests: 400, AttackEvery: 40, Clients: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAttackRunAgainstSDRaD(t *testing.T) {
 func TestAttackRunWithoutAttacks(t *testing.T) {
 	addr, stop := startServer(t, kvstore.ModeSDRaD)
 	defer stop()
-	report, err := Run(Config{Addr: addr, Requests: 100, AttackEvery: 0, Clients: 1, Seed: 3})
+	report, err := attackgen.Run(attackgen.Config{Addr: addr, Requests: 100, AttackEvery: 0, Clients: 1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,26 +80,18 @@ func TestAttackRunWithoutAttacks(t *testing.T) {
 }
 
 func TestAttackRunBadAddress(t *testing.T) {
-	if _, err := Run(Config{Addr: "127.0.0.1:1", Requests: 10, Clients: 1}); err == nil {
+	if _, err := attackgen.Run(attackgen.Config{Addr: "127.0.0.1:1", Requests: 10, Clients: 1}); err == nil {
 		t.Error("unreachable server accepted")
 	}
 }
 
 func TestReportString(t *testing.T) {
-	r := Report{Requests: 10, BenignRequests: 8, BenignFailures: 2, AttacksSent: 2, AttacksErrored: 2}
+	r := attackgen.Report{Requests: 10, BenignRequests: 8, BenignFailures: 2, AttacksSent: 2, AttacksErrored: 2}
 	out := r.String()
 	if !strings.Contains(out, "disrupted") {
 		t.Errorf("failure verdict missing:\n%s", out)
 	}
 	if !strings.Contains(out, "25.00%") {
 		t.Errorf("failure rate missing:\n%s", out)
-	}
-}
-
-func TestConfigDefaults(t *testing.T) {
-	c := Config{}
-	c.fill()
-	if c.Requests <= 0 || c.Clients <= 0 {
-		t.Errorf("defaults not applied: %+v", c)
 	}
 }

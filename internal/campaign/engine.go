@@ -1,0 +1,615 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/attackgen"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/serde"
+	"repro/internal/workload"
+)
+
+// ErrRejected tags payloads the in-domain parser or codec refused —
+// the benign failure mode malformed input must take (as opposed to a
+// detection or a supervisor panic).
+var ErrRejected = errors.New("campaign: payload rejected")
+
+// budgetCycles is the per-request budget for FaultBudget requests. The
+// burn loop below consumes far more, so the preemption is certain
+// regardless of per-worker heap state.
+const budgetCycles = 50_000
+
+// subseed derives an independent, deterministic PRNG seed for one named
+// stream of one scenario, so workload bytes, fault schedule, dispatch,
+// and corruption never share draws (a benign run consumes exactly the
+// same workload stream as an attacked one).
+func subseed(seed uint64, scenario, stream string) uint64 {
+	d := newDigest()
+	d.str(scenario)
+	d.str(stream)
+	return seed ^ d.h
+}
+
+// schedule draws the fault interleave: each request is malicious with
+// probability 1/AttackEvery, and the class is drawn uniformly from the
+// scenario's fault set. Both draws come from a dedicated PRNG stream.
+type schedule struct {
+	rng    *workload.RNG
+	faults []FaultClass
+	every  int
+}
+
+func newSchedule(sc Scenario, seed uint64) *schedule {
+	return &schedule{
+		rng:    workload.NewRNG(subseed(seed, sc.Name, "schedule")),
+		faults: sc.Faults,
+		every:  sc.AttackEvery,
+	}
+}
+
+func (s *schedule) next() FaultClass {
+	if s.every <= 0 || len(s.faults) == 0 {
+		return FaultNone
+	}
+	if s.rng.Intn(s.every) != 0 {
+		return FaultNone
+	}
+	return s.faults[s.rng.Intn(len(s.faults))]
+}
+
+// injectFault performs the in-domain half of a fault class. Malformed
+// payloads are handled before entry (they corrupt the request bytes);
+// everything else happens here, after the parse, like a bug triggered
+// by crafted input.
+func injectFault(c *core.DomainCtx, fc FaultClass) {
+	switch fc {
+	case FaultUAF:
+		fault.Inject(c, fault.UseAfterFree, 0)
+	case FaultHeapOverflow:
+		fault.Inject(c, fault.HeapOverflow, 0)
+	case FaultFreedHeaderSmash:
+		fault.Inject(c, fault.FreedHeaderSmash, 0)
+	case FaultCrash:
+		fault.Inject(c, fault.Crash, 0)
+	case FaultBudget:
+		// Model a runaway request: loop loads until the budget preempts.
+		// 100k loads ≫ budgetCycles, so this never returns normally.
+		p := c.MustAlloc(64)
+		for i := 0; i < 100_000; i++ {
+			_ = c.MustLoad64(p)
+		}
+		c.MustFree(p)
+	}
+}
+
+// classify maps an Exec error to a trace outcome.
+func classify(err error) (outcome, mech string) {
+	switch {
+	case err == nil:
+		return OutcomeOK, ""
+	case errors.Is(err, ErrRejected):
+		return OutcomeRejected, ""
+	}
+	if _, ok := core.IsBudget(err); ok {
+		return OutcomePreempted, ""
+	}
+	if v, ok := core.IsViolation(err); ok {
+		return OutcomeDetected, v.Mechanism.String()
+	}
+	return OutcomeError, ""
+}
+
+// adapter is one workload's per-request driver plus its trusted survivor
+// state.
+type adapter interface {
+	// run executes request i on worker w with fault class fc and returns
+	// its outcome. Survivor state is updated only on OutcomeOK.
+	run(ex Executor, w, i int, fc FaultClass) RequestOutcome
+	// digest fingerprints the survivor state.
+	digest() string
+}
+
+func newAdapter(sc Scenario, seed uint64) (adapter, error) {
+	switch sc.Workload {
+	case WorkloadKV:
+		gen, err := workload.NewKV(workload.KVConfig{
+			Seed: subseed(seed, sc.Name, "workload"), Keys: 512, ValueSize: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &kvAdapter{
+			gen:   gen,
+			corr:  attackgen.NewCorruptor(subseed(seed, sc.Name, "corrupt")),
+			items: make(map[string][]byte),
+		}, nil
+	case WorkloadHTTP:
+		gen, err := workload.NewHTTP(workload.HTTPConfig{
+			Seed: subseed(seed, sc.Name, "workload"), Paths: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a := &httpAdapter{
+			gen:    gen,
+			corr:   attackgen.NewCorruptor(subseed(seed, sc.Name, "corrupt")),
+			routes: make(map[string]bool, 32),
+			status: make(map[int]uint64),
+			body:   newDigest(),
+		}
+		// Half the path population resolves; the rest 404s.
+		for i := 0; i < 32; i++ {
+			a.routes[workload.Path(i)] = true
+		}
+		return a, nil
+	case WorkloadFFI:
+		name := sc.Codec
+		if name == "" {
+			name = "binary"
+		}
+		codec, err := serde.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
+		return &ffiAdapter{
+			rng:   workload.NewRNG(subseed(seed, sc.Name, "workload")),
+			corr:  attackgen.NewCorruptor(subseed(seed, sc.Name, "corrupt")),
+			codec: codec,
+			sum:   newDigest(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown workload %v", sc.Workload)
+	}
+}
+
+// stageBuf is the shared host-side staging helper (one buffer per
+// adapter; the engine is single-goroutine).
+type stageBuf struct{ buf []byte }
+
+func (s *stageBuf) stage(n int) []byte {
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	return s.buf[:n]
+}
+
+// ---- kv workload ----
+
+// kvAdapter drives memcached-text commands through the domain parser and
+// applies clean ones to a trusted survivor cache (plain host map: the
+// analogue of kvstore.Cache living in root-protected memory).
+type kvAdapter struct {
+	stageBuf
+	gen  *workload.KVGenerator
+	corr *attackgen.Corruptor
+
+	items  map[string][]byte
+	hits   uint64
+	misses uint64
+	sets   uint64
+	dels   uint64
+}
+
+// ParseKV parses one complete memcached-text command from b. It mirrors
+// kvstore.ReadCommand's grammar (get/gets, set with a length-prefixed
+// data block, delete) as a pure function over in-domain bytes, with one
+// deliberate difference: b must hold exactly one command (ReadCommand
+// reads from a stream and tolerates trailing bytes). The kvstore
+// package's differential test pins the two parsers to each other.
+func ParseKV(b []byte) (op workload.Op, key string, value []byte, ok bool) {
+	head, rest, found := bytes.Cut(b, []byte("\r\n"))
+	if !found {
+		return 0, "", nil, false
+	}
+	fields := strings.Fields(string(head))
+	if len(fields) == 0 {
+		return 0, "", nil, false
+	}
+	switch fields[0] {
+	case "get", "gets":
+		if len(fields) != 2 || len(rest) != 0 {
+			return 0, "", nil, false
+		}
+		return workload.OpGet, fields[1], nil, true
+	case "delete":
+		if len(fields) != 2 || len(rest) != 0 {
+			return 0, "", nil, false
+		}
+		return workload.OpDelete, fields[1], nil, true
+	case "set":
+		if len(fields) != 5 {
+			return 0, "", nil, false
+		}
+		if _, err := strconv.ParseUint(fields[2], 10, 32); err != nil {
+			return 0, "", nil, false
+		}
+		if exp, err := strconv.Atoi(fields[3]); err != nil || exp < 0 {
+			return 0, "", nil, false
+		}
+		// 1<<20 mirrors kvstore.MaxValueSize (the differential test pins
+		// the two).
+		n, err := strconv.Atoi(fields[4])
+		if err != nil || n < 0 || n > 1<<20 {
+			return 0, "", nil, false
+		}
+		if len(rest) != n+2 || rest[n] != '\r' || rest[n+1] != '\n' {
+			return 0, "", nil, false
+		}
+		return workload.OpSet, fields[1], rest[:n], true
+	default:
+		return 0, "", nil, false
+	}
+}
+
+func (a *kvAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+	req := a.gen.Next()
+	payload := workload.RenderKVText(req)
+	if fc == FaultMalformedPayload {
+		payload, _ = a.corr.Corrupt(payload)
+	}
+	var budget uint64
+	if fc == FaultBudget {
+		budget = budgetCycles
+	}
+	var op workload.Op
+	var key string
+	var value []byte
+	err := ex.Exec(w, budget, func(c *core.DomainCtx) error {
+		buf := c.MustAlloc(len(payload) + 1)
+		c.MustStore(buf, payload)
+		tmp := a.stage(len(payload))
+		c.MustLoad(buf, tmp)
+		var ok bool
+		op, key, value, ok = ParseKV(tmp)
+		if ok {
+			// Copy out: tmp aliases the reusable staging buffer.
+			value = append([]byte(nil), value...)
+		}
+		injectFault(c, fc)
+		c.MustFree(buf)
+		if !ok {
+			return ErrRejected
+		}
+		return nil
+	})
+	outcome, mech := classify(err)
+	if outcome == OutcomeOK {
+		a.apply(op, key, value)
+	}
+	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+}
+
+func (a *kvAdapter) apply(op workload.Op, key string, value []byte) {
+	switch op {
+	case workload.OpSet:
+		a.items[key] = value
+		a.sets++
+	case workload.OpDelete:
+		delete(a.items, key)
+		a.dels++
+	default:
+		if _, ok := a.items[key]; ok {
+			a.hits++
+		} else {
+			a.misses++
+		}
+	}
+}
+
+func (a *kvAdapter) digest() string {
+	keys := make([]string, 0, len(a.items))
+	for k := range a.items {
+		keys = append(keys, k)
+	}
+	// Deterministic order: host map iteration is randomized.
+	sort.Strings(keys)
+	d := newDigest()
+	for _, k := range keys {
+		d.str(k)
+		d.bytes(a.items[k])
+		d.bytes([]byte{0})
+	}
+	d.u64(a.hits)
+	d.u64(a.misses)
+	d.u64(a.sets)
+	d.u64(a.dels)
+	return d.hex()
+}
+
+// ---- http workload ----
+
+// httpAdapter drives HTTP/1.1 request heads through the domain parser
+// and routes clean ones against a trusted table, tallying statuses.
+type httpAdapter struct {
+	stageBuf
+	gen  *workload.HTTPGenerator
+	corr *attackgen.Corruptor
+
+	routes map[string]bool
+	status map[int]uint64
+	body   *digest // rolling (path, status) stream fingerprint
+	served uint64
+}
+
+// Parser limits mirrored from internal/httpd (which the engine cannot
+// import — httpd depends on the root package that re-exports this
+// engine); the httpd package's differential test pins them together.
+const (
+	maxRequestLine = 4096
+	maxHeaders     = 100
+	maxHeaderLine  = 4096
+)
+
+// ParseHTTP validates an HTTP/1.1 request head and extracts the method
+// and path, mirroring httpd's strict parser (including its line and
+// header-count limits) as a pure function over in-domain bytes.
+func ParseHTTP(b []byte) (method, path string, ok bool) {
+	text := string(b)
+	head, _, found := strings.Cut(text, "\r\n\r\n")
+	if !found {
+		return "", "", false
+	}
+	lines := strings.Split(head, "\r\n")
+	if len(lines[0]) > maxRequestLine {
+		return "", "", false
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return "", "", false
+	}
+	method, path, proto := parts[0], parts[1], parts[2]
+	if method == "" || !strings.HasPrefix(path, "/") || !strings.HasPrefix(proto, "HTTP/") {
+		return "", "", false
+	}
+	if len(lines)-1 > maxHeaders {
+		return "", "", false
+	}
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		if len(ln) > maxHeaderLine {
+			return "", "", false
+		}
+		name, _, found := strings.Cut(ln, ":")
+		if !found || name == "" {
+			return "", "", false
+		}
+	}
+	return method, path, true
+}
+
+func (a *httpAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+	req := a.gen.Next()
+	raw := req.Raw
+	if fc == FaultMalformedPayload {
+		raw, _ = a.corr.Corrupt(raw)
+	}
+	var budget uint64
+	if fc == FaultBudget {
+		budget = budgetCycles
+	}
+	var method, path string
+	err := ex.Exec(w, budget, func(c *core.DomainCtx) error {
+		buf := c.MustAlloc(len(raw) + 1)
+		c.MustStore(buf, raw)
+		tmp := a.stage(len(raw))
+		c.MustLoad(buf, tmp)
+		var ok bool
+		method, path, ok = ParseHTTP(tmp)
+		injectFault(c, fc)
+		c.MustFree(buf)
+		if !ok {
+			return ErrRejected
+		}
+		return nil
+	})
+	outcome, mech := classify(err)
+	if outcome == OutcomeOK {
+		a.routeAndTally(method, path)
+	}
+	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+}
+
+func (a *httpAdapter) routeAndTally(method, path string) {
+	status := 200
+	switch {
+	case method != "GET" && method != "HEAD":
+		status = 405
+	case !a.routes[path]:
+		status = 404
+	}
+	a.status[status]++
+	a.served++
+	a.body.str(path)
+	a.body.u64(uint64(status))
+}
+
+func (a *httpAdapter) digest() string {
+	d := newDigest()
+	for _, code := range []int{200, 404, 405} {
+		d.u64(uint64(code))
+		d.u64(a.status[code])
+	}
+	d.u64(a.served)
+	d.u64(a.body.h)
+	return d.hex()
+}
+
+// ---- ffi workload ----
+
+// ffiAdapter round-trips codec-serialized argument vectors through the
+// domain — the SDRaD-FFI transfer path — and folds the decoded values
+// into a running checksum (the survivor state).
+type ffiAdapter struct {
+	stageBuf
+	rng   *workload.RNG
+	corr  *attackgen.Corruptor
+	codec serde.Codec
+
+	calls uint64
+	sum   *digest
+}
+
+func (a *ffiAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+	// Strings only, so every codec (including raw) carries the vector.
+	args := []any{
+		fmt.Sprintf("op-%04d", a.rng.Intn(1000)),
+		fmt.Sprintf("%016x", a.rng.Uint64()),
+	}
+	payload, err := a.codec.Encode(args)
+	if err != nil {
+		// Codec encode of strings cannot fail; treat as engine error.
+		return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: OutcomeError}
+	}
+	if fc == FaultMalformedPayload {
+		payload, _ = a.corr.Corrupt(payload)
+	}
+	var budget uint64
+	if fc == FaultBudget {
+		budget = budgetCycles
+	}
+	var decoded []any
+	err = ex.Exec(w, budget, func(c *core.DomainCtx) error {
+		buf := c.MustAlloc(len(payload) + 1)
+		c.MustStore(buf, payload)
+		tmp := a.stage(len(payload))
+		c.MustLoad(buf, tmp)
+		var derr error
+		decoded, derr = a.codec.Decode(tmp)
+		injectFault(c, fc)
+		c.MustFree(buf)
+		if derr != nil {
+			return fmt.Errorf("%w: %v", ErrRejected, derr)
+		}
+		return nil
+	})
+	outcome, mech := classify(err)
+	if outcome == OutcomeOK {
+		a.calls++
+		a.sum.u64(uint64(len(decoded)))
+		for _, v := range decoded {
+			a.sum.str(fmt.Sprintf("%T:%v", v, v))
+		}
+	}
+	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+}
+
+func (a *ffiAdapter) digest() string {
+	d := newDigest()
+	d.u64(a.calls)
+	d.u64(a.sum.h)
+	return d.hex()
+}
+
+// ---- engine ----
+
+// Run executes every scenario in cfg against executors provisioned by
+// factory and returns the campaign trace. It is a pure function of
+// (cfg, factory behavior): same seed, same trace bytes.
+func Run(cfg Config, factory ExecutorFactory) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Seed: cfg.Seed, Workers: cfg.Workers, Requests: cfg.Requests}
+	for _, sc := range cfg.Scenarios {
+		st, err := runScenario(sc, cfg, factory)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
+		tr.Scenarios = append(tr.Scenarios, st)
+	}
+	return tr, nil
+}
+
+func scenarioRequests(sc Scenario, cfg Config) int {
+	if sc.Requests > 0 {
+		return sc.Requests
+	}
+	return cfg.Requests
+}
+
+func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrace, error) {
+	ex, err := factory(sc.Target, cfg.Workers)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	defer ex.Close()
+
+	ad, err := newAdapter(sc, cfg.Seed)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	sched := newSchedule(sc, cfg.Seed)
+	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
+
+	n := scenarioRequests(sc, cfg)
+	st := ScenarioTrace{
+		Scenario: sc.Name,
+		Workload: sc.Workload.String(),
+		Target:   sc.Target.String(),
+		Requests: n,
+		Outcomes: make([]RequestOutcome, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		fc := sched.next()
+		w := dispatch.Intn(cfg.Workers)
+		out := ad.run(ex, w, i, fc)
+		st.Outcomes = append(st.Outcomes, out)
+		switch out.Outcome {
+		case OutcomeOK:
+			st.OK++
+		case OutcomeRejected:
+			st.Rejected++
+		case OutcomePreempted:
+			st.Preemptions++
+		case OutcomeError:
+			return ScenarioTrace{}, fmt.Errorf("request %d (worker %d, fault %q) failed unexpectedly", i, w, out.Fault)
+		}
+	}
+	st.Detections = ex.Detections()
+	for _, v := range st.Detections {
+		st.DetectionTotal += v
+	}
+	st.Rewinds = ex.Rewinds()
+	st.VirtualCycles = ex.VirtualCycles()
+	st.SurvivorDigest = ad.digest()
+	return st, nil
+}
+
+// replayBenign re-executes a benign scenario through a minimal loop with
+// none of the engine's bookkeeping — no schedule draws, no outcome
+// records — and returns the executor's virtual cycles and the survivor
+// digest. The benign oracle compares these against the campaign run to
+// prove the engine adds no hidden virtual cost.
+func replayBenign(sc Scenario, cfg Config, factory ExecutorFactory) (uint64, string, error) {
+	cfg = cfg.withDefaults()
+	if !sc.Benign() {
+		return 0, "", fmt.Errorf("campaign: replay of non-benign scenario %q", sc.Name)
+	}
+	ex, err := factory(sc.Target, cfg.Workers)
+	if err != nil {
+		return 0, "", err
+	}
+	defer ex.Close()
+	ad, err := newAdapter(sc, cfg.Seed)
+	if err != nil {
+		return 0, "", err
+	}
+	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
+	n := scenarioRequests(sc, cfg)
+	for i := 0; i < n; i++ {
+		out := ad.run(ex, dispatch.Intn(cfg.Workers), i, FaultNone)
+		if out.Outcome == OutcomeError {
+			return 0, "", fmt.Errorf("campaign: replay request %d failed", i)
+		}
+	}
+	return ex.VirtualCycles(), ad.digest(), nil
+}

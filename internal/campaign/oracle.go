@@ -1,0 +1,253 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// This file implements the differential oracles — the regression net the
+// campaign engine exists to provide. Each oracle re-runs campaigns and
+// compares structured outcomes; none of them encodes absolute numbers,
+// so they stay valid as the implementation gets faster (a perf PR that
+// changes *behavior* trips them, one that only changes host-side speed
+// does not).
+
+// OracleResult is one oracle verdict.
+type OracleResult struct {
+	// Oracle names the check ("same-seed", "worker-count", "benign").
+	Oracle string
+	// Scenario is the scenario checked ("" for whole-trace checks).
+	Scenario string
+	// Pass reports the verdict.
+	Pass bool
+	// Detail explains a failure (empty on pass).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (r OracleResult) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	s := fmt.Sprintf("%s oracle %q", verdict, r.Oracle)
+	if r.Scenario != "" {
+		s += fmt.Sprintf(" scenario %q", r.Scenario)
+	}
+	if r.Detail != "" {
+		s += ": " + r.Detail
+	}
+	return s
+}
+
+// CheckSameSeed runs the campaign twice with identical configuration and
+// asserts the two JSON traces are byte-identical — the determinism
+// contract every other oracle (and every perf-regression bisect) builds
+// on.
+func CheckSameSeed(cfg Config, factory ExecutorFactory) ([]OracleResult, error) {
+	t1, err := Run(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSameSeedAgainst(t1, cfg, factory)
+}
+
+// CheckSameSeedAgainst is CheckSameSeed with the first run supplied by
+// the caller (a trace already produced with exactly cfg), saving one
+// campaign execution.
+func CheckSameSeedAgainst(t1 *Trace, cfg Config, factory ExecutorFactory) ([]OracleResult, error) {
+	t2, err := Run(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	j1, err := t1.JSON()
+	if err != nil {
+		return nil, err
+	}
+	j2, err := t2.JSON()
+	if err != nil {
+		return nil, err
+	}
+	res := OracleResult{Oracle: "same-seed", Pass: bytes.Equal(j1, j2)}
+	if !res.Pass {
+		res.Detail = fmt.Sprintf("traces differ: %d vs %d bytes", len(j1), len(j2))
+		for i := 0; i < len(j1) && i < len(j2); i++ {
+			if j1[i] != j2[i] {
+				lo, hi := i-30, i+30
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > len(j1) {
+					hi = len(j1)
+				}
+				res.Detail = fmt.Sprintf("traces diverge at byte %d: ...%s...", i, j1[lo:hi])
+				break
+			}
+		}
+	}
+	return []OracleResult{res}, nil
+}
+
+// CheckWorkerCounts runs the campaign at each worker count (default
+// 1, 4, 8) and asserts, per scenario, identical per-request outcome
+// streams (fault class, outcome, detection mechanism — the dispatched
+// worker is allowed to differ) and identical survivor digests. This is
+// the containment claim as a differential: how many isolated workers
+// serve the traffic must not change what any single request experiences
+// or what state survives.
+func CheckWorkerCounts(cfg Config, factory ExecutorFactory, counts ...int) ([]OracleResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 4, 8}
+	}
+	traces := make([]*Trace, len(counts))
+	for i, w := range counts {
+		c := cfg
+		c.Workers = w
+		t, err := Run(c, factory)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: worker-count oracle at %d workers: %w", w, err)
+		}
+		traces[i] = t
+	}
+	base := traces[0]
+	var out []OracleResult
+	for _, sc := range base.Scenarios {
+		res := OracleResult{Oracle: "worker-count", Scenario: sc.Scenario, Pass: true}
+		for i := 1; i < len(traces) && res.Pass; i++ {
+			other := traces[i].Scenario(sc.Scenario)
+			if other == nil {
+				res.Pass = false
+				res.Detail = fmt.Sprintf("missing at %d workers", counts[i])
+				break
+			}
+			if d := diffOutcomes(sc, *other, counts[0], counts[i]); d != "" {
+				res.Pass = false
+				res.Detail = d
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// diffOutcomes compares the worker-count-invariant fields of two
+// scenario traces and describes the first divergence.
+func diffOutcomes(a, b ScenarioTrace, wa, wb int) string {
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return fmt.Sprintf("request counts differ: %d at %d workers vs %d at %d workers",
+			len(a.Outcomes), wa, len(b.Outcomes), wb)
+	}
+	for i := range a.Outcomes {
+		x, y := a.Outcomes[i], b.Outcomes[i]
+		if x.Fault != y.Fault || x.Outcome != y.Outcome || x.Mech != y.Mech {
+			return fmt.Sprintf("request %d: %s/%s/%s at %d workers vs %s/%s/%s at %d workers",
+				i, x.Fault, x.Outcome, x.Mech, wa, y.Fault, y.Outcome, y.Mech, wb)
+		}
+	}
+	if a.SurvivorDigest != b.SurvivorDigest {
+		return fmt.Sprintf("survivor digests differ: %s at %d workers vs %s at %d workers",
+			a.SurvivorDigest, wa, b.SurvivorDigest, wb)
+	}
+	if a.DetectionTotal != b.DetectionTotal {
+		return fmt.Sprintf("detection totals differ: %d at %d workers vs %d at %d workers",
+			a.DetectionTotal, wa, b.DetectionTotal, wb)
+	}
+	return ""
+}
+
+// CheckBenign asserts, for every benign-only scenario in cfg, that the
+// campaign run recorded zero detections and zero rewinds, and that a
+// direct replay — the same requests driven through a bare loop with no
+// schedule or trace bookkeeping — lands on exactly the same virtual
+// cycle count and survivor digest. Cycle parity proves the engine's
+// orchestration is free on the simulated machine; a divergence means
+// the engine itself perturbs the system under test.
+func CheckBenign(cfg Config, factory ExecutorFactory) ([]OracleResult, error) {
+	cfg = cfg.withDefaults()
+	tr, err := Run(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	return CheckBenignAgainst(tr, cfg, factory)
+}
+
+// CheckBenignAgainst is CheckBenign with the campaign run supplied by
+// the caller (a trace already produced with exactly cfg); only the
+// direct replays execute.
+func CheckBenignAgainst(tr *Trace, cfg Config, factory ExecutorFactory) ([]OracleResult, error) {
+	cfg = cfg.withDefaults()
+	var out []OracleResult
+	for _, sc := range cfg.Scenarios {
+		if !sc.Benign() {
+			continue
+		}
+		st := tr.Scenario(sc.Name)
+		res := OracleResult{Oracle: "benign", Scenario: sc.Name, Pass: true}
+		switch {
+		case st == nil:
+			res.Pass, res.Detail = false, "scenario missing from trace"
+		case st.DetectionTotal != 0:
+			res.Pass, res.Detail = false, fmt.Sprintf("%d detections on benign traffic", st.DetectionTotal)
+		case st.Rewinds != 0:
+			res.Pass, res.Detail = false, fmt.Sprintf("%d rewinds on benign traffic", st.Rewinds)
+		case st.Preemptions != 0:
+			res.Pass, res.Detail = false, fmt.Sprintf("%d preemptions on benign traffic", st.Preemptions)
+		default:
+			cycles, dig, rerr := replayBenign(sc, cfg, factory)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if cycles != st.VirtualCycles {
+				res.Pass = false
+				res.Detail = fmt.Sprintf("cycle parity broken: campaign %d vs replay %d", st.VirtualCycles, cycles)
+			} else if dig != st.SurvivorDigest {
+				res.Pass = false
+				res.Detail = fmt.Sprintf("survivor divergence: campaign %s vs replay %s", st.SurvivorDigest, dig)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CheckAll runs every oracle: same-seed determinism, worker-count
+// invariance at the given counts (default 1/4/8), and the benign
+// zero-detection + cycle-parity check.
+func CheckAll(cfg Config, factory ExecutorFactory, counts ...int) ([]OracleResult, error) {
+	base, err := Run(cfg.withDefaults(), factory)
+	if err != nil {
+		return nil, err
+	}
+	return CheckAllAgainst(base, cfg, factory, counts...)
+}
+
+// CheckAllAgainst is CheckAll with the base campaign run supplied by
+// the caller (a trace already produced with exactly cfg) — the CLI's
+// -oracles path reuses the trace it just printed instead of re-running
+// the campaign.
+func CheckAllAgainst(base *Trace, cfg Config, factory ExecutorFactory, counts ...int) ([]OracleResult, error) {
+	var all []OracleResult
+	for _, f := range []func() ([]OracleResult, error){
+		func() ([]OracleResult, error) { return CheckSameSeedAgainst(base, cfg, factory) },
+		func() ([]OracleResult, error) { return CheckWorkerCounts(cfg, factory, counts...) },
+		func() ([]OracleResult, error) { return CheckBenignAgainst(base, cfg.withDefaults(), factory) },
+	} {
+		res, err := f()
+		if err != nil {
+			return all, err
+		}
+		all = append(all, res...)
+	}
+	return all, nil
+}
+
+// Failures filters results to the failed ones.
+func Failures(results []OracleResult) []OracleResult {
+	var out []OracleResult
+	for _, r := range results {
+		if !r.Pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}

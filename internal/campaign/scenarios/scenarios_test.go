@@ -1,0 +1,80 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func TestAllScenariosValidate(t *testing.T) {
+	cfg := campaign.Config{Scenarios: All()}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCoversEveryWorkloadAndTarget(t *testing.T) {
+	workloads := make(map[campaign.Workload]bool)
+	targets := make(map[campaign.Target]bool)
+	benign := make(map[campaign.Workload]bool)
+	for _, s := range All() {
+		workloads[s.Workload] = true
+		targets[s.Target] = true
+		if s.Benign() {
+			benign[s.Workload] = true
+		}
+	}
+	for _, w := range []campaign.Workload{campaign.WorkloadKV, campaign.WorkloadHTTP, campaign.WorkloadFFI} {
+		if !workloads[w] {
+			t.Errorf("no scenario drives workload %v", w)
+		}
+		if !benign[w] {
+			t.Errorf("no benign control scenario for workload %v (the benign oracle needs one)", w)
+		}
+	}
+	for _, tg := range []campaign.Target{campaign.TargetDomain, campaign.TargetPool, campaign.TargetBridge} {
+		if !targets[tg] {
+			t.Errorf("no scenario drives target %v", tg)
+		}
+	}
+}
+
+func TestEveryFaultClassIsShipped(t *testing.T) {
+	shipped := make(map[campaign.FaultClass]bool)
+	for _, s := range All() {
+		for _, f := range s.Faults {
+			shipped[f] = true
+		}
+	}
+	for _, f := range campaign.FaultClasses() {
+		if !shipped[f] {
+			t.Errorf("fault class %v appears in no shipped scenario", f)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d scenarios, err %v", len(all), err)
+	}
+	all, err = Select("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"all\") = %d scenarios, err %v", len(all), err)
+	}
+	two, err := Select("kv-pool-benign, http-pool-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(two))
+	}
+	// Table order is preserved regardless of list order.
+	if two[0].Name != "kv-pool-benign" || two[1].Name != "http-pool-mixed" {
+		t.Errorf("unexpected order: %s, %s", two[0].Name, two[1].Name)
+	}
+	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("Select(nope) err = %v", err)
+	}
+}

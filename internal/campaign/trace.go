@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// RequestOutcome records what one scheduled request did. The fields are
+// exactly the ones the differential oracles compare, so the JSON stays
+// compact and fully deterministic.
+type RequestOutcome struct {
+	// I is the request index within the scenario.
+	I int `json:"i"`
+	// W is the worker the request dispatched to.
+	W int `json:"w"`
+	// Fault is the injected fault class ("" = benign).
+	Fault string `json:"f,omitempty"`
+	// Outcome is one of "ok", "rejected", "detected", "preempted",
+	// "error".
+	Outcome string `json:"o"`
+	// Mech is the detection mechanism for "detected" outcomes.
+	Mech string `json:"m,omitempty"`
+}
+
+// Request outcomes.
+const (
+	// OutcomeOK: clean run, applied to the survivor state.
+	OutcomeOK = "ok"
+	// OutcomeRejected: the parser/codec rejected the payload — an
+	// application error, not a detection.
+	OutcomeRejected = "rejected"
+	// OutcomeDetected: a memory-safety detection rewound the domain.
+	OutcomeDetected = "detected"
+	// OutcomePreempted: the cycle budget preempted the run.
+	OutcomePreempted = "preempted"
+	// OutcomeError: an unexpected engine-level failure (oracles treat
+	// any occurrence as a bug).
+	OutcomeError = "error"
+)
+
+// ScenarioTrace is the structured record of one scenario run.
+type ScenarioTrace struct {
+	Scenario string `json:"scenario"`
+	Workload string `json:"workload"`
+	Target   string `json:"target"`
+	Requests int    `json:"requests"`
+	// Outcomes has one entry per request, in schedule order.
+	Outcomes []RequestOutcome `json:"outcomes"`
+	// Detections counts contained violations by mechanism name
+	// (encoding/json sorts map keys, so serialization is stable).
+	Detections map[string]uint64 `json:"detections"`
+	// DetectionTotal sums Detections.
+	DetectionTotal uint64 `json:"detection_total"`
+	// Preemptions counts budget-preempted requests.
+	Preemptions uint64 `json:"preemptions"`
+	// Rejected counts parser/codec rejections.
+	Rejected uint64 `json:"rejected"`
+	// OK counts clean requests.
+	OK uint64 `json:"ok"`
+	// Rewinds counts rewind-and-discard recoveries (violations plus
+	// preemptions) reported by the executor.
+	Rewinds uint64 `json:"rewinds"`
+	// VirtualCycles is the summed virtual time across the executor's
+	// machines, in cycles.
+	VirtualCycles uint64 `json:"virtual_cycles"`
+	// SurvivorDigest fingerprints the trusted survivor state (cache
+	// contents, route tallies, FFI checksums) after the run.
+	SurvivorDigest string `json:"survivor_digest"`
+}
+
+// Trace is the full campaign record.
+type Trace struct {
+	Seed      uint64          `json:"seed"`
+	Workers   int             `json:"workers"`
+	Requests  int             `json:"requests"`
+	Scenarios []ScenarioTrace `json:"scenarios"`
+}
+
+// JSON renders the trace as stable, indented JSON: two runs with the
+// same seed produce byte-identical output.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Scenario returns the trace of the named scenario, or nil.
+func (t *Trace) Scenario(name string) *ScenarioTrace {
+	for i := range t.Scenarios {
+		if t.Scenarios[i].Scenario == name {
+			return &t.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders a deterministic one-line-per-scenario text report.
+func (t *Trace) Summary() string {
+	out := fmt.Sprintf("campaign seed=%d workers=%d requests=%d scenarios=%d\n",
+		t.Seed, t.Workers, t.Requests, len(t.Scenarios))
+	for _, s := range t.Scenarios {
+		out += fmt.Sprintf("  %-28s %-5s %-7s ok=%-5d rejected=%-4d detected=%-4d preempted=%-4d rewinds=%-4d cycles=%-12d digest=%s\n",
+			s.Scenario, s.Target, s.Workload, s.OK, s.Rejected, s.DetectionTotal, s.Preemptions, s.Rewinds, s.VirtualCycles, s.SurvivorDigest)
+		mechs := make([]string, 0, len(s.Detections))
+		for m := range s.Detections {
+			mechs = append(mechs, m)
+		}
+		sort.Strings(mechs)
+		for _, m := range mechs {
+			out += fmt.Sprintf("    %-26s %d\n", m, s.Detections[m])
+		}
+	}
+	return out
+}
+
+// digest is a FNV-1a 64 accumulator for survivor-state fingerprints.
+type digest struct{ h uint64 }
+
+func newDigest() *digest { return &digest{h: 0xcbf29ce484222325} }
+
+func (d *digest) bytes(b []byte) {
+	for _, c := range b {
+		d.h ^= uint64(c)
+		d.h *= 0x100000001b3
+	}
+}
+
+func (d *digest) str(s string) {
+	d.bytes([]byte(s))
+	d.bytes([]byte{0}) // field separator: "ab","c" ≠ "a","bc"
+}
+
+func (d *digest) u64(v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	d.bytes(b[:])
+}
+
+func (d *digest) hex() string { return fmt.Sprintf("%016x", d.h) }

@@ -82,6 +82,7 @@ func registry() []experiment {
 		{"A2", "Ablation — compartment granularity vs switch overhead", Runner.runA2},
 		{"A3", "Ablation — exit-time integrity sweep cost", Runner.runA3},
 		{"S1", "Sensitivity — headline verdicts are stable under cost-model error", Runner.runS1},
+		{"C1", "Campaign — seeded fault campaigns are contained and pass the differential oracles", Runner.runC1},
 	}
 }
 

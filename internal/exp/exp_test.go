@@ -14,7 +14,7 @@ func quick() Runner { return Runner{Quick: true} }
 
 func TestIDsAndClaims(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
+	if len(ids) != 13 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	for _, id := range ids {
@@ -36,7 +36,7 @@ func TestRunAllProducesTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
+	if len(results) != 13 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -117,6 +117,14 @@ func Verify(r *Result) []Check {
 			atLeast("restart/rewind separation ≥ 10³ everywhere", m["min_ratio"], 1e3),
 			atMost("restart crossover limited to the fast-warm-up corner", m["restart_meets_count"], 3),
 		}
+	case "C1":
+		return []Check{
+			atMost("no differential oracle fails", m["oracle_failures"], 0),
+			atLeast("oracle suite actually ran", m["oracle_checks"], 10),
+			isTrue("every attacked scenario recorded containment events", boolMetric(m["attacked_with_events"] == m["attacked_scenarios"])),
+			isTrue("every benign scenario stayed clean", boolMetric(m["benign_clean"] == m["benign_scenarios"])),
+			atLeast("campaign detected injected faults", m["total_detections"], 1),
+		}
 	default:
 		// Ablations: structural check only (tables were produced).
 		return []Check{{

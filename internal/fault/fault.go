@@ -41,11 +41,22 @@ const (
 	DoubleFree
 	// NullDeref dereferences address zero.
 	NullDeref
+	// UseAfterFree writes through a dangling pointer into a freed chunk,
+	// running over its redzone (detected by the exit integrity sweep).
+	UseAfterFree
+	// FreedHeaderSmash overwrites the freed-marker canary word of a freed
+	// chunk's header — the tcache-poisoning shape (detected by the exit
+	// integrity sweep).
+	FreedHeaderSmash
+	// Crash panics inside the domain, modelling an in-domain process
+	// crash (e.g. a compiled-in abort); the supervisor converts it to a
+	// contained violation.
+	Crash
 )
 
 // Kinds returns all bug classes.
 func Kinds() []Kind {
-	return []Kind{HeapOverflow, StackSmash, WildWrite, OOBRead, CrossDomainWrite, DoubleFree, NullDeref}
+	return []Kind{HeapOverflow, StackSmash, WildWrite, OOBRead, CrossDomainWrite, DoubleFree, NullDeref, UseAfterFree, FreedHeaderSmash, Crash}
 }
 
 // String implements fmt.Stringer.
@@ -65,6 +76,12 @@ func (k Kind) String() string {
 		return "double-free"
 	case NullDeref:
 		return "null-deref"
+	case UseAfterFree:
+		return "use-after-free"
+	case FreedHeaderSmash:
+		return "freed-header-smash"
+	case Crash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -124,6 +141,27 @@ func Inject(c *core.DomainCtx, kind Kind, victim mem.Addr) {
 		}
 	case NullDeref:
 		c.MustStore64(0, 1)
+	case UseAfterFree:
+		// Free an allocation, then store through the dangling pointer.
+		// The write stays inside the domain's own pages (no PKU fault)
+		// but clobbers the freed chunk's redzone, which the exit
+		// integrity sweep validates against the live canary.
+		p := c.MustAlloc(64)
+		c.MustFree(p)
+		stale := make([]byte, 64+8)
+		for i := range stale {
+			stale[i] = 0x55
+		}
+		c.MustStore(p, stale)
+	case FreedHeaderSmash:
+		// Overwrite the freed-marker canary word sitting 8 bytes before
+		// the payload — the tcache-poisoning / freelist-hijack shape. The
+		// sweep sees neither the live canary nor the freed marker.
+		p := c.MustAlloc(32)
+		c.MustFree(p)
+		c.MustStore64(p-8, 0x4141414141414141)
+	case Crash:
+		panic("fault: injected worker crash")
 	default:
 		c.Violate(fmt.Errorf("%w: unknown kind %d", ErrInjected, kind))
 	}

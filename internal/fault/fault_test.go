@@ -29,6 +29,9 @@ func TestEveryKindIsDetectedAndRewound(t *testing.T) {
 		CrossDomainWrite: {detect.MechDomainViolation},
 		DoubleFree:       {detect.MechSegfault}, // explicit Violate classifies as generic
 		NullDeref:        {detect.MechSegfault},
+		UseAfterFree:     {detect.MechHeapCanary},
+		FreedHeaderSmash: {detect.MechHeapCanary},
+		Crash:            {detect.MechSegfault}, // in-domain panic counts as crash-class
 	}
 	for _, k := range Kinds() {
 		k := k

@@ -1,0 +1,54 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attackgen"
+	"repro/internal/campaign"
+	"repro/internal/workload"
+)
+
+// TestCampaignParserMirrorsParse pins campaign.ParseHTTP (the engine's
+// in-domain grammar mirror, which cannot import this package) to the
+// production head parser: on every corpus input the two must agree on
+// acceptance, and on accepted inputs the method and path must match.
+// Unlike the kvstore pair, both parsers consume one complete head, so
+// the equivalence is exact in both directions.
+func TestCampaignParserMirrorsParse(t *testing.T) {
+	gen, err := workload.NewHTTP(workload.HTTPConfig{Seed: 5, ExtraHeaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus [][]byte
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus, gen.Next().Raw)
+	}
+	corpus = append(corpus, attackgen.MalformedHTTPCorpus(5, 200)...)
+	corpus = append(corpus,
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		[]byte("HEAD /x HTTP/1.0\r\nhost: h\r\n\r\n"),
+		[]byte("GET "+strings.Repeat("a", MaxRequestLine+10)+" HTTP/1.1\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nh: "+strings.Repeat("v", MaxHeaderLine+10)+"\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\n"+strings.Repeat("a: b\r\n", MaxHeaders+5)+"\r\n"),
+		[]byte("GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+		[]byte("GET  HTTP/1.1\r\n\r\n"),
+		[]byte("GET x HTTP/1.1\r\n\r\n"),
+		[]byte("GET / FTP/1.1\r\n\r\n"),
+		[]byte("\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\n"),
+	)
+
+	for _, in := range corpus {
+		method, path, ok := campaign.ParseHTTP(in)
+		pr, perr := parse(in)
+		if ok != (perr == nil) {
+			t.Errorf("parsers disagree on acceptance of %q: campaign %v, httpd err %v", in, ok, perr)
+			continue
+		}
+		if ok && (pr.Method != method || pr.Path != path) {
+			t.Errorf("parsers disagree on %q: campaign %s %s vs httpd %s %s",
+				in, method, path, pr.Method, pr.Path)
+		}
+	}
+}

@@ -2,8 +2,13 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/attackgen"
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // FuzzReadCommand checks the protocol parser never panics and that every
@@ -39,6 +44,74 @@ func FuzzReadCommand(f *testing.F) {
 		}
 		if len(cmd.Req.Value) > MaxValueSize {
 			t.Errorf("accepted oversized value: %d", len(cmd.Req.Value))
+		}
+	})
+}
+
+// FuzzHandleSDRaD drives arbitrary wire bytes through the full SDRaD
+// request path — protocol parse, domain-isolated handling, attack
+// injection on marked values — and asserts the supervisor's contract:
+// a crafted request may be rejected or contained (a detection), but the
+// supervisor must never panic and malicious requests must never reach
+// the cache.
+func FuzzHandleSDRaD(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("get key-1\r\n"),
+		[]byte("set key-1 0 0 5\r\nhello\r\n"),
+		[]byte("set key-1 7 30 4\r\nwxyz\r\n"),
+		[]byte("delete key-1\r\n"),
+		[]byte("set x 0 0 9\r\n" + AttackMarker + "\r\n"),
+		[]byte("set x 0 0 12\r\n" + AttackMarker + "pad\r\n"),
+		[]byte("set k 0 0 1048577\r\n"),
+		[]byte("\x00\xff\r\n"),
+	}
+	// Deterministic malformed corpus from the attack generator.
+	seeds = append(seeds, attackgen.MalformedKVCorpus(1, 16)...)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		cmd, err := ReadCommand(bufio.NewReader(bytes.NewReader(in)))
+		if err != nil {
+			// Parser rejection is the benign failure mode; reaching here
+			// without a panic is the assertion.
+			return
+		}
+		if cmd.Stats || cmd.Quit {
+			return
+		}
+		sys := core.NewSystem(core.DefaultConfig())
+		cache, err := NewCache(sys, 1, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(sys, cache, ServerConfig{Mode: ModeSDRaD, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := cmd.Req
+		if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
+			req.Malicious = true
+		}
+		resp := srv.Handle(0, req)
+		if req.Malicious {
+			if !resp.Contained {
+				t.Errorf("malicious request not contained: %+v", resp)
+			}
+			if sys.Counters().Total() == 0 {
+				t.Error("contained violation recorded no detection")
+			}
+			if _, hit, _ := cache.Get(req.Key); hit {
+				t.Error("malicious SET reached the cache")
+			}
+		} else if resp.Contained {
+			t.Errorf("benign request %q reported contained: %+v", in, resp)
+		}
+		// The supervisor must stay serviceable after any single request:
+		// a benign probe on another connection goes through cleanly.
+		probe := srv.Handle(1, workload.Request{Op: workload.OpGet, Key: "probe"})
+		if probe.Err != nil || probe.Contained {
+			t.Errorf("server unserviceable after %q: %+v", in, probe)
 		}
 	})
 }

@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 )
 
@@ -189,6 +190,26 @@ func NewKV(cfg KVConfig) (*KVGenerator, error) {
 // Key returns the key string for rank i.
 func Key(i int) string { return fmt.Sprintf("key-%08d", i) }
 
+// RenderKVText renders the request in the memcached text wire format —
+// the one byte-level rendering shared by the kvstore server, the attack
+// generator's corpora, and the campaign engine, so they all exercise
+// identical bytes for the same request stream.
+func RenderKVText(req Request) []byte {
+	switch req.Op {
+	case OpSet:
+		head := fmt.Sprintf("set %s %d %d %d\r\n", req.Key, req.Flags, int(req.TTL/time.Second), len(req.Value))
+		out := make([]byte, 0, len(head)+len(req.Value)+2)
+		out = append(out, head...)
+		out = append(out, req.Value...)
+		out = append(out, '\r', '\n')
+		return out
+	case OpDelete:
+		return []byte("delete " + req.Key + "\r\n")
+	default:
+		return []byte("get " + req.Key + "\r\n")
+	}
+}
+
 // Next returns the next request.
 func (g *KVGenerator) Next() Request {
 	rank := g.zipf.Next()
@@ -201,6 +222,89 @@ func (g *KVGenerator) Next() Request {
 	req.Value = make([]byte, g.cfg.ValueSize)
 	g.rng.Bytes(req.Value)
 	return req
+}
+
+// HTTPConfig configures an HTTP request-byte generator.
+type HTTPConfig struct {
+	// Paths is the size of the static path population (default 64).
+	Paths int
+	// ZipfS is the path-popularity skew (default 0.99).
+	ZipfS float64
+	// HeadFraction is the fraction of HEAD requests (default 0.05); the
+	// rest are GETs.
+	HeadFraction float64
+	// ExtraHeaders is the number of filler headers per request (default
+	// 2), exercising the header loop of the parser.
+	ExtraHeaders int
+	// Seed seeds the generator.
+	Seed uint64
+}
+
+func (c *HTTPConfig) fill() {
+	if c.Paths <= 0 {
+		c.Paths = 64
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.99
+	}
+	if c.HeadFraction == 0 {
+		c.HeadFraction = 0.05
+	}
+	if c.ExtraHeaders < 0 {
+		c.ExtraHeaders = 0
+	} else if c.ExtraHeaders == 0 {
+		c.ExtraHeaders = 2
+	}
+}
+
+// HTTPRequest is one generated HTTP request.
+type HTTPRequest struct {
+	Method string
+	Path   string
+	// Raw is the rendered HTTP/1.1 request head.
+	Raw []byte
+	// Malicious marks requests crafted to trigger a parser bug.
+	Malicious bool
+}
+
+// Path returns the path string for rank i.
+func Path(i int) string { return fmt.Sprintf("/static/page-%04d.html", i) }
+
+// HTTPGenerator produces a deterministic stream of HTTP/1.1 request
+// bytes with Zipf-distributed path popularity — the web-server
+// counterpart of KVGenerator. Create with NewHTTP.
+type HTTPGenerator struct {
+	cfg  HTTPConfig
+	rng  *RNG
+	zipf *Zipf
+}
+
+// NewHTTP builds an HTTP request generator.
+func NewHTTP(cfg HTTPConfig) (*HTTPGenerator, error) {
+	cfg.fill()
+	rng := NewRNG(cfg.Seed)
+	z, err := NewZipf(rng, cfg.Paths, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPGenerator{cfg: cfg, rng: rng, zipf: z}, nil
+}
+
+// Next returns the next request.
+func (g *HTTPGenerator) Next() HTTPRequest {
+	method := "GET"
+	if g.rng.Float64() < g.cfg.HeadFraction {
+		method = "HEAD"
+	}
+	path := Path(g.zipf.Next())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	b.WriteString("host: localhost\r\n")
+	for i := 0; i < g.cfg.ExtraHeaders; i++ {
+		fmt.Fprintf(&b, "x-filler-%d: %016x\r\n", i, g.rng.Uint64())
+	}
+	b.WriteString("\r\n")
+	return HTTPRequest{Method: method, Path: path, Raw: []byte(b.String())}
 }
 
 // MaliciousEvery wraps g so that every nth request is replaced by a

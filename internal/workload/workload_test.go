@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -214,5 +215,52 @@ func TestOpString(t *testing.T) {
 	}
 	if Op(9).String() == "" {
 		t.Error("unknown op should render")
+	}
+}
+
+func TestHTTPGeneratorDeterministic(t *testing.T) {
+	a, err := NewHTTP(HTTPConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHTTP(HTTPConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Method != rb.Method || ra.Path != rb.Path || string(ra.Raw) != string(rb.Raw) {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestHTTPGeneratorShape(t *testing.T) {
+	g, err := NewHTTP(HTTPConfig{Seed: 1, Paths: 8, ExtraHeaders: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := 0
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.Method == "HEAD" {
+			heads++
+		} else if r.Method != "GET" {
+			t.Fatalf("unexpected method %q", r.Method)
+		}
+		raw := string(r.Raw)
+		if !strings.HasPrefix(raw, r.Method+" "+r.Path+" HTTP/1.1\r\n") {
+			t.Fatalf("bad request line in %q", raw)
+		}
+		if !strings.HasSuffix(raw, "\r\n\r\n") {
+			t.Fatalf("missing head terminator in %q", raw)
+		}
+		if n := strings.Count(raw, "x-filler-"); n != 3 {
+			t.Fatalf("want 3 filler headers, got %d in %q", n, raw)
+		}
+	}
+	// ~5% default HEAD fraction: loose bounds, deterministic stream.
+	if heads == 0 || heads > 200 {
+		t.Errorf("HEAD count %d out of expected range", heads)
 	}
 }

@@ -39,6 +39,12 @@ type poolWorker struct {
 	// dispatch and is read without the lock.
 	inflight atomic.Int64
 	requests atomic.Uint64
+	// closedStats snapshots the warm domain's lifecycle counters just
+	// before Close tears it down, so post-Close accounting (DomainStats)
+	// reports the work done instead of silently reading zero. Written
+	// and read under mu.
+	closedStats      DomainStats
+	closedStatsValid bool
 }
 
 // Pool executes isolated domains on N parallel workers. Unlike Supervisor
@@ -186,6 +192,9 @@ func (p *Pool) Close() error {
 	var first error
 	for i, w := range p.workers {
 		w.mu.Lock()
+		if st, err := w.dom.Stats(); err == nil {
+			w.closedStats, w.closedStatsValid = st, true
+		}
 		err := w.dom.Close()
 		w.mu.Unlock()
 		if err != nil && first == nil {
@@ -270,6 +279,46 @@ func (p *Pool) TotalVirtualTime() time.Duration {
 		w.mu.Unlock()
 	}
 	return sum
+}
+
+// VirtualCycles returns the summed virtual cycles across all workers'
+// machines — the aggregate simulated CPU time as an exact integer
+// (TotalVirtualTime rounds through the cost model's frequency; the
+// campaign engine's parity oracles need the cycles themselves).
+func (p *Pool) VirtualCycles() uint64 {
+	var sum uint64
+	for _, w := range p.workers {
+		w.mu.Lock()
+		sum += w.sup.sys.Clock().Cycles()
+		w.mu.Unlock()
+	}
+	return sum
+}
+
+// DomainStats aggregates the warm domains' lifecycle counters across all
+// workers (entries, clean exits, violations, rewinds, preemptions).
+// After Close it returns the counters snapshotted at teardown, so final
+// accounting still reflects the work done.
+func (p *Pool) DomainStats() DomainStats {
+	var agg DomainStats
+	for _, w := range p.workers {
+		w.mu.Lock()
+		st, err := w.dom.Stats()
+		if err != nil && w.closedStatsValid {
+			st, err = w.closedStats, nil
+		}
+		w.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		agg.Entries += st.Entries
+		agg.CleanExits += st.CleanExits
+		agg.Violations += st.Violations
+		agg.Rewinds += st.Rewinds
+		agg.Preemptions += st.Preemptions
+		agg.RewindTime += st.RewindTime
+	}
+	return agg
 }
 
 // PoolStats reports per-worker dispatch accounting.

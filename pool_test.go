@@ -211,3 +211,29 @@ func TestPoolDefaultSize(t *testing.T) {
 		t.Errorf("RunOn negative: %v", err)
 	}
 }
+
+// TestPoolDomainStatsSurviveClose pins the teardown-accounting
+// contract: DomainStats after Close reports the counters snapshotted at
+// teardown, not a silent all-zero aggregate.
+func TestPoolDomainStatsSurviveClose(t *testing.T) {
+	pool, err := sdrad.NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := pool.Run(func(c *sdrad.Ctx) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pool.DomainStats()
+	if before.Entries != 6 || before.CleanExits != 6 {
+		t.Fatalf("pre-close stats: %+v", before)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := pool.DomainStats()
+	if after != before {
+		t.Errorf("stats changed across Close: before %+v, after %+v", before, after)
+	}
+}

@@ -19,6 +19,13 @@ import (
 // implemented by *Domain, *Pool, and *Bridge (via its backing domain), so
 // policy-carrying call sites — and the typed Exec helper — work against
 // any backend.
+//
+// Every implementation is deterministic on the simulated machine: the
+// same sequence of Do calls with the same fns and options consumes the
+// same virtual cycles and produces the same outcomes, on every run and
+// at any GOMAXPROCS. The campaign engine's differential oracles
+// (DESIGN.md §8) are built on this contract — wall-clock time may vary
+// freely, virtual behavior may not.
 type Runner interface {
 	// Do executes fn inside a domain, applying the per-call policy in
 	// opts. A memory-safety violation rewinds and discards the domain and

@@ -211,6 +211,11 @@ func (s *Supervisor) NewDomain(opts ...DomainOption) (*Domain, error) {
 // VirtualTime returns the elapsed virtual time on the simulated machine.
 func (s *Supervisor) VirtualTime() time.Duration { return s.sys.Clock().Now() }
 
+// VirtualCycles returns the elapsed virtual time in cycles — the exact
+// integer the campaign engine's parity oracles compare (durations round
+// through the cost model's frequency; cycles do not).
+func (s *Supervisor) VirtualCycles() uint64 { return s.sys.Clock().Cycles() }
+
 // DetectionCounts returns, per detection mechanism name, how many
 // memory-safety events the supervisor has contained.
 func (s *Supervisor) DetectionCounts() map[string]uint64 {
