@@ -1,12 +1,20 @@
 # SDRaD-Go development targets. `make check` is the full gate: the
-# tier-1 verify (build + test) plus formatting, vet, and the race
-# detector over the concurrent Supervisor-pool paths.
+# tier-1 verify (build + test) plus formatting, vet, the docs gate, and
+# the race detector over the concurrent Supervisor-pool and
+# submission-queue paths.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-pools bench-smoke campaign-smoke
+.PHONY: check fmt vet docs build test race bench bench-pools bench-batched bench-smoke campaign-smoke
 
-check: fmt vet build test race
+check: fmt vet docs build test race
+
+# Docs gate: vet plus the AST lints (wall-clock guardrail and the
+# exported-symbols-must-have-doc-comments check over the public root
+# package).
+docs:
+	$(GO) vet ./...
+	$(GO) test -run 'TestNoWallClockInLibraryCode|TestExportedSymbolsDocumented' .
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,16 +32,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full E1-E8 + ablation suite with fixed flags, emitting BENCH_PR3.json
-# (name -> iters, ns/op, vops/s, ...) for PR-over-PR perf diffing. Pass
+# Full E1-E8 + ablation suite with fixed flags, emitting BENCH_PR5.json
+# (name -> iters, ns/op, vops/s, ...) for PR-over-PR perf diffing. The
+# suite includes the batched E1 pair (batch sizes 1/8/32). Pass
 # BASELINE=<prev.json> to embed a previous report for comparison.
 BASELINE ?=
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json $(if $(BASELINE),-baseline $(BASELINE))
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json $(if $(BASELINE),-baseline $(BASELINE))
 
 # Throughput-scaling benchmarks for the supervisor pools (E1 parallel).
 bench-pools:
 	$(GO) test -run '^$$' -bench 'E1KVSDRaDParallel|E1HTTPSDRaDParallel' -benchtime 1s .
+
+# Batched-execution benchmarks only: serial-vs-batched E1 at batch
+# sizes 1/8/32 plus the AsyncPool submission path, emitted as JSON (CI
+# uploads BENCH_BATCHED_CI.json as an artifact).
+bench-batched:
+	$(GO) run ./cmd/benchjson -bench 'E1KVSDRaD$$|E1HTTPSDRaD$$|E1KVSDRaDBatched|E1HTTPSDRaDBatched|AsyncPoolSubmit' \
+		-benchtime 1x -out BENCH_BATCHED_CI.json
 
 # One-iteration smoke pass over the suite (CI: proves the benches run).
 bench-smoke:

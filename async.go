@@ -1,0 +1,262 @@
+package sdrad
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+	"repro/internal/submit"
+)
+
+// This file implements AsyncPool, the asynchronous batched execution
+// layer on top of Pool: an io_uring-style submission interface where
+// callers enqueue calls into bounded per-worker queues and worker loops
+// drain up to MaxBatch queued calls per domain Enter — one Enter/Exit,
+// one integrity sweep, one discard decision per batch instead of per
+// call (batch.go has the engine and the replay rule that keeps results
+// serial-equivalent). Backpressure is explicit: a full queue rejects
+// with *OverloadError instead of queueing unboundedly. See DESIGN.md §9.
+
+// Future is the pending result of a Submit. Wait for it with Wait (or
+// select on Done and read Err).
+type Future = submit.Future
+
+// OverloadError reports that a submission was rejected by admission
+// control: the target worker's queue was at capacity. Servers translate
+// it into a load-shedding response (503 / SERVER_ERROR).
+type OverloadError = submit.OverloadError
+
+// IsOverload reports whether err is (or wraps) an *OverloadError.
+func IsOverload(err error) (*OverloadError, bool) { return submit.IsOverload(err) }
+
+// ErrAsyncClosed is returned by Submit/Do after AsyncPool.Close, and
+// resolves any call still queued at close time.
+var ErrAsyncClosed = submit.ErrClosed
+
+// AsyncConfig configures an AsyncPool.
+type AsyncConfig struct {
+	// MaxBatch bounds how many queued calls one domain Enter executes
+	// (default 32).
+	MaxBatch int
+	// MaxInflight bounds admitted-but-unfinished calls across the pool —
+	// the -max-inflight flag of the demo servers. It divides evenly into
+	// per-worker queue capacities (at least 1 each; default 1024).
+	MaxInflight int
+}
+
+func (c *AsyncConfig) fill(workers int) {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	if c.MaxInflight < workers {
+		c.MaxInflight = workers
+	}
+}
+
+// AsyncPool is the asynchronous batched front of a Pool. Submissions
+// enqueue into a bounded per-worker queue; one consumer goroutine per
+// worker drains batches and executes them with the amortized batch
+// entry. AsyncPool implements Runner (Do is Submit+Wait) and is safe
+// for concurrent use. Create with NewAsyncPool; Close stops the async
+// layer but leaves the wrapped Pool open (the caller owns it).
+type AsyncPool struct {
+	pool *Pool
+	cfg  AsyncConfig
+	q    *submit.Queues
+	rr   atomic.Uint64
+	lat  metrics.BatchLatency
+
+	batches  atomic.Uint64
+	commits  atomic.Uint64
+	replayed atomic.Uint64
+}
+
+// NewAsyncPool wraps pool with the asynchronous submission layer.
+func NewAsyncPool(pool *Pool, cfg AsyncConfig) (*AsyncPool, error) {
+	cfg.fill(pool.Workers())
+	a := &AsyncPool{pool: pool, cfg: cfg}
+	depth := cfg.MaxInflight / pool.Workers()
+	if depth < 1 {
+		depth = 1
+	}
+	q, err := submit.New(submit.Config{
+		Workers:  pool.Workers(),
+		Depth:    depth,
+		MaxBatch: cfg.MaxBatch,
+		Exec:     a.execBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.q = q
+	return a, nil
+}
+
+// Workers returns the number of parallel workers (the wrapped Pool's).
+func (a *AsyncPool) Workers() int { return a.pool.Workers() }
+
+// Pool returns the wrapped Pool, for stats aggregation.
+func (a *AsyncPool) Pool() *Pool { return a.pool }
+
+// execBatch is the queue drain callback: it turns one drained batch
+// into one batched domain execution on the matching pool worker.
+func (a *AsyncPool) execBatch(worker int, batch []*submit.Task) {
+	calls := make([]*batchCall, len(batch))
+	for i, t := range batch {
+		calls[i] = t.Payload.(*batchCall)
+	}
+	a.pool.workers[worker].inflight.Add(1)
+	rep, cycles := a.pool.execBatchOn(worker, calls)
+	a.batches.Add(1)
+	if rep.Committed {
+		a.commits.Add(1)
+	}
+	a.replayed.Add(uint64(rep.Replayed))
+	a.lat.Observe(len(calls), cycles)
+	for i, t := range batch {
+		t.Resolve(calls[i].err)
+	}
+}
+
+// Submit enqueues fn for batched execution and returns its Future
+// immediately. The returned future resolves to what Do(ctx, fn,
+// opts...) would return; admission-control rejections (*OverloadError)
+// and submissions after Close (ErrAsyncClosed) come back as an
+// already-resolved future. WithWorker pins the call to one worker's
+// queue; otherwise the least-loaded queue wins. Because batched calls
+// may be re-executed by the replay rule, fn is under the same
+// at-least-once contract as WithRetries.
+func (a *AsyncPool) Submit(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) *Future {
+	set := applyRunOptions(opts)
+	call := &batchCall{ctx: ctx, fn: fn, set: set}
+	if set.hasWorker {
+		w := set.worker % a.Workers()
+		if w < 0 {
+			w += a.Workers()
+		}
+		fut, err := a.q.Submit(w, ctx, call)
+		if err != nil {
+			return submit.Resolved(err)
+		}
+		return fut
+	}
+	w := dispatch.LeastLoaded(a.Workers(), int(a.rr.Add(1)-1), a.q.Load)
+	fut, err := a.q.Submit(w, ctx, call)
+	if _, over := submit.IsOverload(err); over {
+		// The load snapshot can go stale under a burst (queue depths are
+		// reserved inside each queue's lock, not at pick time), so a full
+		// first pick does not mean the pool is full: fail over across the
+		// remaining queues and report overload only when every queue
+		// rejected — MaxInflight is a pool-wide admission bound.
+		for i := 1; i < a.Workers(); i++ {
+			fut, err = a.q.Submit((w+i)%a.Workers(), ctx, call)
+			if _, over = submit.IsOverload(err); !over {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return submit.Resolved(err)
+	}
+	return fut
+}
+
+// Do implements Runner: Submit plus Wait. A full queue surfaces as a
+// typed *OverloadError — the backpressure signal — rather than
+// blocking; callers that prefer blocking admission can Submit from
+// fewer goroutines or retry on IsOverload.
+func (a *AsyncPool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
+	return a.Submit(ctx, fn, opts...).Wait(ctx)
+}
+
+// DoBatch submits fns as consecutive entries on one worker's queue
+// (blocking for space rather than rejecting — the caller has already
+// sized its batch) and waits for all of them. Results are positional,
+// like Pool.DoBatch.
+func (a *AsyncPool) DoBatch(ctx context.Context, fns []func(*Ctx) error, opts ...RunOption) []error {
+	set := applyRunOptions(opts)
+	errs := make([]error, len(fns))
+	if len(fns) == 0 {
+		return errs
+	}
+	var w int
+	if set.hasWorker {
+		w = set.worker % a.Workers()
+		if w < 0 {
+			w += a.Workers()
+		}
+	} else {
+		w = dispatch.LeastLoaded(a.Workers(), int(a.rr.Add(1)-1), a.q.Load)
+	}
+	futs := make([]*Future, len(fns))
+	for i, fn := range fns {
+		call := &batchCall{ctx: ctx, fn: fn, set: set}
+		fut, err := a.q.SubmitWait(w, ctx, call)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		if fut != nil {
+			errs[i] = fut.Err()
+		}
+	}
+	return errs
+}
+
+// Flush blocks until every call admitted before it has resolved.
+func (a *AsyncPool) Flush() { a.q.Flush() }
+
+// Close stops the async layer: new submissions fail with
+// ErrAsyncClosed, the queued backlog is failed, in-flight batches
+// finish. The wrapped Pool stays open. Idempotent; call Flush first for
+// a graceful drain.
+func (a *AsyncPool) Close() error {
+	a.q.Close()
+	return nil
+}
+
+// AsyncStats reports the batching layer's aggregate counters.
+type AsyncStats struct {
+	// Batches counts executed batches; Committed the ones whose
+	// optimistic pass stood; Replayed the calls that fell back to
+	// serial re-execution.
+	Batches, Committed uint64
+	Replayed           uint64
+	// Submitted and Rejected count admitted and overload-rejected
+	// submissions across workers.
+	Submitted, Rejected uint64
+	// MaxBatch is the largest batch any worker executed.
+	MaxBatch int
+}
+
+// Stats returns a snapshot of the async layer's counters.
+func (a *AsyncPool) Stats() AsyncStats {
+	st := AsyncStats{
+		Batches:   a.batches.Load(),
+		Committed: a.commits.Load(),
+		Replayed:  a.replayed.Load(),
+	}
+	for w := 0; w < a.q.Workers(); w++ {
+		qs := a.q.Stats(w)
+		st.Submitted += qs.Submitted
+		st.Rejected += qs.Rejected
+		if qs.MaxBatch > st.MaxBatch {
+			st.MaxBatch = qs.MaxBatch
+		}
+	}
+	return st
+}
+
+// BatchLatency returns per-batch-size virtual-cycle latency summaries
+// (p50/p95/p99 per call), ascending by batch size.
+func (a *AsyncPool) BatchLatency() []metrics.BatchSummary { return a.lat.Summaries() }
+
+// Interface compliance check.
+var _ Runner = (*AsyncPool)(nil)

@@ -6,6 +6,7 @@
 package sdrad_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -80,6 +81,130 @@ func benchHTTP(b *testing.B, mode httpd.Mode) {
 
 func BenchmarkE1HTTPNative(b *testing.B) { benchHTTP(b, httpd.ModeNative) }
 func BenchmarkE1HTTPSDRaD(b *testing.B)  { benchHTTP(b, httpd.ModeSDRaD) }
+
+// ---- E1 batched: submission-queue request coalescing ----
+//
+// The batched benchmarks serve the same workloads as the serial E1
+// pair, but pipeline requests through Server.HandleBatch/ServeBatch in
+// waves of batch= requests: one network round trip per wave and one
+// domain Enter/Exit + integrity sweep per worker group instead of per
+// request. batch=1 measures the batching layer's overhead at no
+// coalescing; batch=32 is the acceptance point (>= 1.5x the serial
+// SDRaD ops/s on the same workload).
+
+func benchKVBatched(b *testing.B, batch int) {
+	b.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := kvstore.NewCache(sys, 1, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := kvstore.NewServer(sys, cache, kvstore.ServerConfig{Mode: kvstore.ModeSDRaD, InterArrival: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewKV(workload.KVConfig{Seed: 1, Keys: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]kvstore.BatchRequest, 0, batch)
+	startVT := sys.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		reqs = reqs[:0]
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, kvstore.BatchRequest{ClientID: (i + j) % 8, Req: gen.Next()})
+		}
+		for _, resp := range srv.HandleBatch(reqs) {
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	if vt := sys.Clock().Now() - startVT; vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+}
+
+func BenchmarkE1KVSDRaDBatched(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) { benchKVBatched(b, k) })
+	}
+}
+
+func benchHTTPBatched(b *testing.B, batch int) {
+	b.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	srv, err := httpd.NewServer(sys, httpd.Config{Mode: httpd.ModeSDRaD, InterArrival: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.HandleFunc("/", []byte("<html>index</html>"))
+	raw := httpd.BuildRequest("GET", "/", nil)
+	reqs := make([]httpd.BatchRequest, 0, batch)
+	startVT := sys.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		reqs = reqs[:0]
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, httpd.BatchRequest{ClientID: (i + j) % 8, Raw: raw})
+		}
+		for _, resp := range srv.ServeBatch(reqs) {
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	if vt := sys.Clock().Now() - startVT; vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+}
+
+func BenchmarkE1HTTPSDRaDBatched(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) { benchHTTPBatched(b, k) })
+	}
+}
+
+// BenchmarkAsyncPoolSubmit measures the public AsyncPool submission
+// path end to end: queue, coalesced batch entry, future resolution.
+func BenchmarkAsyncPoolSubmit(b *testing.B) {
+	pool, err := sdrad.NewPool(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = pool.Close() }()
+	ap, err := sdrad.NewAsyncPool(pool, sdrad.AsyncConfig{MaxBatch: 32, MaxInflight: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = ap.Close() }()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			err := ap.Do(context.Background(), func(c *sdrad.Ctx) error {
+				p := c.MustAlloc(128)
+				c.MustStore(p, payload)
+				return nil
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 // ---- E1 parallel: supervisor-pool throughput scaling ----
 //

@@ -25,9 +25,20 @@ func RunCampaign(cfg campaign.Config) (*campaign.Trace, error) {
 	return campaign.Run(cfg, CampaignFactory())
 }
 
+// RunCampaignBatched is RunCampaign through the batched execution
+// pipeline: requests coalesce into per-worker batches of batchSize, so
+// pool-target scenarios exercise the amortized batch entry. Per-request
+// outcomes and survivor digests are oracle-identical to RunCampaign
+// (campaign.CheckBatched asserts this); virtual cycles differ — that is
+// the amortization.
+func RunCampaignBatched(cfg campaign.Config, batchSize int) (*campaign.Trace, error) {
+	return campaign.RunBatched(cfg, CampaignFactory(), batchSize)
+}
+
 // CheckCampaignOracles runs every differential oracle (same-seed
-// determinism, worker-count invariance, benign cycle parity) for cfg
-// against the real backends.
+// determinism, worker-count invariance, benign cycle parity, and
+// batched==serial outcome/digest equality) for cfg against the real
+// backends.
 func CheckCampaignOracles(cfg campaign.Config, workerCounts ...int) ([]campaign.OracleResult, error) {
 	return campaign.CheckAll(cfg, CampaignFactory(), workerCounts...)
 }
@@ -138,6 +149,34 @@ type poolExecutor struct {
 func (e *poolExecutor) Exec(worker int, budget uint64, fn func(*core.DomainCtx) error) error {
 	return e.pool.Do(context.Background(), fn, budgetOpts(budget, WithWorker(worker))...)
 }
+
+// ExecBatch implements campaign.BatchExecutor: same-worker calls
+// coalesce into one batched domain execution (pool.execBatchOn), whose
+// replay rule guarantees the positional results match serial Exec.
+func (e *poolExecutor) ExecBatch(worker int, calls []campaign.BatchCall) []error {
+	idx := worker % e.pool.Workers()
+	if idx < 0 {
+		idx += e.pool.Workers()
+	}
+	bcalls := make([]*batchCall, len(calls))
+	for i, c := range calls {
+		bcalls[i] = &batchCall{
+			ctx: context.Background(),
+			fn:  c.Fn,
+			set: runSettings{budget: c.Budget, worker: idx, hasWorker: true},
+		}
+	}
+	e.pool.workers[idx].inflight.Add(1)
+	e.pool.execBatchOn(idx, bcalls)
+	errs := make([]error, len(calls))
+	for i, c := range bcalls {
+		errs[i] = c.err
+	}
+	return errs
+}
+
+// Interface compliance check: the pool backend supports batching.
+var _ campaign.BatchExecutor = (*poolExecutor)(nil)
 
 func (e *poolExecutor) Detections() map[string]uint64 { return e.pool.DetectionCounts() }
 

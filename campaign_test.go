@@ -152,3 +152,54 @@ func TestCampaignContainmentSurvivesEveryScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignBatchedOracle is the acceptance check for the batched
+// execution layer: driving every shipped scenario through the batched
+// pipeline at batch sizes 1, 8, and 32 must reproduce the serial
+// campaign's per-request outcomes and survivor digests exactly
+// (pool-target scenarios exercise real coalesced batches; domain and
+// bridge targets fall back to serial inside the batched pipeline, which
+// must be equally invisible).
+func TestCampaignBatchedOracle(t *testing.T) {
+	cfg := quickCampaign(42)
+	cfg.Requests = 100
+	base, err := sdrad.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := campaign.CheckBatchedAgainst(base, cfg, sdrad.CampaignFactory(), 1, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3*len(cfg.Scenarios) {
+		t.Fatalf("got %d oracle rows, want %d", len(results), 3*len(cfg.Scenarios))
+	}
+	for _, r := range campaign.Failures(results) {
+		t.Errorf("%s", r)
+	}
+}
+
+// TestCampaignBatchedAmortizesCycles pins the point of batching on the
+// simulated machine: a benign pool scenario spends measurably fewer
+// virtual cycles per request at batch 32 than serially, because the
+// Enter/Exit toll is shared.
+func TestCampaignBatchedAmortizesCycles(t *testing.T) {
+	cfg := campaign.Config{Seed: 7, Workers: 2, Requests: 200,
+		Scenarios: []campaign.Scenario{{
+			Name:     "kv-pool-benign",
+			Workload: campaign.WorkloadKV,
+			Target:   campaign.TargetPool,
+		}}}
+	serial, err := sdrad.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := sdrad.RunCampaignBatched(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, bc := serial.Scenarios[0].VirtualCycles, batched.Scenarios[0].VirtualCycles
+	if bc >= sc {
+		t.Errorf("batched campaign spent %d cycles vs %d serial — no amortization", bc, sc)
+	}
+}

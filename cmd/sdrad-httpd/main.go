@@ -8,11 +8,15 @@
 //
 // Requests are dispatched least-loaded across -workers parallel
 // supervisors, each its own simulated machine with private parsing
-// domains.
+// domains. Concurrent connections pipeline through bounded per-worker
+// submission queues that coalesce requests into batched domain
+// executions; -max-inflight bounds the admitted backlog (overload
+// answers 503 immediately) and -max-inflight=0 disables the async layer
+// entirely (one domain entry per request, as before).
 //
 // Usage:
 //
-//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N] [-req-timeout 0]
+//	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
 //
 // Try it:
 //
@@ -41,15 +45,17 @@ func main() {
 	mode := flag.String("mode", "sdrad", "resilience mode: sdrad or native")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (least-loaded dispatch)")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
+	maxInflight := flag.Int("max-inflight", 1024, "admission bound on queued+executing requests across all workers; overload answers 503 (0 = serial path, no batching)")
+	maxBatch := flag.Int("max-batch", 32, "max pipelined requests coalesced into one batched domain execution")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *workers, *reqTimeout); err != nil {
+	if err := run(*addr, *mode, *workers, *reqTimeout, *maxInflight, *maxBatch); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-httpd: %v", err)
 	}
 }
 
-func run(addr, modeName string, workers int, reqTimeout time.Duration) error {
+func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflight, maxBatch int) error {
 	var mode httpd.Mode
 	switch modeName {
 	case "sdrad":
@@ -83,7 +89,17 @@ func run(addr, modeName string, workers int, reqTimeout time.Duration) error {
 		}
 	}()
 
-	srv := httpd.NewNetServerPool(pool, log.Default())
+	var srv *httpd.NetServer
+	if maxInflight > 0 {
+		srv, err = httpd.NewBatchedNetServerPool(pool, log.Default(), maxInflight, maxBatch)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
+	} else {
+		srv = httpd.NewNetServerPool(pool, log.Default())
+	}
 	srv.SetRequestTimeout(reqTimeout)
 	return srv.Serve(ln)
 }

@@ -13,10 +13,15 @@
 // Request handling is sharded across -workers parallel supervisors, each
 // its own simulated machine; keys map to shards by hash, so related
 // requests serialize on one shard while the rest run concurrently.
+// Concurrent connections pipeline through bounded per-shard submission
+// queues that coalesce requests into batched domain executions;
+// -max-inflight bounds the admitted backlog (overload answers
+// SERVER_ERROR immediately) and -max-inflight=0 disables the async
+// layer entirely (one domain entry per request, as before).
 //
 // Usage:
 //
-//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0]
+//	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
 //
 // Try it:
 //
@@ -45,15 +50,17 @@ func main() {
 	capacity := flag.Uint64("capacity", 64<<20, "cache capacity in bytes")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel supervisor shards (key-hashed)")
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
+	maxInflight := flag.Int("max-inflight", 1024, "admission bound on queued+executing requests across all shards; overload answers SERVER_ERROR (0 = serial path, no batching)")
+	maxBatch := flag.Int("max-batch", 32, "max pipelined requests coalesced into one batched domain execution")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout); err != nil {
+	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
 
-func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration) error {
+func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -90,7 +97,17 @@ func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Du
 		}
 	}()
 
-	srv := kvstore.NewNetServerPool(pool, log.Default())
+	var srv *kvstore.NetServer
+	if maxInflight > 0 {
+		srv, err = kvstore.NewBatchedNetServerPool(pool, log.Default(), maxInflight, maxBatch)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
+	} else {
+		srv = kvstore.NewNetServerPool(pool, log.Default())
+	}
 	srv.SetRequestTimeout(reqTimeout)
 	return srv.Serve(ln)
 }

@@ -1,32 +1,3 @@
-// Package alloc implements the per-domain heap allocator of the SDRaD
-// reproduction.
-//
-// Each SDRaD domain owns a private heap backed by pages tagged with the
-// domain's protection key. The allocator is a segregated free-list
-// allocator (power-of-two size classes, no coalescing — matching the
-// slab-style allocation the SDRaD use cases rely on). Every chunk is
-// framed by a canaried header and a trailing redzone word; the canary is
-// derived from the chunk's address and a per-heap secret, so a linear
-// heap overflow that reaches the next chunk is detected either at Free
-// time or by an explicit CheckIntegrity sweep. These canaries are one of
-// the "pre-existing detection mechanisms" (§II of the paper) that trigger
-// secure rewind.
-//
-// # Metadata
-//
-// All per-chunk metadata is in-band: the header holds the requested size
-// (from which the size class is derived) and the canary word, which
-// doubles as the liveness marker — a live chunk carries canary(chunk), a
-// freed chunk carries canary(chunk) XOR freedMark. There is no host-side
-// per-chunk map; Free and the integrity sweep walk the headers. Double
-// frees surface as ErrBadFree via the freed marker (the tcache-key
-// technique of hardened glibc), and a smashed size field is now itself
-// detectable: the redzone check lands at the wrong offset and fails.
-//
-// Virtual-cycle accounting on the benign Alloc/Free paths is identical
-// to the seed implementation (see TestAllocFreeCycleParity): the header
-// walk uses kernel-side Peek/Poke accesses, which cost nothing — exactly
-// what the former host-side live map cost.
 package alloc
 
 import (
@@ -290,6 +261,17 @@ func (h *Heap) Alloc(n int) (mem.Addr, error) {
 	var chunk mem.Addr
 	if fl := h.free[c]; len(fl) > 0 {
 		chunk = fl[len(fl)-1]
+		// Validate the chunk before recycling it — the tcache-key check of
+		// hardened glibc. Reusing a corrupted freed chunk would overwrite
+		// the evidence (header, canary, redzone are all rewritten below)
+		// and let a use-after-free or freed-header smash escape the next
+		// integrity sweep; detecting it here keeps "no corruption ever goes
+		// unnoticed" true even when many calls share one sweep (the batched
+		// execution path). Kernel-side peeks: no charged traffic, so the
+		// benign Alloc cycle sequence is unchanged (TestAllocFreeCycleParity).
+		if err := h.checkFreedChunk(chunk, c); err != nil {
+			return 0, err
+		}
 		h.free[c] = fl[:len(fl)-1]
 	} else {
 		chunk, err = h.bump(chunkSize)
@@ -342,6 +324,31 @@ func (h *Heap) bump(chunkSize uint64) (mem.Addr, error) {
 	chunk := r.base + mem.Addr(r.used)
 	r.used += chunkSize
 	return chunk, nil
+}
+
+// checkFreedChunk validates a free-list chunk of class c exactly as the
+// integrity sweep would: the header canary must carry the freed marker
+// and the redzone must still hold the live canary Free left behind.
+// Kernel-side peeks only — no charged memory traffic.
+func (h *Heap) checkFreedChunk(chunk mem.Addr, c int) error {
+	want := h.canary(chunk)
+	got, err := h.m.Peek64(chunk + 8)
+	if err != nil {
+		return fmt.Errorf("alloc: freed canary read: %w", err)
+	}
+	if got != want^freedMark {
+		return fmt.Errorf("%w: freed chunk header at %#x smashed (got %#x want %#x)",
+			ErrHeapCorruption, uint64(chunk), got, want^freedMark)
+	}
+	rz, err := h.m.Peek64(chunk + headerSize + mem.Addr(ClassSize(c)))
+	if err != nil {
+		return fmt.Errorf("alloc: freed redzone read: %w", err)
+	}
+	if rz != want {
+		return fmt.Errorf("%w: freed chunk redzone at %#x smashed (got %#x want %#x)",
+			ErrHeapCorruption, uint64(chunk), rz, want)
+	}
+	return nil
 }
 
 // checkChunk verifies the canaries of the chunk whose payload is at p.

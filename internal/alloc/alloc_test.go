@@ -430,3 +430,64 @@ func TestResetNoZeroKeepsBytesButResetsState(t *testing.T) {
 		t.Error("fresh allocation not zeroed after fast reset")
 	}
 }
+
+// TestFreedChunkSmashDetectedAtReuse pins the reuse-time validation: a
+// freed chunk whose header canary or redzone was smashed after the free
+// (use-after-free / tcache-poisoning shapes) must fail the next Alloc of
+// its class with ErrHeapCorruption instead of being silently recycled —
+// recycling would rewrite the header and erase the evidence before the
+// next integrity sweep (the batched execution path shares one sweep
+// across many calls).
+func TestFreedChunkSmashDetectedAtReuse(t *testing.T) {
+	t.Run("header-canary", func(t *testing.T) {
+		h, m := newHeap(t)
+		p, err := h.Alloc(32)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := h.Free(p); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+		// Smash the freed-marker canary word (payload-8).
+		if err := m.Poke64(p-8, 0x4141414141414141); err != nil {
+			t.Fatalf("Poke64: %v", err)
+		}
+		if _, err := h.Alloc(32); !errors.Is(err, ErrHeapCorruption) {
+			t.Fatalf("Alloc after freed-header smash = %v, want ErrHeapCorruption", err)
+		}
+	})
+	t.Run("redzone", func(t *testing.T) {
+		h, m := newHeap(t)
+		p, err := h.Alloc(64)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := h.Free(p); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+		// A dangling write runs over the freed payload into the redzone.
+		if err := m.Poke64(p+64, 0x5555555555555555); err != nil {
+			t.Fatalf("Poke64: %v", err)
+		}
+		if _, err := h.Alloc(64); !errors.Is(err, ErrHeapCorruption) {
+			t.Fatalf("Alloc after freed-redzone smash = %v, want ErrHeapCorruption", err)
+		}
+	})
+	t.Run("clean-reuse-still-works", func(t *testing.T) {
+		h, _ := newHeap(t)
+		p, err := h.Alloc(48)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := h.Free(p); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+		q, err := h.Alloc(48)
+		if err != nil {
+			t.Fatalf("Alloc reuse: %v", err)
+		}
+		if q != p {
+			t.Errorf("clean reuse returned %#x, want recycled chunk %#x", uint64(q), uint64(p))
+		}
+	})
+}

@@ -1,0 +1,45 @@
+// Package alloc implements the per-domain heap allocator of the SDRaD
+// reproduction.
+//
+// Each SDRaD domain owns a private heap backed by pages tagged with the
+// domain's protection key. The allocator is a segregated free-list
+// allocator (power-of-two size classes, no coalescing — matching the
+// slab-style allocation the SDRaD use cases rely on). Every chunk is
+// framed by a canaried header and a trailing redzone word; the canary is
+// derived from the chunk's address and a per-heap secret, so a linear
+// heap overflow that reaches the next chunk is detected either at Free
+// time or by an explicit CheckIntegrity sweep. These canaries are one of
+// the "pre-existing detection mechanisms" (§II of the paper) that trigger
+// secure rewind.
+//
+// # Metadata
+//
+// All per-chunk metadata is in-band: the header holds the requested size
+// (from which the size class is derived) and the canary word, which
+// doubles as the liveness marker — a live chunk carries canary(chunk), a
+// freed chunk carries canary(chunk) XOR freedMark. There is no host-side
+// per-chunk map; Free and the integrity sweep walk the headers. Double
+// frees surface as ErrBadFree via the freed marker (the tcache-key
+// technique of hardened glibc), and a smashed size field is now itself
+// detectable: the redzone check lands at the wrong offset and fails.
+//
+// Virtual-cycle accounting on the benign Alloc/Free paths is identical
+// to the seed implementation (see TestAllocFreeCycleParity): the header
+// walk uses kernel-side Peek/Poke accesses, which cost nothing — exactly
+// what the former host-side live map cost.
+//
+// # Invariants
+//
+//   - All metadata is in-band and canaried: a corruption that touches a
+//     header, redzone, or freed chunk is detectable — at Free, at the
+//     CheckIntegrity sweep, or (for freed chunks) at reuse time, where
+//     Alloc validates the freed marker and redzone before recycling
+//     (the tcache-key check). Corruption evidence is never silently
+//     overwritten, which is what lets batched execution share one sweep
+//     across many calls (DESIGN.md §9).
+//   - Determinism: allocation addresses, sweep order (address order),
+//     and detection outcomes are pure functions of the call sequence.
+//   - Virtual-cycle parity: benign Alloc/Free charge exactly what the
+//     seed implementation charged; kernel-side header walks are free,
+//     like the host-side map they replaced (see the parity tests).
+package alloc

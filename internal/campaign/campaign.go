@@ -1,26 +1,3 @@
-// Package campaign is the deterministic resilience-campaign engine: it
-// composes the repo's workloads (kvstore-style text protocol, httpd-style
-// request parsing, FFI codec transfer) with injected memory-safety
-// faults across the three public Runner backends (Domain, Pool, Bridge),
-// interleaved by a seeded PRNG schedule, and records a structured
-// outcome trace that differential oracles check:
-//
-//   - same seed ⇒ bit-identical trace (JSON byte equality);
-//   - same scenario across worker counts ⇒ identical per-request
-//     detection outcomes and survivor-state digests;
-//   - benign-only campaigns ⇒ zero detections and virtual-cycle parity
-//     with a direct replay that bypasses the engine's bookkeeping.
-//
-// The engine deliberately does not construct the public sdrad types
-// itself (that would be an import cycle — the root package re-exports
-// this engine as sdrad.RunCampaign); instead the caller supplies an
-// ExecutorFactory that provisions workers behind one of the three
-// Runner implementations. The root package's CampaignFactory is the
-// production wiring; tests can substitute instrumented executors.
-//
-// Everything here is a pure function of (seed, scenario list, worker
-// count): no wall clock, no map-iteration dependence, no goroutines.
-// See DESIGN.md §8 for the scenario schema and oracle definitions.
 package campaign
 
 import (
@@ -280,3 +257,24 @@ type Executor interface {
 // worker count. The engine creates one executor per scenario run and
 // closes it afterwards.
 type ExecutorFactory func(target Target, workers int) (Executor, error)
+
+// BatchCall is one call of an executor batch: its in-domain function
+// and per-request cycle budget (0 = none).
+type BatchCall struct {
+	Budget uint64
+	Fn     func(*core.DomainCtx) error
+}
+
+// BatchExecutor is implemented by executors that can coalesce
+// same-worker calls into one batched domain execution (one Enter/Exit,
+// one integrity sweep, one discard decision). The contract RunBatched
+// and the batched oracle rely on: results are positional and each
+// errs[i] must be what serial Exec(worker, calls[i].Budget,
+// calls[i].Fn) would have returned — batched backends achieve this by
+// re-deriving outcomes serially whenever a batch faults (the replay
+// rule, DESIGN.md §9). Calls may therefore execute more than once.
+type BatchExecutor interface {
+	Executor
+	// ExecBatch runs calls back to back on worker w's domain.
+	ExecBatch(worker int, calls []BatchCall) []error
+}

@@ -105,14 +105,38 @@ func classify(err error) (outcome, mech string) {
 	return OutcomeError, ""
 }
 
+// preparedCall is one request after its workload draws: the in-domain
+// function (with its cycle budget) and the trusted-side completion.
+// Splitting prepare from finish lets the batched pipeline draw a whole
+// wave of requests in schedule order, execute them grouped per worker,
+// and then apply outcomes in arrival order — consuming exactly the PRNG
+// streams and survivor-state transitions of the serial loop.
+type preparedCall struct {
+	// budget is the per-request virtual-cycle budget (0 = none).
+	budget uint64
+	// fn is the in-domain half of the request.
+	fn func(*core.DomainCtx) error
+	// finish classifies the execution outcome and, on OutcomeOK, applies
+	// the request to the adapter's survivor state. Must be called in
+	// request order.
+	finish func(err error) RequestOutcome
+}
+
 // adapter is one workload's per-request driver plus its trusted survivor
 // state.
 type adapter interface {
-	// run executes request i on worker w with fault class fc and returns
-	// its outcome. Survivor state is updated only on OutcomeOK.
-	run(ex Executor, w, i int, fc FaultClass) RequestOutcome
+	// prepare draws request i for worker w with fault class fc from the
+	// workload streams and returns its prepared call. Stream consumption
+	// happens here, so prepare must be called in request order.
+	prepare(w, i int, fc FaultClass) *preparedCall
 	// digest fingerprints the survivor state.
 	digest() string
+}
+
+// runOne executes one prepared request serially — the per-request path.
+func runOne(ad adapter, ex Executor, w, i int, fc FaultClass) RequestOutcome {
+	pc := ad.prepare(w, i, fc)
+	return pc.finish(ex.Exec(w, pc.budget, pc.fn))
 }
 
 func newAdapter(sc Scenario, seed uint64) (adapter, error) {
@@ -247,7 +271,7 @@ func ParseKV(b []byte) (op workload.Op, key string, value []byte, ok bool) {
 	}
 }
 
-func (a *kvAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+func (a *kvAdapter) prepare(w, i int, fc FaultClass) *preparedCall {
 	req := a.gen.Next()
 	payload := workload.RenderKVText(req)
 	if fc == FaultMalformedPayload {
@@ -260,29 +284,35 @@ func (a *kvAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
 	var op workload.Op
 	var key string
 	var value []byte
-	err := ex.Exec(w, budget, func(c *core.DomainCtx) error {
-		buf := c.MustAlloc(len(payload) + 1)
-		c.MustStore(buf, payload)
-		tmp := a.stage(len(payload))
-		c.MustLoad(buf, tmp)
-		var ok bool
-		op, key, value, ok = ParseKV(tmp)
-		if ok {
-			// Copy out: tmp aliases the reusable staging buffer.
-			value = append([]byte(nil), value...)
-		}
-		injectFault(c, fc)
-		c.MustFree(buf)
-		if !ok {
-			return ErrRejected
-		}
-		return nil
-	})
-	outcome, mech := classify(err)
-	if outcome == OutcomeOK {
-		a.apply(op, key, value)
+	return &preparedCall{
+		budget: budget,
+		fn: func(c *core.DomainCtx) error {
+			buf := c.MustAlloc(len(payload) + 1)
+			c.MustStore(buf, payload)
+			tmp := a.stage(len(payload))
+			c.MustLoad(buf, tmp)
+			var ok bool
+			op, key, value, ok = ParseKV(tmp)
+			if ok {
+				// Copy out: tmp aliases the reusable staging buffer, which
+				// the next call of a batch overwrites before finish runs.
+				value = append([]byte(nil), value...)
+			}
+			injectFault(c, fc)
+			c.MustFree(buf)
+			if !ok {
+				return ErrRejected
+			}
+			return nil
+		},
+		finish: func(err error) RequestOutcome {
+			outcome, mech := classify(err)
+			if outcome == OutcomeOK {
+				a.apply(op, key, value)
+			}
+			return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+		},
 	}
-	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
 }
 
 func (a *kvAdapter) apply(op workload.Op, key string, value []byte) {
@@ -385,7 +415,7 @@ func ParseHTTP(b []byte) (method, path string, ok bool) {
 	return method, path, true
 }
 
-func (a *httpAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+func (a *httpAdapter) prepare(w, i int, fc FaultClass) *preparedCall {
 	req := a.gen.Next()
 	raw := req.Raw
 	if fc == FaultMalformedPayload {
@@ -396,25 +426,30 @@ func (a *httpAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
 		budget = budgetCycles
 	}
 	var method, path string
-	err := ex.Exec(w, budget, func(c *core.DomainCtx) error {
-		buf := c.MustAlloc(len(raw) + 1)
-		c.MustStore(buf, raw)
-		tmp := a.stage(len(raw))
-		c.MustLoad(buf, tmp)
-		var ok bool
-		method, path, ok = ParseHTTP(tmp)
-		injectFault(c, fc)
-		c.MustFree(buf)
-		if !ok {
-			return ErrRejected
-		}
-		return nil
-	})
-	outcome, mech := classify(err)
-	if outcome == OutcomeOK {
-		a.routeAndTally(method, path)
+	return &preparedCall{
+		budget: budget,
+		fn: func(c *core.DomainCtx) error {
+			buf := c.MustAlloc(len(raw) + 1)
+			c.MustStore(buf, raw)
+			tmp := a.stage(len(raw))
+			c.MustLoad(buf, tmp)
+			var ok bool
+			method, path, ok = ParseHTTP(tmp)
+			injectFault(c, fc)
+			c.MustFree(buf)
+			if !ok {
+				return ErrRejected
+			}
+			return nil
+		},
+		finish: func(err error) RequestOutcome {
+			outcome, mech := classify(err)
+			if outcome == OutcomeOK {
+				a.routeAndTally(method, path)
+			}
+			return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+		},
 	}
-	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
 }
 
 func (a *httpAdapter) routeAndTally(method, path string) {
@@ -457,16 +492,21 @@ type ffiAdapter struct {
 	sum   *digest
 }
 
-func (a *ffiAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
+func (a *ffiAdapter) prepare(w, i int, fc FaultClass) *preparedCall {
 	// Strings only, so every codec (including raw) carries the vector.
 	args := []any{
 		fmt.Sprintf("op-%04d", a.rng.Intn(1000)),
 		fmt.Sprintf("%016x", a.rng.Uint64()),
 	}
-	payload, err := a.codec.Encode(args)
-	if err != nil {
+	payload, eerr := a.codec.Encode(args)
+	if eerr != nil {
 		// Codec encode of strings cannot fail; treat as engine error.
-		return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: OutcomeError}
+		return &preparedCall{
+			fn: func(*core.DomainCtx) error { return nil },
+			finish: func(error) RequestOutcome {
+				return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: OutcomeError}
+			},
+		}
 	}
 	if fc == FaultMalformedPayload {
 		payload, _ = a.corr.Corrupt(payload)
@@ -475,30 +515,41 @@ func (a *ffiAdapter) run(ex Executor, w, i int, fc FaultClass) RequestOutcome {
 	if fc == FaultBudget {
 		budget = budgetCycles
 	}
-	var decoded []any
-	err = ex.Exec(w, budget, func(c *core.DomainCtx) error {
-		buf := c.MustAlloc(len(payload) + 1)
-		c.MustStore(buf, payload)
-		tmp := a.stage(len(payload))
-		c.MustLoad(buf, tmp)
-		var derr error
-		decoded, derr = a.codec.Decode(tmp)
-		injectFault(c, fc)
-		c.MustFree(buf)
-		if derr != nil {
-			return fmt.Errorf("%w: %v", ErrRejected, derr)
-		}
-		return nil
-	})
-	outcome, mech := classify(err)
-	if outcome == OutcomeOK {
-		a.calls++
-		a.sum.u64(uint64(len(decoded)))
-		for _, v := range decoded {
-			a.sum.str(fmt.Sprintf("%T:%v", v, v))
-		}
+	var vals []string
+	return &preparedCall{
+		budget: budget,
+		fn: func(c *core.DomainCtx) error {
+			buf := c.MustAlloc(len(payload) + 1)
+			c.MustStore(buf, payload)
+			tmp := a.stage(len(payload))
+			c.MustLoad(buf, tmp)
+			decoded, derr := a.codec.Decode(tmp)
+			injectFault(c, fc)
+			c.MustFree(buf)
+			if derr != nil {
+				return fmt.Errorf("%w: %v", ErrRejected, derr)
+			}
+			// Render inside the call: decoded values of the raw codec
+			// alias the staging buffer, which the next call of a batch
+			// reuses before finish runs.
+			vals = vals[:0]
+			for _, v := range decoded {
+				vals = append(vals, fmt.Sprintf("%T:%v", v, v))
+			}
+			return nil
+		},
+		finish: func(err error) RequestOutcome {
+			outcome, mech := classify(err)
+			if outcome == OutcomeOK {
+				a.calls++
+				a.sum.u64(uint64(len(vals)))
+				for _, s := range vals {
+					a.sum.str(s)
+				}
+			}
+			return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
+		},
 	}
-	return RequestOutcome{I: i, W: w, Fault: fc.String(), Outcome: outcome, Mech: mech}
 }
 
 func (a *ffiAdapter) digest() string {
@@ -561,7 +612,7 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrac
 	for i := 0; i < n; i++ {
 		fc := sched.next()
 		w := dispatch.Intn(cfg.Workers)
-		out := ad.run(ex, w, i, fc)
+		out := runOne(ad, ex, w, i, fc)
 		st.Outcomes = append(st.Outcomes, out)
 		switch out.Outcome {
 		case OutcomeOK:
@@ -606,10 +657,133 @@ func replayBenign(sc Scenario, cfg Config, factory ExecutorFactory) (uint64, str
 	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
 	n := scenarioRequests(sc, cfg)
 	for i := 0; i < n; i++ {
-		out := ad.run(ex, dispatch.Intn(cfg.Workers), i, FaultNone)
+		out := runOne(ad, ex, dispatch.Intn(cfg.Workers), i, FaultNone)
 		if out.Outcome == OutcomeError {
 			return 0, "", fmt.Errorf("campaign: replay request %d failed", i)
 		}
 	}
 	return ex.VirtualCycles(), ad.digest(), nil
+}
+
+// RunBatched executes every scenario like Run, but drives requests
+// through the batched execution path: requests are drawn in schedule
+// order into waves of batchSize, each wave is partitioned per worker
+// (stable), every worker group executes as one coalesced batch via the
+// executor's ExecBatch, and outcomes are applied to the survivor state
+// in arrival order. Scenario traces carry the same per-request outcome
+// streams and survivor digests as the serial Run — the property
+// CheckBatched asserts — while virtual cycles and detection totals may
+// differ (amortized entries; aborted batches re-derive serially).
+// Executors that do not implement BatchExecutor fall back to serial
+// execution.
+func RunBatched(cfg Config, factory ExecutorFactory, batchSize int) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	tr := &Trace{Seed: cfg.Seed, Workers: cfg.Workers, Requests: cfg.Requests}
+	for _, sc := range cfg.Scenarios {
+		st, err := runScenarioBatched(sc, cfg, factory, batchSize)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
+		tr.Scenarios = append(tr.Scenarios, st)
+	}
+	return tr, nil
+}
+
+func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int) (ScenarioTrace, error) {
+	ex, err := factory(sc.Target, cfg.Workers)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	defer ex.Close()
+	bex, batchable := ex.(BatchExecutor)
+
+	ad, err := newAdapter(sc, cfg.Seed)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
+	sched := newSchedule(sc, cfg.Seed)
+	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
+
+	n := scenarioRequests(sc, cfg)
+	st := ScenarioTrace{
+		Scenario: sc.Name,
+		Workload: sc.Workload.String(),
+		Target:   sc.Target.String(),
+		Requests: n,
+		Outcomes: make([]RequestOutcome, 0, n),
+	}
+	type pending struct {
+		w   int
+		fc  FaultClass
+		pc  *preparedCall
+		err error
+	}
+	for base := 0; base < n; base += batchSize {
+		k := batchSize
+		if rem := n - base; rem < k {
+			k = rem
+		}
+		// Draw the wave in request order: stream consumption (workload,
+		// schedule, dispatch, corruption) is identical to the serial loop.
+		wave := make([]pending, k)
+		for j := range wave {
+			fc := sched.next()
+			w := dispatch.Intn(cfg.Workers)
+			wave[j] = pending{w: w, fc: fc, pc: ad.prepare(w, base+j, fc)}
+		}
+		// Execute grouped per worker (stable partition): each group is
+		// one coalesced batch on that worker's machine.
+		if batchable && k > 1 {
+			groups := make([][]int, cfg.Workers)
+			for j := range wave {
+				groups[wave[j].w] = append(groups[wave[j].w], j)
+			}
+			for w, idxs := range groups {
+				if len(idxs) == 0 {
+					continue
+				}
+				calls := make([]BatchCall, len(idxs))
+				for k2, j := range idxs {
+					calls[k2] = BatchCall{Budget: wave[j].pc.budget, Fn: wave[j].pc.fn}
+				}
+				for k2, berr := range bex.ExecBatch(w, calls) {
+					wave[idxs[k2]].err = berr
+				}
+			}
+		} else {
+			for j := range wave {
+				wave[j].err = ex.Exec(wave[j].w, wave[j].pc.budget, wave[j].pc.fn)
+			}
+		}
+		// Apply in arrival order: survivor-state evolution matches serial.
+		for j := range wave {
+			out := wave[j].pc.finish(wave[j].err)
+			st.Outcomes = append(st.Outcomes, out)
+			switch out.Outcome {
+			case OutcomeOK:
+				st.OK++
+			case OutcomeRejected:
+				st.Rejected++
+			case OutcomePreempted:
+				st.Preemptions++
+			case OutcomeError:
+				return ScenarioTrace{}, fmt.Errorf("request %d (worker %d, fault %q) failed unexpectedly",
+					out.I, out.W, out.Fault)
+			}
+		}
+	}
+	st.Detections = ex.Detections()
+	for _, v := range st.Detections {
+		st.DetectionTotal += v
+	}
+	st.Rewinds = ex.Rewinds()
+	st.VirtualCycles = ex.VirtualCycles()
+	st.SurvivorDigest = ad.digest()
+	return st, nil
 }

@@ -210,9 +210,76 @@ func CheckBenignAgainst(tr *Trace, cfg Config, factory ExecutorFactory) ([]Oracl
 	return out, nil
 }
 
+// CheckBatched runs the campaign through the batched execution pipeline
+// (RunBatched) at each batch size (default 8 and 32) and asserts, per
+// scenario, per-request outcome streams (fault class, outcome, detection
+// mechanism) and survivor digests identical to the serial base trace.
+// This is the batched==serial contract: coalescing calls into shared
+// domain entries must not change what any single request experiences or
+// what state survives. Virtual cycles and detection totals are NOT
+// compared — batching amortizes entry costs, and an aborted batch's
+// serial re-derivation legitimately counts extra detections.
+func CheckBatched(cfg Config, factory ExecutorFactory, batchSizes ...int) ([]OracleResult, error) {
+	base, err := Run(cfg.withDefaults(), factory)
+	if err != nil {
+		return nil, err
+	}
+	return CheckBatchedAgainst(base, cfg, factory, batchSizes...)
+}
+
+// CheckBatchedAgainst is CheckBatched with the serial base trace
+// supplied by the caller (a trace already produced with exactly cfg).
+func CheckBatchedAgainst(base *Trace, cfg Config, factory ExecutorFactory, batchSizes ...int) ([]OracleResult, error) {
+	cfg = cfg.withDefaults()
+	if len(batchSizes) == 0 {
+		batchSizes = []int{8, 32}
+	}
+	var out []OracleResult
+	for _, k := range batchSizes {
+		bt, err := RunBatched(cfg, factory, k)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: batched oracle at batch %d: %w", k, err)
+		}
+		for _, sc := range base.Scenarios {
+			res := OracleResult{Oracle: fmt.Sprintf("batched(%d)", k), Scenario: sc.Scenario, Pass: true}
+			other := bt.Scenario(sc.Scenario)
+			if other == nil {
+				res.Pass, res.Detail = false, "missing from batched trace"
+			} else if d := diffBatched(sc, *other, k); d != "" {
+				res.Pass, res.Detail = false, d
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// diffBatched compares the batching-invariant fields of a serial and a
+// batched scenario trace: outcome streams (including the dispatched
+// worker — batching must not perturb placement) and survivor digests.
+func diffBatched(serial, batched ScenarioTrace, k int) string {
+	if len(serial.Outcomes) != len(batched.Outcomes) {
+		return fmt.Sprintf("request counts differ: %d serial vs %d at batch %d",
+			len(serial.Outcomes), len(batched.Outcomes), k)
+	}
+	for i := range serial.Outcomes {
+		x, y := serial.Outcomes[i], batched.Outcomes[i]
+		if x != y {
+			return fmt.Sprintf("request %d: %s/%s/%s@w%d serial vs %s/%s/%s@w%d at batch %d",
+				i, x.Fault, x.Outcome, x.Mech, x.W, y.Fault, y.Outcome, y.Mech, y.W, k)
+		}
+	}
+	if serial.SurvivorDigest != batched.SurvivorDigest {
+		return fmt.Sprintf("survivor digests differ: %s serial vs %s at batch %d",
+			serial.SurvivorDigest, batched.SurvivorDigest, k)
+	}
+	return ""
+}
+
 // CheckAll runs every oracle: same-seed determinism, worker-count
-// invariance at the given counts (default 1/4/8), and the benign
-// zero-detection + cycle-parity check.
+// invariance at the given counts (default 1/4/8), the benign
+// zero-detection + cycle-parity check, and the batched==serial check at
+// batch sizes 8 and 32.
 func CheckAll(cfg Config, factory ExecutorFactory, counts ...int) ([]OracleResult, error) {
 	base, err := Run(cfg.withDefaults(), factory)
 	if err != nil {
@@ -231,6 +298,7 @@ func CheckAllAgainst(base *Trace, cfg Config, factory ExecutorFactory, counts ..
 		func() ([]OracleResult, error) { return CheckSameSeedAgainst(base, cfg, factory) },
 		func() ([]OracleResult, error) { return CheckWorkerCounts(cfg, factory, counts...) },
 		func() ([]OracleResult, error) { return CheckBenignAgainst(base, cfg.withDefaults(), factory) },
+		func() ([]OracleResult, error) { return CheckBatchedAgainst(base, cfg, factory) },
 	} {
 		res, err := f()
 		if err != nil {

@@ -1,22 +1,3 @@
-// Package core implements Secure Domain Rewind and Discard (SDRaD) — the
-// primary contribution of the reproduced paper.
-//
-// SDRaD compartmentalizes an application into isolated domains using
-// hardware-assisted in-process isolation (Intel PKU). Each domain owns a
-// private heap and stack tagged with a dedicated protection key; while a
-// domain executes, the PKRU register grants access to that domain's key
-// only, so a memory defect inside the domain can only corrupt the
-// domain's own memory. When a pre-existing detection mechanism fires
-// (domain violation, stack canary, heap canary, guard page, segfault),
-// SDRaD *rewinds*: execution returns to the point where the domain was
-// entered, and the domain's memory is *discarded* — reset to a pristine
-// state — so the application continues running with corruption-free
-// memory instead of being terminated.
-//
-// This package runs against the simulated machine substrate (internal/mem,
-// internal/pku, internal/vclock); see DESIGN.md §2 for the substitution
-// rationale. The public Go API for applications is the root package
-// (sdrad); this package is the mechanism.
 package core
 
 import (

@@ -1,12 +1,16 @@
-// Package dispatch holds the shard-selection policy shared by the
-// supervisor pools (sdrad.Pool, httpd.Pool): least-loaded with a
-// rotating round-robin tiebreak.
 package dispatch
+
+import "sync/atomic"
 
 // LeastLoaded returns the index in [0, n) with the smallest load,
 // scanning from start so that ties rotate instead of piling onto index
 // 0. load is read without synchronization (instantaneous snapshots are
 // fine for dispatch). n must be > 0.
+//
+// LeastLoaded only observes; it does not reserve. A caller that
+// increments an occupancy counter *after* picking opens a window where
+// concurrent pickers all see the same idle shard and pile onto it. Use
+// Acquire when the load values are the caller's own occupancy counters.
 func LeastLoaded(n int, start int, load func(int) int64) int {
 	start %= n
 	if start < 0 {
@@ -23,4 +27,25 @@ func LeastLoaded(n int, start int, load func(int) int64) int {
 		}
 	}
 	return best
+}
+
+// Acquire picks the least-loaded shard (same scan and tiebreak as
+// LeastLoaded over the counters' current values) and atomically
+// increments the winner's counter in one step, so the reservation is
+// visible to every concurrent Acquire before it scans. This closes the
+// pick-then-increment race: two goroutines that both observe shard i
+// idle cannot both reserve it at load 0 — the CAS admits one and sends
+// the loser back to rescan against the updated counts. The caller must
+// decrement the returned shard's counter when the work finishes.
+func Acquire(n int, start int, counter func(int) *atomic.Int64) int {
+	for {
+		idx := LeastLoaded(n, start, func(i int) int64 { return counter(i).Load() })
+		c := counter(idx)
+		cur := c.Load()
+		if c.CompareAndSwap(cur, cur+1) {
+			return idx
+		}
+		// Lost a race on this shard's counter: its load changed under
+		// us, so the pick may be stale. Rescan.
+	}
 }

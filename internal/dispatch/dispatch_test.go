@@ -1,6 +1,10 @@
 package dispatch
 
-import "testing"
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 func TestLeastLoadedPicksMinimum(t *testing.T) {
 	loads := []int64{3, 1, 4, 1, 5}
@@ -28,6 +32,73 @@ func TestLeastLoadedNegativeAndOversizedStart(t *testing.T) {
 		got := LeastLoaded(4, start, func(int) int64 { return 7 })
 		if got < 0 || got >= 4 {
 			t.Errorf("LeastLoaded(start=%d) = %d, out of range", start, got)
+		}
+	}
+}
+
+// TestAcquireReserves pins the contract that distinguishes Acquire from
+// LeastLoaded: the winner's counter is already incremented when Acquire
+// returns.
+func TestAcquireReserves(t *testing.T) {
+	counters := make([]atomic.Int64, 4)
+	at := func(i int) *atomic.Int64 { return &counters[i] }
+	for n := 1; n <= 8; n++ {
+		idx := Acquire(4, n, at)
+		if counters[idx].Load() <= 0 {
+			t.Fatalf("Acquire returned %d without reserving it", idx)
+		}
+	}
+	var total int64
+	for i := range counters {
+		total += counters[i].Load()
+	}
+	if total != 8 {
+		t.Fatalf("8 Acquires reserved %d slots in total", total)
+	}
+}
+
+// TestAcquireBoundedImbalance hammers Acquire from many goroutines that
+// hold their reservations for overlapping windows and asserts the
+// instantaneous per-shard occupancy never exceeds a fair share. With the
+// old pick-then-increment pattern a burst of G goroutines could land G
+// reservations on one shard; with atomic reservation the scan always
+// sees earlier winners, so occupancy stays near ceil(holders/shards).
+func TestAcquireBoundedImbalance(t *testing.T) {
+	const (
+		shards     = 4
+		goroutines = 16
+		rounds     = 200
+	)
+	counters := make([]atomic.Int64, shards)
+	at := func(i int) *atomic.Int64 { return &counters[i] }
+
+	var peak atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			for r := 0; r < rounds; r++ {
+				idx := Acquire(shards, g+r, at)
+				if v := counters[idx].Load(); v > peak.Load() {
+					peak.Store(v)
+				}
+				counters[idx].Add(-1)
+			}
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	// Fair share is goroutines/shards = 4 concurrent holders per shard;
+	// allow scan-window slack but reject pile-ups near goroutine count.
+	if limit := int64(goroutines/shards + 3); peak.Load() > limit {
+		t.Errorf("peak per-shard occupancy %d exceeds bound %d", peak.Load(), limit)
+	}
+	for i := range counters {
+		if v := counters[i].Load(); v != 0 {
+			t.Errorf("shard %d left with occupancy %d after release", i, v)
 		}
 	}
 }

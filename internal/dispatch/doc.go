@@ -1,0 +1,22 @@
+// Package dispatch holds the shard-selection policies shared by the
+// supervisor pools (sdrad.Pool, httpd.Pool) and the asynchronous
+// submission layer: least-loaded selection with a rotating round-robin
+// tiebreak, in two forms.
+//
+// LeastLoaded is the pure observation: scan the load values, return the
+// minimum, rotate ties away from index 0. It is correct whenever the
+// load signal is maintained elsewhere (e.g. queue depths that their own
+// submit path increments atomically).
+//
+// Acquire is observation plus reservation: it increments the winning
+// shard's occupancy counter atomically with the pick (CAS, rescan on
+// conflict), so every concurrent Acquire observes earlier winners. Use
+// it when the caller itself maintains the occupancy counter — picking
+// first and incrementing later opens a window in which a burst of
+// callers all see the same idle shard and pile onto it (the pick/runOn
+// race fixed in PR 5; the pool dispatch hammer tests pin the bounded
+// imbalance this guarantees).
+//
+// Invariant for both: with n > 0 shards the returned index is always in
+// [0, n); load reads are instantaneous snapshots, never locks.
+package dispatch

@@ -301,20 +301,35 @@ func (s *Server) serveSDRaD(ctx context.Context, clientID int, raw []byte) Respo
 	d := s.workers[clientID%len(s.workers)]
 	var pr ParsedRequest
 	var perr error
-	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
+	verr := d.Do(ctx, s.parseFn(raw, &pr, &perr))
+	return s.finishSDRaD(d, pr, perr, verr)
+}
+
+// parseFn builds the in-domain half of one request: stage the raw bytes
+// into the parsing domain, parse them there, trigger the injected bug
+// on attack-marked requests. The results land in *pr/*perr (overwritten
+// on a batch replay — the at-least-once contract). Shared by the serial
+// and batched paths.
+func (s *Server) parseFn(raw []byte, pr *ParsedRequest, perr *error) func(*sdrad.Ctx) error {
+	return func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw) + 1)
 		c.MustStore(buf, raw)
 		tmp := s.stage(len(raw))
 		c.MustLoad(buf, tmp)
-		pr, perr = parse(tmp)
-		if perr == nil {
+		*pr, *perr = parse(tmp)
+		if *perr == nil {
 			if _, attacked := pr.Headers[AttackHeader]; attacked {
 				fault.Inject(c, s.cfg.AttackKind, 0)
 			}
 		}
 		c.MustFree(buf)
 		return nil
-	})
+	}
+}
+
+// finishSDRaD classifies the parse outcome and, for clean requests,
+// routes and stages the response head into the parsing domain.
+func (s *Server) finishSDRaD(d *sdrad.Domain, pr ParsedRequest, perr error, verr error) Response {
 	if v, ok := core.IsViolation(verr); ok {
 		s.violations++
 		return Response{Status: 400, Err: v, Contained: true}
@@ -358,6 +373,86 @@ func (s *Server) serveSDRaD(ctx context.Context, clientID int, raw []byte) Respo
 		return Response{Status: 500, Err: ferr}
 	}
 	return resp
+}
+
+// BatchRequest is one request of a server batch: the submitting client,
+// the raw request bytes, and its own context (whose deadline maps to
+// that request's virtual-cycle budget). A nil Ctx means no deadline.
+type BatchRequest struct {
+	Ctx      context.Context
+	ClientID int
+	Raw      []byte
+}
+
+// ServeBatch serves a batch of pipelined requests as one unit — the
+// submission-queue fast path. In SDRaD mode the batch pays one network
+// round trip and groups requests per parsing domain so each group
+// shares one domain Enter/Exit and one integrity sweep
+// (Domain.DoBatchItems; a faulting group transparently re-derives
+// outcomes serially, so per-request results match serial ServeContext).
+// Routing runs in arrival order after the parses. Native mode falls
+// back to per-request handling.
+func (s *Server) ServeBatch(batch []BatchRequest) []Response {
+	out := make([]Response, len(batch))
+	if len(batch) == 0 {
+		return out
+	}
+	if s.cfg.Mode != ModeSDRaD || len(batch) == 1 {
+		for i, r := range batch {
+			out[i] = s.ServeContext(batchCtx(r.Ctx), r.ClientID, r.Raw)
+		}
+		return out
+	}
+	clk := s.sys.Clock()
+	cost := clk.Model()
+	s.requests += uint64(len(batch))
+	clk.AdvanceTime(time.Duration(len(batch)) * s.cfg.InterArrival) // arrival spacing
+	start := clk.Cycles()
+	clk.Advance(2 * cost.Syscall) // one pipelined accept/read + write for the batch
+
+	// Partition by parsing domain (stable): every group shares one entry.
+	type parseResult struct {
+		pr   ParsedRequest
+		perr error
+		verr error
+	}
+	res := make([]parseResult, len(batch))
+	groups := make([][]int, len(s.workers))
+	for i, r := range batch {
+		w := r.ClientID % len(s.workers)
+		groups[w] = append(groups[w], i)
+	}
+	for w, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		items := make([]sdrad.BatchItem, len(idxs))
+		for k, i := range idxs {
+			items[k] = sdrad.BatchItem{
+				Ctx: batchCtx(batch[i].Ctx),
+				Fn:  s.parseFn(batch[i].Raw, &res[i].pr, &res[i].perr),
+			}
+		}
+		for k, err := range s.workers[w].DoBatchItems(items) {
+			res[idxs[k]].verr = err
+		}
+	}
+
+	// Route in arrival order.
+	for i, r := range batch {
+		d := s.workers[r.ClientID%len(s.workers)]
+		resp := s.finishSDRaD(d, res[i].pr, res[i].perr, res[i].verr)
+		resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
+		out[i] = resp
+	}
+	return out
+}
+
+func batchCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // serveNative parses in unprotected memory; the injected bug crashes the

@@ -9,7 +9,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/submit"
 )
 
 // NetServer serves HTTP/1.1 over TCP on top of a Server or a Pool, with
@@ -22,6 +26,9 @@ type NetServer struct {
 	// reqTimeout, when non-zero, caps each request with a context
 	// deadline (mapped to a virtual-cycle budget by the server).
 	reqTimeout time.Duration
+
+	// queues is the async submission layer (batched servers only).
+	queues *submit.Queues
 
 	connMu sync.Mutex
 	nextID int
@@ -48,6 +55,87 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 // workers execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 	return &NetServer{log: logger, handle: p.ServeContext}
+}
+
+// asyncReq is one connection request in flight through the submission
+// queues; the drain loop fills resp before resolving the future.
+type asyncReq struct {
+	clientID int
+	raw      []byte
+	resp     Response
+}
+
+// NewBatchedNetServerPool wraps a Pool for TCP serving through the
+// asynchronous submission layer: connections enqueue into bounded
+// per-worker queues (internal/submit) and one drain loop per worker
+// coalesces up to maxBatch queued requests into a single pipelined
+// Server.ServeBatch — one domain Enter per parsing-domain group instead
+// of per request. maxInflight bounds admitted-but-unanswered requests
+// across the pool (<= 0 means 1024); at capacity new requests are
+// answered 503 immediately (admission control / backpressure). Call
+// Close after Serve returns to stop the drain loops.
+func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch int) (*NetServer, error) {
+	if maxInflight <= 0 {
+		maxInflight = 1024
+	}
+	depth := maxInflight / p.Workers()
+	if depth < 1 {
+		depth = 1
+	}
+	var rr atomic.Uint64
+	q, err := submit.New(submit.Config{
+		Workers:  p.Workers(),
+		Depth:    depth,
+		MaxBatch: maxBatch,
+		Exec: func(si int, tasks []*submit.Task) {
+			batch := make([]BatchRequest, len(tasks))
+			for i, t := range tasks {
+				a := t.Payload.(*asyncReq)
+				batch[i] = BatchRequest{Ctx: t.Ctx, ClientID: a.clientID, Raw: a.raw}
+			}
+			resps := p.serveBatch(si, batch)
+			for i, t := range tasks {
+				t.Payload.(*asyncReq).resp = resps[i]
+				t.Resolve(nil)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &NetServer{log: logger, queues: q}
+	n.handle = func(ctx context.Context, clientID int, raw []byte) Response {
+		a := &asyncReq{clientID: clientID, raw: raw}
+		w := dispatch.LeastLoaded(p.Workers(), int(rr.Add(1)-1), q.Load)
+		fut, err := q.Submit(w, ctx, a)
+		if _, over := submit.IsOverload(err); over {
+			// Requests are stateless, so a full first pick fails over to
+			// any other worker's queue; only a pool-wide full sheds.
+			for i := 1; i < p.Workers(); i++ {
+				fut, err = q.Submit((w+i)%p.Workers(), ctx, a)
+				if _, over = submit.IsOverload(err); !over {
+					break
+				}
+			}
+		}
+		if err != nil {
+			// Overload (every queue full) or closed: shed with 503.
+			return Response{Status: 503, Err: err}
+		}
+		_ = fut.Err()
+		return a.resp
+	}
+	return n, nil
+}
+
+// Close stops the batched submission layer, if this server has one:
+// queued requests are answered and the drain loops exit. Serve must
+// have returned (or never been called).
+func (n *NetServer) Close() {
+	if n.queues != nil {
+		n.queues.Flush()
+		n.queues.Close()
+	}
 }
 
 // SetRequestTimeout installs a per-request deadline (0 disables it, the

@@ -75,15 +75,29 @@ func (p *Pool) Serve(clientID int, raw []byte) Response {
 // the context's deadline bounds the request's parse run (see
 // Server.ServeContext).
 func (p *Pool) ServeContext(ctx context.Context, clientID int, raw []byte) Response {
-	best := dispatch.LeastLoaded(len(p.shards), int(p.rr.Add(1)-1), func(i int) int64 {
-		return p.shards[i].inflight.Load()
+	// Acquire reserves the inflight slot atomically with the pick, so a
+	// burst of concurrent requests spreads across workers instead of all
+	// observing the same idle shard (see sdrad.Pool.pick).
+	best := dispatch.Acquire(len(p.shards), int(p.rr.Add(1)-1), func(i int) *atomic.Int64 {
+		return &p.shards[i].inflight
 	})
 	sh := p.shards[best]
-	sh.inflight.Add(1)
 	defer sh.inflight.Add(-1)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.srv.ServeContext(ctx, clientID, raw)
+}
+
+// serveBatch serves a batch of requests on worker si as one pipelined
+// unit (Server.ServeBatch) under the worker lock. The batched
+// NetServer's per-worker submission queues pick si.
+func (p *Pool) serveBatch(si int, batch []BatchRequest) []Response {
+	sh := p.shards[si]
+	sh.inflight.Add(int64(len(batch)))
+	defer sh.inflight.Add(-int64(len(batch)))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.ServeBatch(batch)
 }
 
 // Stats aggregates server accounting across workers.

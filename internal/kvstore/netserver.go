@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/submit"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,9 @@ type NetServer struct {
 	// reqTimeout, when non-zero, caps each request with a context
 	// deadline (mapped to a virtual-cycle budget by the server).
 	reqTimeout time.Duration
+
+	// queues is the async submission layer (batched servers only).
+	queues *submit.Queues
 
 	connMu sync.Mutex
 	nextID int
@@ -64,6 +68,83 @@ func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 		log:    logger,
 		handle: p.HandleContext,
 		stats:  func(w io.Writer) error { return WriteStats(w, p) },
+	}
+}
+
+// asyncReq is one connection request in flight through the submission
+// queues; the drain loop fills resp before resolving the future.
+type asyncReq struct {
+	clientID int
+	req      workload.Request
+	resp     Response
+}
+
+// NewBatchedNetServerPool wraps a Pool for TCP serving through the
+// asynchronous submission layer: instead of every connection contending
+// on the shard locks, connections enqueue into bounded per-shard
+// queues (internal/submit) and one drain loop per shard coalesces up
+// to maxBatch queued requests into a single pipelined
+// Server.HandleBatch — one domain Enter per worker group instead of per
+// request. maxInflight bounds admitted-but-unanswered requests across
+// the pool (<= 0 means 1024); at capacity new requests are answered
+// SERVER_ERROR immediately (admission control / backpressure). Call
+// Close after Serve returns to stop the drain loops.
+func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch int) (*NetServer, error) {
+	if maxInflight <= 0 {
+		maxInflight = 1024
+	}
+	depth := maxInflight / p.Workers()
+	if depth < 1 {
+		depth = 1
+	}
+	q, err := submit.New(submit.Config{
+		Workers:  p.Workers(),
+		Depth:    depth,
+		MaxBatch: maxBatch,
+		Exec: func(si int, tasks []*submit.Task) {
+			batch := make([]BatchRequest, len(tasks))
+			for i, t := range tasks {
+				a := t.Payload.(*asyncReq)
+				batch[i] = BatchRequest{Ctx: t.Ctx, ClientID: a.clientID, Req: a.req}
+			}
+			resps := p.handleBatch(si, batch)
+			for i, t := range tasks {
+				t.Payload.(*asyncReq).resp = resps[i]
+				t.Resolve(nil)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &NetServer{
+		log:    logger,
+		stats:  func(w io.Writer) error { return WriteStats(w, p) },
+		queues: q,
+	}
+	n.handle = func(ctx context.Context, clientID int, req workload.Request) Response {
+		a := &asyncReq{clientID: clientID, req: req}
+		fut, err := q.Submit(p.shardIndex(req.Key), ctx, a)
+		if err != nil {
+			// Overload (queue full) or closed: shed the request.
+			return Response{Err: err}
+		}
+		// The future resolves when the drain loop answered; the request's
+		// ctx still governs its in-domain budget (deadlines that expire
+		// while queued surface as preemptions, as on the serial path).
+		_ = fut.Err()
+		return a.resp
+	}
+	return n, nil
+}
+
+// Close stops the batched submission layer, if this server has one:
+// queued requests are answered and the drain loops exit. Serve must
+// have returned (or never been called).
+func (n *NetServer) Close() {
+	if n.queues != nil {
+		n.queues.Flush()
+		n.queues.Close()
 	}
 }
 

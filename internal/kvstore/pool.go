@@ -121,6 +121,17 @@ func (p *Pool) HandleContext(ctx context.Context, clientID int, req workload.Req
 	return sh.srv.HandleContext(ctx, clientID, req)
 }
 
+// handleBatch serves a batch of requests that all hash to shard si as
+// one pipelined unit (Server.HandleBatch) under the shard lock. The
+// batched NetServer's per-shard submission queues uphold the
+// same-shard precondition.
+func (p *Pool) handleBatch(si int, batch []BatchRequest) []Response {
+	sh := p.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.HandleBatch(batch)
+}
+
 // Stats aggregates server accounting across shards.
 func (p *Pool) Stats() ServerStats {
 	var agg ServerStats

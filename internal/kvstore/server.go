@@ -271,7 +271,15 @@ func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.R
 // the trusted side.
 func (s *Server) handleSDRaD(ctx context.Context, clientID int, req workload.Request, raw []byte) (Response, error) {
 	d := s.workers[clientID%len(s.workers)]
-	verr := d.Do(ctx, func(c *sdrad.Ctx) error {
+	verr := d.Do(ctx, s.parseFn(req, raw))
+	return s.finishSDRaD(d, req, verr)
+}
+
+// parseFn builds the in-domain half of one request: stage the untrusted
+// bytes into the domain, parse them there, trigger the injected bug on
+// malicious payloads. Shared by the serial and batched paths.
+func (s *Server) parseFn(req workload.Request, raw []byte) func(*sdrad.Ctx) error {
+	return func(c *sdrad.Ctx) error {
 		buf := c.MustAlloc(len(raw))
 		c.MustStore(buf, raw)
 		parseInDomain(c, buf, s.stage(len(raw)))
@@ -280,7 +288,13 @@ func (s *Server) handleSDRaD(ctx context.Context, clientID int, req workload.Req
 		}
 		c.MustFree(buf)
 		return nil
-	})
+	}
+}
+
+// finishSDRaD classifies the parse outcome and, for clean requests,
+// applies the operation to the protected cache and stages the response
+// into the worker domain.
+func (s *Server) finishSDRaD(d *sdrad.Domain, req workload.Request, verr error) (Response, error) {
 	if v, ok := core.IsViolation(verr); ok {
 		// Contained: the worker domain was rewound and discarded; the
 		// malicious client's connection is dropped, everyone else is
@@ -325,6 +339,86 @@ func (s *Server) handleSDRaD(ctx context.Context, clientID int, req workload.Req
 		}
 	}
 	return resp, nil
+}
+
+// BatchRequest is one request of a server batch: the submitting client,
+// the request, and its own context (whose deadline maps to that
+// request's virtual-cycle budget). A nil Ctx means no deadline.
+type BatchRequest struct {
+	Ctx      context.Context
+	ClientID int
+	Req      workload.Request
+}
+
+// HandleBatch serves a batch of pipelined requests as one unit — the
+// submission-queue fast path. In SDRaD mode the batch pays one network
+// round trip (the requests arrive coalesced, io_uring style) and groups
+// requests per worker domain so each group shares one domain
+// Enter/Exit and one integrity sweep (Domain.DoBatchItems; a faulting
+// group transparently re-derives outcomes serially, so per-request
+// results match serial HandleContext). Cache operations are applied in
+// arrival order after the parses, preserving the serial store
+// semantics. Native and sandbox modes fall back to per-request
+// handling.
+func (s *Server) HandleBatch(batch []BatchRequest) []Response {
+	out := make([]Response, len(batch))
+	if len(batch) == 0 {
+		return out
+	}
+	if s.cfg.Mode != ModeSDRaD || len(batch) == 1 {
+		for i, r := range batch {
+			out[i] = s.HandleContext(batchCtx(r.Ctx), r.ClientID, r.Req)
+		}
+		return out
+	}
+	clk := s.sys.Clock()
+	cost := clk.Model()
+	s.requests += uint64(len(batch))
+	clk.AdvanceTime(time.Duration(len(batch)) * s.cfg.InterArrival) // arrival spacing
+	start := clk.Cycles()
+	clk.Advance(2 * cost.Syscall) // one pipelined receive + send for the batch
+
+	// Partition by worker domain (stable): every group shares one entry.
+	verrs := make([]error, len(batch))
+	groups := make([][]int, len(s.workers))
+	for i, r := range batch {
+		w := r.ClientID % len(s.workers)
+		groups[w] = append(groups[w], i)
+	}
+	for w, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		items := make([]sdrad.BatchItem, len(idxs))
+		for k, i := range idxs {
+			items[k] = sdrad.BatchItem{
+				Ctx: batchCtx(batch[i].Ctx),
+				Fn:  s.parseFn(batch[i].Req, payload(batch[i].Req)),
+			}
+		}
+		for k, err := range s.workers[w].DoBatchItems(items) {
+			verrs[idxs[k]] = err
+		}
+	}
+
+	// Apply to the protected cache in arrival order.
+	for i, r := range batch {
+		d := s.workers[r.ClientID%len(s.workers)]
+		resp, err := s.finishSDRaD(d, r.Req, verrs[i])
+		if err != nil {
+			resp.Err = err
+		}
+		resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
+		out[i] = resp
+	}
+	return out
+}
+
+func batchCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // handleNative parses the request in unprotected memory; a triggered bug

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BatchLatency aggregates virtual-cycle latency histograms keyed by
+// batch size, for the asynchronous batched execution layer: one
+// histogram per observed batch size, so the amortization of the
+// per-entry toll shows up directly as falling per-call percentiles at
+// larger sizes. Safe for concurrent use (batch workers run in
+// parallel). The zero value is ready to use.
+type BatchLatency struct {
+	mu     sync.Mutex
+	bySize map[int]*Histogram
+	calls  map[int]uint64
+}
+
+// Observe records one executed batch: its size and the virtual cycles
+// the whole batch consumed on its worker's machine. The histogram for
+// the size records per-call cycles (cycles/size), the number that must
+// fall as batching amortizes fixed costs.
+func (b *BatchLatency) Observe(size int, cycles uint64) {
+	if size <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bySize == nil {
+		b.bySize = make(map[int]*Histogram)
+		b.calls = make(map[int]uint64)
+	}
+	h := b.bySize[size]
+	if h == nil {
+		h = &Histogram{}
+		b.bySize[size] = h
+	}
+	h.Observe(int64(cycles / uint64(size)))
+	b.calls[size] += uint64(size)
+}
+
+// BatchSummary is the percentile digest for one batch size.
+type BatchSummary struct {
+	// Size is the batch size this row summarizes.
+	Size int
+	// Batches and Calls count executed batches and the calls they
+	// carried.
+	Batches uint64
+	Calls   uint64
+	// P50, P95, P99 are per-call virtual-cycle latency quantiles.
+	P50, P95, P99 int64
+	// Mean is the mean per-call virtual-cycle latency.
+	Mean float64
+}
+
+// Summaries returns one row per observed batch size, ascending by size.
+func (b *BatchLatency) Summaries() []BatchSummary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BatchSummary, 0, len(b.bySize))
+	for size, h := range b.bySize {
+		out = append(out, BatchSummary{
+			Size:    size,
+			Batches: h.Count(),
+			Calls:   b.calls[size],
+			P50:     h.P50(),
+			P95:     h.P95(),
+			P99:     h.P99(),
+			Mean:    h.Mean(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+	return out
+}
+
+// String renders the summaries as a fixed-width table (cycles).
+func (b *BatchLatency) String() string {
+	rows := b.Summaries()
+	if len(rows) == 0 {
+		return "(no batches observed)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %10s %10s %12s %12s %12s\n",
+		"batch", "batches", "calls", "p50 cyc", "p95 cyc", "p99 cyc")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %10d %10d %12d %12d %12d\n",
+			r.Size, r.Batches, r.Calls, r.P50, r.P95, r.P99)
+	}
+	return sb.String()
+}

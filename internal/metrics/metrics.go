@@ -1,6 +1,3 @@
-// Package metrics provides the small measurement toolkit used by the
-// experiment harness: log-linear latency histograms, summary statistics,
-// and fixed-width table rendering for paper-style output.
 package metrics
 
 import (
@@ -128,8 +125,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
-// P50, P99, P999 are convenience quantiles.
+// P50, P95, P99, P999 are convenience quantiles.
 func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64  { return h.Quantile(0.95) }
 func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
 func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
 

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -206,5 +207,71 @@ func TestTrimFloat(t *testing.T) {
 		if got := trimFloat(in); got != want {
 			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestP95Quantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 100)
+	}
+	p95 := h.P95()
+	// Log-linear buckets give <6.25% relative error around 9500.
+	if p95 < 8800 || p95 > 10000 {
+		t.Errorf("P95 = %d, want ~9500", p95)
+	}
+	if h.P50() > p95 || p95 > h.P99() {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", h.P50(), p95, h.P99())
+	}
+}
+
+func TestBatchLatencySummaries(t *testing.T) {
+	var b BatchLatency
+	// Batches of 1 cost 1000 cycles/call; batches of 8 amortize to 300.
+	for i := 0; i < 50; i++ {
+		b.Observe(1, 1000)
+		b.Observe(8, 8*300)
+	}
+	b.Observe(0, 999) // ignored
+	rows := b.Summaries()
+	if len(rows) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(rows))
+	}
+	if rows[0].Size != 1 || rows[1].Size != 8 {
+		t.Fatalf("sizes = %d,%d, want ascending 1,8", rows[0].Size, rows[1].Size)
+	}
+	if rows[0].Batches != 50 || rows[0].Calls != 50 {
+		t.Errorf("size 1: batches=%d calls=%d, want 50/50", rows[0].Batches, rows[0].Calls)
+	}
+	if rows[1].Batches != 50 || rows[1].Calls != 400 {
+		t.Errorf("size 8: batches=%d calls=%d, want 50/400", rows[1].Batches, rows[1].Calls)
+	}
+	if !(rows[1].P50 < rows[0].P50) {
+		t.Errorf("amortization not visible: p50(size 8)=%d !< p50(size 1)=%d", rows[1].P50, rows[0].P50)
+	}
+	if b.String() == "" || (&BatchLatency{}).String() != "(no batches observed)\n" {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestBatchLatencyConcurrent(t *testing.T) {
+	var b BatchLatency
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Observe(1+g%4, uint64(1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var batches uint64
+	for _, r := range b.Summaries() {
+		batches += r.Batches
+	}
+	if batches != 1600 {
+		t.Errorf("recorded %d batches, want 1600", batches)
 	}
 }

@@ -1,0 +1,31 @@
+// Package submit implements the bounded submission-queue machinery under
+// the asynchronous batched execution layer (sdrad.AsyncPool and the
+// pipelined network servers): per-worker FIFO queues, futures, worker
+// drain loops, and typed admission-control errors.
+//
+// The design follows the io_uring shape. Producers Submit tasks into a
+// per-worker bounded queue and receive a Future; one consumer goroutine
+// per worker drains up to MaxBatch queued tasks at a time and hands the
+// batch to an executor callback, which amortizes a fixed per-entry cost
+// (for SDRaD: one domain Enter/Exit, one heap-integrity sweep, one
+// discard decision) across the whole batch and resolves each task's
+// Future. A full queue rejects immediately with *OverloadError — the
+// backpressure signal servers translate into 503/SERVER_ERROR — instead
+// of queueing unboundedly.
+//
+// Invariants:
+//
+//   - Per-worker FIFO: tasks submitted to one worker are handed to the
+//     executor in submission order, and batches never interleave (one
+//     batch per worker is in flight at a time).
+//   - Every accepted task is resolved exactly once — by the executor,
+//     or by the drain loop's backstop if the executor misses one, or
+//     with ErrClosed when Close discards it. Futures never leak.
+//   - Flush returns only when every task accepted before the call has
+//     been resolved.
+//
+// The package is deliberately free of simulated-machine dependencies:
+// batching policy lives here, batch *semantics* (the replay rule that
+// makes batched results match serial execution) live in the sdrad root
+// package. See DESIGN.md §9 for the full async architecture.
+package submit

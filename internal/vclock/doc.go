@@ -1,0 +1,24 @@
+// Package vclock provides deterministic virtual time for the simulated
+// machine that the SDRaD reproduction runs on.
+//
+// Every operation on the simulated substrate (memory access, PKRU write,
+// syscall, context switch, ...) charges a cycle cost to a Clock. Reported
+// latencies in the experiment harness are derived from virtual cycles, so
+// runs are deterministic and independent of the host machine. The cost
+// constants are collected in a CostModel and are calibrated against
+// published measurements (see DefaultCostModel); all of them can be
+// overridden to study sensitivity.
+//
+// # Invariants
+//
+//   - Virtual time only moves via explicit Advance calls with
+//     CostModel-derived amounts; nothing in library code reads the wall
+//     clock (enforced by the clock-guardrail test in the root package).
+//   - CyclesUntilDeadline is the single sanctioned bridge from wall-clock
+//     deadlines to virtual budgets: it quantizes the remaining time (100ms
+//     buckets) so that context deadlines yield reproducible cycle budgets.
+//   - Conversions are exact in cycles; durations round through CPUHz, so
+//     oracles that need exactness compare cycles, not durations.
+//
+// See DESIGN.md §2 for why virtual time replaces wall time everywhere.
+package vclock

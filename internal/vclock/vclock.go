@@ -1,13 +1,3 @@
-// Package vclock provides deterministic virtual time for the simulated
-// machine that the SDRaD reproduction runs on.
-//
-// Every operation on the simulated substrate (memory access, PKRU write,
-// syscall, context switch, ...) charges a cycle cost to a Clock. Reported
-// latencies in the experiment harness are derived from virtual cycles, so
-// runs are deterministic and independent of the host machine. The cost
-// constants are collected in a CostModel and are calibrated against
-// published measurements (see DefaultCostModel); all of them can be
-// overridden to study sensitivity.
 package vclock
 
 import (

@@ -100,10 +100,15 @@ func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, er
 func (p *Pool) Workers() int { return len(p.workers) }
 
 // pick chooses the least-loaded worker, breaking ties round-robin so
-// idle workers rotate instead of piling onto worker 0.
+// idle workers rotate instead of piling onto worker 0, and reserves an
+// inflight slot on the winner in the same atomic step. Reserving inside
+// the pick (dispatch.Acquire) rather than later in runOn closes the
+// window where a burst of concurrent Dos all observed the same idle
+// worker and piled onto it; the caller owns the reservation and runOn
+// releases it.
 func (p *Pool) pick() int {
-	return dispatch.LeastLoaded(len(p.workers), int(p.rr.Add(1)-1), func(i int) int64 {
-		return p.workers[i].inflight.Load()
+	return dispatch.Acquire(len(p.workers), int(p.rr.Add(1)-1), func(i int) *atomic.Int64 {
+		return &p.workers[i].inflight
 	})
 }
 
@@ -128,6 +133,7 @@ func (p *Pool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) e
 			if idx < 0 {
 				idx += len(p.workers)
 			}
+			p.workers[idx].inflight.Add(1)
 		} else {
 			idx = p.pick()
 		}
@@ -138,17 +144,25 @@ func (p *Pool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) e
 
 // runOn executes one attempt on worker idx with the given cycle budget,
 // upholding the worker's single-goroutine contract and the discard-on-
-// return invariant.
+// return invariant. The caller has already reserved the worker's
+// inflight slot (pick for least-loaded dispatch, an explicit Add for
+// pinned calls); runOn releases it.
 func (p *Pool) runOn(idx int, budget uint64, fn func(*Ctx) error) error {
 	w := p.workers[idx]
-	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.requests.Add(1)
+	return p.attemptLocked(w, budget, fn)
+}
+
+// attemptLocked is one domain entry plus the discard-on-return
+// invariant, with worker w's lock already held (runOn for serial calls,
+// execBatchOn for batch replays).
+func (p *Pool) attemptLocked(w *poolWorker, budget uint64, fn func(*Ctx) error) error {
 	if p.closed.Load() {
 		return ErrPoolClosed
 	}
-	w.requests.Add(1)
 	err := w.sup.sys.EnterWithBudget(w.dom.udi, budget, fn)
 	// Discard-on-return: if the worker's own domain was rewound (by a
 	// violation or a budget preemption), it was already discarded; every
@@ -162,6 +176,93 @@ func (p *Pool) runOn(idx int, budget uint64, fn func(*Ctx) error) error {
 		}
 	}
 	return err
+}
+
+// execBatchOn executes calls as one batch on worker idx under the
+// replay rule of batch.go, returning the batch report and the virtual
+// cycles the worker's machine spent on it. The caller has reserved the
+// worker's inflight slot; execBatchOn releases it.
+func (p *Pool) execBatchOn(idx int, calls []*batchCall) (batchReport, uint64) {
+	w := p.workers[idx]
+	defer w.inflight.Add(-1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p.closed.Load() {
+		for _, c := range calls {
+			c.err = ErrPoolClosed
+		}
+		return batchReport{}, 0
+	}
+	// Count only calls that will actually be attempted: a call whose
+	// context is already done never enters a domain on the serial path
+	// and is not a dispatched request here either.
+	var attempted uint64
+	for _, c := range calls {
+		if c.ctx.Err() == nil {
+			attempted++
+		}
+	}
+	w.requests.Add(attempted)
+	hz := w.sup.sys.Clock().Model().CPUHz
+	b := &batchBackend{
+		sys: w.sup.sys,
+		udi: w.dom.udi,
+		hz:  hz,
+		enter: func(budget uint64, fn func(*Ctx) error) error {
+			return w.sup.sys.EnterWithBudget(w.dom.udi, budget, fn)
+		},
+		discard: w.dom.Discard,
+		serial: func(c *batchCall) error {
+			return runPolicy(c.ctx, c.set, hz, func(budget uint64) (*core.System, core.UDI, error) {
+				return w.sup.sys, w.dom.udi, p.attemptLocked(w, budget, c.fn)
+			})
+		},
+	}
+	start := w.sup.sys.Clock().Cycles()
+	rep := b.run(calls)
+	return rep, w.sup.sys.Clock().Cycles() - start
+}
+
+// DoBatch executes fns as one coalesced batch on a single worker: one
+// Enter/Exit, one integrity sweep, and one discard decision for the
+// whole batch instead of per call. Results are positional — errs[i] is
+// what Do(ctx, fns[i], opts...) would have returned, including the
+// pristine-domain-per-call semantics: a faulting batch is transparently
+// re-executed serially (see the replay rule in batch.go), so calls must
+// tolerate re-execution exactly as with WithRetries. Without WithWorker
+// the batch goes to the least-loaded worker; all fns run on that one
+// worker.
+func (p *Pool) DoBatch(ctx context.Context, fns []func(*Ctx) error, opts ...RunOption) []error {
+	set := applyRunOptions(opts)
+	errs := make([]error, len(fns))
+	if len(fns) == 0 {
+		return errs
+	}
+	if p.closed.Load() {
+		for i := range errs {
+			errs[i] = ErrPoolClosed
+		}
+		return errs
+	}
+	var idx int
+	if set.hasWorker {
+		idx = set.worker % len(p.workers)
+		if idx < 0 {
+			idx += len(p.workers)
+		}
+		p.workers[idx].inflight.Add(1)
+	} else {
+		idx = p.pick()
+	}
+	calls := make([]*batchCall, len(fns))
+	for i, fn := range fns {
+		calls[i] = &batchCall{ctx: ctx, fn: fn, set: set}
+	}
+	p.execBatchOn(idx, calls)
+	for i, c := range calls {
+		errs[i] = c.err
+	}
+	return errs
 }
 
 // Run executes fn inside a pristine isolated domain on the least-loaded
@@ -323,7 +424,10 @@ func (p *Pool) DomainStats() DomainStats {
 
 // PoolStats reports per-worker dispatch accounting.
 type PoolStats struct {
-	// Requests is the number of Runs dispatched per worker.
+	// Requests counts calls dispatched per worker: one per serial Do
+	// attempt (retries count each attempt) and one per batched call
+	// admitted with a live context (a batch's serial replays do not
+	// count again).
 	Requests []uint64
 }
 

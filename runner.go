@@ -208,11 +208,78 @@ func runPolicy(ctx context.Context, set runSettings, hz uint64, attempt func(bud
 // per-call policy. With no options and a background context it behaves
 // exactly like Run. WithWorker is ignored (a Domain is one worker).
 func (d *Domain) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
-	set := applyRunOptions(opts)
+	return d.doSettings(ctx, applyRunOptions(opts), fn)
+}
+
+// doSettings is Do after option resolution — the serial path batch
+// replays re-enter with a call's already-resolved policy.
+func (d *Domain) doSettings(ctx context.Context, set runSettings, fn func(*Ctx) error) error {
 	hz := d.sup.sys.Clock().Model().CPUHz
 	return runPolicy(ctx, set, hz, func(budget uint64) (*core.System, core.UDI, error) {
 		return d.sup.sys, d.udi, d.sup.sys.EnterWithBudget(d.udi, budget, fn)
 	})
+}
+
+// BatchItem is one call of a heterogeneous batch: its own context (and
+// therefore its own deadline-derived budget) and its own per-call
+// options. A nil Ctx means context.Background().
+type BatchItem struct {
+	Ctx  context.Context
+	Fn   func(*Ctx) error
+	Opts []RunOption
+}
+
+func (it *BatchItem) toCall() *batchCall {
+	ctx := it.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &batchCall{ctx: ctx, fn: it.Fn, set: applyRunOptions(it.Opts)}
+}
+
+// DoBatch executes fns back to back inside one domain entry: one
+// Enter/Exit, one exit-time integrity sweep. Results are positional:
+// errs[i] is what Do(ctx, fns[i], opts...) would have returned. The
+// calls share the entry, so call i+1 observes the heap state call i left
+// behind (the domain's memory persists across DoBatch like it does
+// across Do); if any call faults, the domain is rewound and every call
+// re-derives its outcome through the serial path, which re-executes
+// calls (the WithRetries at-least-once contract). See the replay rule in
+// batch.go and DESIGN.md §9.
+func (d *Domain) DoBatch(ctx context.Context, fns []func(*Ctx) error, opts ...RunOption) []error {
+	items := make([]BatchItem, len(fns))
+	for i, fn := range fns {
+		items[i] = BatchItem{Ctx: ctx, Fn: fn, Opts: opts}
+	}
+	return d.DoBatchItems(items)
+}
+
+// DoBatchItems is DoBatch for heterogeneous batches: each item carries
+// its own context and options, so calls with different deadlines or
+// policies can still share one domain entry. Network servers batching
+// concurrent connections use this form.
+func (d *Domain) DoBatchItems(items []BatchItem) []error {
+	calls := make([]*batchCall, len(items))
+	for i := range items {
+		calls[i] = items[i].toCall()
+	}
+	b := &batchBackend{
+		sys:        d.sup.sys,
+		udi:        d.udi,
+		hz:         d.sup.sys.Clock().Model().CPUHz,
+		persistent: true,
+		enter: func(budget uint64, fn func(*Ctx) error) error {
+			return d.sup.sys.EnterWithBudget(d.udi, budget, fn)
+		},
+		discard: d.Discard,
+		serial:  func(c *batchCall) error { return d.doSettings(c.ctx, c.set, c.fn) },
+	}
+	b.run(calls)
+	errs := make([]error, len(calls))
+	for i, c := range calls {
+		errs[i] = c.err
+	}
+	return errs
 }
 
 // Do implements Runner on the bridge's backing domain: fn runs isolated
