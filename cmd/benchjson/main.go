@@ -10,6 +10,8 @@
 // measure the simulator's host-side speed; vops/s measures requests per
 // second of simulated machine time (the paper-shaped metric, invariant
 // under host-side optimization).
+//
+//lint:allow wallclock benchmark harness: host-side wall timings are the product here, not simulated state
 package main
 
 import (

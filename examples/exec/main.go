@@ -63,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = dom.Close() }()
+	defer func() { _ = dom.Close() }() //lint:errclass example teardown; nothing can act on the error
 
 	q, err := sdrad.Exec(ctx, dom, Order{SKU: "widget", Quantity: 3}, price)
 	if err != nil {
@@ -78,7 +78,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = pool.Close() }()
+	defer func() { _ = pool.Close() }() //lint:errclass example teardown; nothing can act on the error
 
 	q, err = sdrad.Exec(ctx, pool, Order{SKU: "gadget", Quantity: 7}, price,
 		sdrad.WithWorker(1), sdrad.WithCodec(sdrad.CodecJSON))

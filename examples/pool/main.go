@@ -33,7 +33,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = pool.Close() }()
+	defer func() { _ = pool.Close() }() //lint:errclass example teardown; nothing can act on the error
 
 	const goroutines, perG = 8, 500
 	var wg sync.WaitGroup

@@ -66,7 +66,7 @@ func (s *Supervisor) NewBridge(codec string, opts ...DomainOption) (*Bridge, err
 	}
 	b, err := ffi.NewBridge(s.sys, core.UDI(d.UDI()), c)
 	if err != nil {
-		_ = d.Close()
+		_ = d.Close() //lint:errclass best-effort unwind; the bridge failure is the error callers must see
 		return nil, fmt.Errorf("sdrad: %w", err)
 	}
 	return &Bridge{b: b, d: d}, nil

@@ -1,170 +1,104 @@
+// Guardrail tests: repo-wide invariants enforced by running the
+// sdradlint analyzers (internal/analysis) over the whole module. These
+// replace the single-purpose AST walkers that used to live here. The
+// analyzers are type-aware — aliased imports, dot-imports, and
+// function-value indirection cannot dodge the wall-clock ban — and
+// their exemptions travel as //lint:allow package directives instead of
+// path lists, so moving a package never silently changes coverage.
+// TestSeededViolationsAreCaught keeps the zero-findings assertions from
+// rotting into vacuous passes.
 package sdrad_test
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
+	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-// TestNoWallClockInLibraryCode is the clock guardrail: non-test library
-// code must never consult the wall clock, or virtual time stops being
-// deterministic. Only internal/vclock (which owns the one sanctioned
-// deadline-to-cycles conversion) and cmd/ binaries may call time.Now,
-// time.Since, or time.Until. The check parses every library source file,
-// so comments and strings cannot trip it and import aliases cannot dodge
-// it.
+var (
+	lintOnce sync.Once
+	lintU    *analysis.Universe
+	lintErr  error
+)
+
+// moduleUniverse loads and type-checks every module package once for
+// all guardrail tests.
+func moduleUniverse(t *testing.T) *analysis.Universe {
+	t.Helper()
+	lintOnce.Do(func() { lintU, lintErr = analysis.LoadPackages(".", "./...") })
+	if lintErr != nil {
+		t.Fatalf("loading module packages: %v", lintErr)
+	}
+	return lintU
+}
+
+// expectClean runs one analyzer over the module and reports every
+// finding as a failure.
+func expectClean(t *testing.T, a *analysis.Analyzer) {
+	t.Helper()
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, moduleUniverse(t))
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
+// TestNoWallClockInLibraryCode asserts no library package reads the
+// wall clock: virtual time must be the only clock, or same-seed runs
+// stop producing byte-identical traces. The only exemptions are the
+// packages carrying a "//lint:allow wallclock <reason>" directive
+// (internal/vclock's deadline conversion and the benchmark harness).
 func TestNoWallClockInLibraryCode(t *testing.T) {
-	forbidden := map[string]bool{"Now": true, "Since": true, "Until": true}
-
-	var violations []string
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if strings.HasPrefix(name, ".") && path != "." {
-				return filepath.SkipDir
-			}
-			// Exempt: cmd binaries and the virtual clock itself.
-			if path == "cmd" || path == filepath.Join("internal", "vclock") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-
-		fset := token.NewFileSet()
-		file, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return err
-		}
-		// Resolve the local name(s) of the "time" package in this file.
-		timeNames := map[string]bool{}
-		for _, imp := range file.Imports {
-			p, perr := strconv.Unquote(imp.Path.Value)
-			if perr != nil || p != "time" {
-				continue
-			}
-			name := "time"
-			if imp.Name != nil {
-				name = imp.Name.Name
-			}
-			timeNames[name] = true
-		}
-		if len(timeNames) == 0 {
-			return nil
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			ident, ok := sel.X.(*ast.Ident)
-			if !ok || !timeNames[ident.Name] || !forbidden[sel.Sel.Name] {
-				return true
-			}
-			violations = append(violations,
-				fset.Position(sel.Pos()).String()+": time."+sel.Sel.Name)
-			return true
-		})
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, v := range violations {
-		t.Errorf("wall clock call in library code: %s (route it through internal/vclock)", v)
-	}
+	expectClean(t, analysis.Wallclock)
 }
 
-// TestExportedSymbolsDocumented is the docs guardrail: every exported
-// top-level declaration of the public root package must carry a doc
-// comment, so `go doc repro` actually explains the API. The check
-// parses declarations (not text), so build tags, grouped declarations,
-// and factored var/const blocks are handled; fields and methods are
-// covered transitively by reviewers, not this lint.
+// TestExportedSymbolsDocumented asserts every exported symbol of the
+// publicly importable packages carries a doc comment.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	fset := token.NewFileSet()
-	matches, err := filepath.Glob("*.go")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var undocumented []string
-	for _, path := range matches {
-		if strings.HasSuffix(path, "_test.go") {
-			continue
-		}
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatal(err)
-		}
-		report := func(pos token.Pos, kind, name string) {
-			undocumented = append(undocumented,
-				fmt.Sprintf("%s: exported %s %s", fset.Position(pos), kind, name))
-		}
-		for _, decl := range file.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				// Methods count: an exported method on an exported type is
-				// API surface too. Unexported receivers are skipped.
-				if !d.Name.IsExported() {
-					continue
-				}
-				if d.Recv != nil && !exportedRecv(d.Recv) {
-					continue
-				}
-				if d.Doc == nil {
-					report(d.Pos(), "func", d.Name.Name)
-				}
-			case *ast.GenDecl:
-				groupDoc := d.Doc != nil
-				for _, spec := range d.Specs {
-					switch s := spec.(type) {
-					case *ast.TypeSpec:
-						if s.Name.IsExported() && s.Doc == nil && !groupDoc {
-							report(s.Pos(), "type", s.Name.Name)
-						}
-					case *ast.ValueSpec:
-						for _, n := range s.Names {
-							if n.IsExported() && s.Doc == nil && !groupDoc {
-								report(n.Pos(), "var/const", n.Name)
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	for _, u := range undocumented {
-		t.Errorf("%s has no doc comment", u)
-	}
+	expectClean(t, analysis.DocExport)
 }
 
-// exportedRecv reports whether a method receiver names an exported type.
-func exportedRecv(recv *ast.FieldList) bool {
-	if len(recv.List) == 0 {
-		return false
+// TestUnchargedAccessorsContained asserts the uncharged Peek64/Poke64
+// accessors are reached only from their defining package and the
+// sanctioned allocator sweep, keeping cycle accounting exact.
+func TestUnchargedAccessorsContained(t *testing.T) {
+	expectClean(t, analysis.UnchargedMem)
+}
+
+// TestSeededViolationsAreCaught writes a deliberately violating package
+// to a temporary fixture tree and asserts each module-gating analyzer
+// still flags it: proof the clean runs above cannot pass vacuously.
+func TestSeededViolationsAreCaught(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "seeded")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
 	}
-	typ := recv.List[0].Type
-	for {
-		switch tt := typ.(type) {
-		case *ast.StarExpr:
-			typ = tt.X
-		case *ast.IndexExpr: // generic receiver
-			typ = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return false
+	src := `package seeded
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := analysis.LoadFixtureTree(root, "seeded")
+	if err != nil {
+		t.Fatalf("loading seeded fixture: %v", err)
+	}
+	for _, a := range []*analysis.Analyzer{analysis.Wallclock, analysis.DocExport} {
+		findings, err := analysis.Run([]*analysis.Analyzer{a}, u)
+		if err != nil {
+			t.Fatalf("running %s over seeded fixture: %v", a.Name, err)
+		}
+		if len(findings) == 0 {
+			t.Errorf("%s missed the seeded violation", a.Name)
 		}
 	}
 }

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetOrder reports `range` statements over map values. Map iteration
+// order is randomized per run, so any map range feeding a trace, a
+// survivor digest, aggregated statistics, or emitted text is a
+// determinism bug: the campaign engine's same-seed oracle compares
+// traces byte for byte, and one unsorted range turns a real regression
+// diff into noise.
+//
+// Two escapes exist. The key-collection idiom
+//
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//
+// is recognized and allowed (the collected keys are presumed sorted
+// before use — that part is beyond static reach and stays on the
+// reviewer). Every other map range must carry a
+// "//lint:detorder <justification>" directive on its line or the line
+// above, turning "this order cannot matter" into a reviewable claim.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flag map iteration in library code unless it is the sort-me-later " +
+		"key-collection idiom or carries a //lint:detorder justification",
+	Run: runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	if pass.Allowed() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollect(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"map iteration order is nondeterministic: sort the keys first, or "+
+					"justify with \"//lint:detorder <why order cannot matter>\"")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollect recognizes the exact `for k := range m { s = append(s, k) }`
+// shape: key-only range whose body is a single self-append of the key.
+func isKeyCollect(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	// `s = append(s, k)` must append to the same slice it assigns.
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	dstObj := pass.TypesInfo.Uses[dst]
+	if dstObj == nil || pass.TypesInfo.Uses[src] != dstObj {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[key]
+	}
+	return keyObj != nil && pass.TypesInfo.Uses[arg] == keyObj
+}

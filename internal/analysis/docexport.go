@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocExport requires a doc comment on every exported top-level
+// declaration of publicly importable packages (not main, not under
+// internal/), so `go doc` actually explains the API. This is the
+// migrated exported-symbol lint that previously lived as an AST walker
+// in guardrail_test.go; grouped declarations inherit the group's doc
+// comment, and methods on unexported receivers are skipped, exactly as
+// before.
+var DocExport = &Analyzer{
+	Name: "docexport",
+	Doc: "require doc comments on exported declarations of publicly " +
+		"importable packages",
+	Run: runDocExport,
+}
+
+func runDocExport(pass *Pass) error {
+	if pass.Allowed() || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, seg := range strings.Split(pass.Pkg.Path(), "/") {
+		if seg == "internal" {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods count: an exported method on an exported type
+				// is API surface too. Unexported receivers are skipped.
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				if d.Doc == nil {
+					pass.Reportf(d.Pos(), "exported func %s has no doc comment", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && !groupDoc {
+							pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && s.Doc == nil && !groupDoc {
+								pass.Reportf(n.Pos(), "exported var/const %s has no doc comment", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

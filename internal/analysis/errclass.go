@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrClass enforces the typed-error discipline that the
+// rewind-and-discard contract rests on. The library communicates what
+// happened to a call through typed, often wrapped errors —
+// *ViolationError for detections, *BudgetError for preemptions,
+// *OverloadError for admission rejections — and callers must classify
+// them, not pattern-match or drop them. Two checks:
+//
+//  1. Comparing two error values with == or != (other than against nil)
+//     breaks as soon as an error is wrapped; use errors.Is / errors.As
+//     or the IsBudget/IsOverload helpers.
+//  2. Silently discarding an error result from a function in this
+//     module (a bare call statement, or assignment to _) loses the
+//     classification: a dropped *OverloadError turns backpressure into
+//     lost writes. Either handle the error or justify the drop with
+//     "//lint:errclass <justification>".
+//
+// Discarded errors from standard-library calls are out of scope — that
+// is errcheck's battle, not a soundness invariant of this repo.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "require errors.Is-style classification of typed errors: no ==/!= " +
+		"between errors, no discarded error results from module functions",
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) error {
+	if pass.Allowed() {
+		return nil
+	}
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isErrExpr := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			return false
+		}
+		return types.Implements(tv.Type, errorIface)
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) && isErrExpr(n.X) && isErrExpr(n.Y) {
+					pass.Reportf(n.OpPos,
+						"errors compared with %s break under wrapping: classify with "+
+							"errors.Is/errors.As (or IsBudget/IsOverload)", n.Op)
+				}
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					pass.checkDiscardedCall(call, isErrExpr)
+				}
+			case *ast.GoStmt:
+				pass.checkDiscardedCall(n.Call, isErrExpr)
+			case *ast.DeferStmt:
+				pass.checkDiscardedCall(n.Call, isErrExpr)
+			case *ast.AssignStmt:
+				pass.checkBlankErrorAssign(n, errorIface)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a statement-position call to a module
+// function whose results include an error.
+func (p *Pass) checkDiscardedCall(call *ast.CallExpr, isErrExpr func(ast.Expr) bool) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !tupleHasError(tv.Type) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"result of %s.%s includes a typed error that is silently discarded: handle it, "+
+			"or justify with \"//lint:errclass <why the drop is sound>\"",
+		fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankErrorAssign flags `_ = f()` / `v, _ := g()` where the
+// blanked result is an error from a module function.
+func (p *Pass) checkBlankErrorAssign(assign *ast.AssignStmt, errorIface *types.Interface) {
+	// Only the single-call multi-assign and 1:1 forms exist in Go.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+			return
+		}
+		tuple, ok := p.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		// The comma-ok classifier shape `_, ok := IsBudget(err)` is
+		// itself classification: the consumed bool carries the class, so
+		// blanking the typed error loses nothing.
+		for i, lhs := range assign.Lhs {
+			if i < tuple.Len() && !isBlank(lhs) {
+				if b, ok := tuple.At(i).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+					return
+				}
+			}
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && types.Implements(tuple.At(i).Type(), errorIface) {
+				p.Reportf(lhs.Pos(),
+					"error result of %s.%s assigned to _: classify it, or justify with "+
+						"\"//lint:errclass <why the drop is sound>\"", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := assign.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+			continue
+		}
+		tv, ok := p.TypesInfo.Types[call]
+		if ok && tv.Type != nil && tupleHasError(tv.Type) {
+			p.Reportf(lhs.Pos(),
+				"error result of %s.%s assigned to _: classify it, or justify with "+
+					"\"//lint:errclass <why the drop is sound>\"", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method, unwrapping
+// parentheses and generic instantiations. Calls through function values
+// or literals resolve to nil and are out of scope.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			fn, _ := p.TypesInfo.Uses[f].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := p.TypesInfo.Uses[f.Sel].(*types.Func)
+			return fn
+		default:
+			return nil
+		}
+	}
+}
+
+// tupleHasError reports whether a call-result type (single value or
+// tuple) includes a component implementing error.
+func tupleHasError(t types.Type) bool {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Implements(tuple.At(i).Type(), errorIface) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// isBlank reports whether an expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,49 @@
+// Package a exercises the detorder analyzer.
+package a
+
+import "sort"
+
+// Emit walks a map straight into output order: flagged.
+func Emit(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Sorted collects keys with the recognized idiom (not flagged), sorts
+// them, and ranges the sorted slice (a slice range is never flagged).
+func Sorted(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Justified carries the reviewable escape hatch on the line above.
+func Justified(m map[string]uint64) uint64 {
+	var sum uint64
+	//lint:detorder fixture: commutative sum, order cannot matter
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Collected ranges key-only but does more than collect: flagged.
+func Collected(m map[string]int) int {
+	n := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+// Package empty exercises directives with missing reasons: a bare
+// allow and a bare suppression are findings, and neither takes effect.
+//
+//lint:allow wallclock
+package empty
+
+import "time"
+
+// Stamp would be exempt if the allow above carried a reason; as
+// written, the bare directives are findings and the read is flagged.
+func Stamp() time.Time {
+	//lint:wallclock
+	return time.Now()
+}

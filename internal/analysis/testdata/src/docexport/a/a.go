@@ -1,0 +1,36 @@
+// Package a exercises the docexport analyzer.
+package a
+
+// Documented carries a doc comment: not flagged.
+func Documented() {}
+
+func Undocumented() {} // want `exported func Undocumented has no doc comment`
+
+// T is a documented exported type.
+type T struct{}
+
+type U struct{} // want `exported type U has no doc comment`
+
+// Method is a documented method on an exported receiver.
+func (T) Method() {}
+
+func (T) Bare() {} // want `exported func Bare has no doc comment`
+
+// Grouped declarations inherit the group's doc comment: not flagged.
+const (
+	A = iota
+	B
+)
+
+var V int // want `exported var/const V has no doc comment`
+
+// hidden is unexported; its methods are API of nothing.
+type hidden struct{}
+
+// Exported methods on unexported receivers are skipped.
+func (hidden) Exported() {}
+
+func helper() {}
+
+var _ = helper
+var _ = hidden{}

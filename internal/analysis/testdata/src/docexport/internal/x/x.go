@@ -1,0 +1,5 @@
+// Package x sits under an internal/ segment and is exempt from the
+// public-API doc rule.
+package x
+
+func Undocumented() {}

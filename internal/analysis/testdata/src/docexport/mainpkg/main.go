@@ -1,0 +1,7 @@
+// Command mainpkg shows that main packages are exempt: a binary's
+// symbols are not importable API.
+package main
+
+func Undocumented() {}
+
+func main() { Undocumented() }

@@ -1,0 +1,64 @@
+// Package a exercises the errclass analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"errclass/errs"
+)
+
+// Compare flags direct error equality: it breaks under wrapping.
+func Compare(err error) bool {
+	return err == errs.ErrClosed // want `errors compared with == break under wrapping`
+}
+
+// CompareNeq flags inequality too.
+func CompareNeq(err error) bool {
+	return err != errs.ErrClosed // want `errors compared with != break under wrapping`
+}
+
+// NilCheck is fine: comparison against nil is not classification.
+func NilCheck(err error) bool { return err == nil }
+
+// Classified is the sanctioned pattern.
+func Classified(err error) bool { return errors.Is(err, errs.ErrClosed) }
+
+// Dropped discards a typed error in statement position: flagged.
+func Dropped() {
+	errs.Op() // want `result of errs\.Op includes a typed error that is silently discarded`
+}
+
+// DeferredDrop discards in defer position: flagged.
+func DeferredDrop() {
+	defer errs.Op() // want `result of errs\.Op includes a typed error`
+}
+
+// Blanked discards via the blank identifier: flagged.
+func Blanked() {
+	_ = errs.Op() // want `error result of errs\.Op assigned to _`
+}
+
+// BlankedTuple drops the error half of a tuple: flagged.
+func BlankedTuple() int {
+	v, _ := errs.Val() // want `error result of errs\.Val assigned to _`
+	return v
+}
+
+// CommaOK consumes the classifier bool, so blanking the typed error
+// loses nothing: not flagged.
+func CommaOK(err error) bool {
+	_, ok := errs.IsBudget(err)
+	return ok
+}
+
+// Justified drops with a reviewable reason on the same line.
+func Justified() {
+	_ = errs.Op() //lint:errclass fixture: best-effort teardown
+}
+
+// StdlibDrop is out of scope: only module functions are charged here
+// (dropped stdlib errors are errcheck's battle).
+func StdlibDrop() {
+	fmt.Println("stdlib errors are out of scope")
+}

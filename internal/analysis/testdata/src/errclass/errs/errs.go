@@ -1,0 +1,29 @@
+// Package errs supplies typed errors and classifiers for the errclass
+// fixtures, mirroring the repo's BudgetError/IsBudget shape.
+package errs
+
+import "errors"
+
+// ErrClosed is a sentinel used by the comparison fixtures.
+var ErrClosed = errors.New("errs: closed")
+
+// BudgetError mirrors the repo's typed budget error.
+type BudgetError struct{ Cycles uint64 }
+
+// Error implements error.
+func (e *BudgetError) Error() string { return "errs: budget exhausted" }
+
+// Op returns a typed error.
+func Op() error { return &BudgetError{} }
+
+// Val returns a value and an error.
+func Val() (int, error) { return 0, nil }
+
+// IsBudget classifies err, comma-ok style.
+func IsBudget(err error) (*BudgetError, bool) {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}

@@ -1,0 +1,17 @@
+// Package bad reaches the uncharged accessors without a sanction.
+package bad
+
+import "unchargedmem/mem"
+
+// Read is flagged: unsanctioned cross-package uncharged access.
+func Read() uint64 {
+	return mem.Peek64() // want `mem\.Peek64 is an uncharged kernel-side accessor`
+}
+
+// Write is flagged too.
+func Write() {
+	mem.Poke64(1) // want `mem\.Poke64 is an uncharged kernel-side accessor`
+}
+
+// ChargedUse goes through the ordinary accessor: not flagged.
+func ChargedUse() uint64 { return mem.Charged() }

@@ -1,0 +1,23 @@
+// Package mem declares uncharged accessors, mirroring internal/mem.
+package mem
+
+// state is the simulated memory word the accessors reach.
+var state uint64
+
+// Peek64 reads simulated memory without permission checks or cycle
+// charges.
+//
+//lint:uncharged
+func Peek64() uint64 { return state }
+
+// Poke64 writes simulated memory without permission checks or cycle
+// charges.
+//
+//lint:uncharged
+func Poke64(v uint64) { state = v }
+
+// Charged is the ordinary accessor; using it is always fine.
+func Charged() uint64 { return state }
+
+// internalUse shows same-package references are never flagged.
+func internalUse() uint64 { return Peek64() }

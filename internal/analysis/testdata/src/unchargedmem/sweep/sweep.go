@@ -1,0 +1,11 @@
+// Package sweep is the sanctioned consumer, like the allocator's
+// in-band header walk.
+//
+//lint:allow unchargedmem fixture: sanctioned sweep consumer
+package sweep
+
+import "unchargedmem/mem"
+
+// Walk may use the uncharged accessors because the package carries the
+// sanction fact.
+func Walk() uint64 { return mem.Peek64() }

@@ -1,0 +1,31 @@
+// Package a exercises the wallclock analyzer: direct references to the
+// forbidden time-package functions.
+package a
+
+import "time"
+
+// Direct reads of the wall clock are flagged.
+func Direct() time.Time {
+	return time.Now() // want `reference to time\.Now in library code`
+}
+
+// Elapsed measures against the wall clock: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reference to time\.Since`
+}
+
+// Remaining reads the clock through time.Until: flagged.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `reference to time\.Until`
+}
+
+// Fixed constructs a time without reading the clock: not flagged.
+func Fixed() time.Time {
+	return time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Suppressed carries a reviewable justification on the line above.
+func Suppressed() time.Time {
+	//lint:wallclock fixture: justified read for the suppression test
+	return time.Now()
+}

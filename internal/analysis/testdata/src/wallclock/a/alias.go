@@ -1,0 +1,9 @@
+package a
+
+import tm "time"
+
+// Aliased shows that renaming the import does not dodge the ban: the
+// check keys on the resolved function, not the selector text.
+func Aliased() tm.Time {
+	return tm.Now() // want `reference to time\.Now`
+}

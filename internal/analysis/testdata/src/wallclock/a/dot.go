@@ -1,0 +1,8 @@
+package a
+
+import . "time"
+
+// Dotted shows that a dot-import does not dodge the ban either.
+func Dotted() Time {
+	return Now() // want `reference to time\.Now`
+}

@@ -1,0 +1,9 @@
+package a
+
+import "time"
+
+// Indirect shows that taking the function value is still a reference.
+func Indirect() time.Time {
+	f := time.Now // want `reference to time\.Now`
+	return f()
+}

@@ -1,0 +1,10 @@
+// Package allowed declares itself exempt on the package clause, the
+// form internal/vclock and the benchmark mains use.
+//
+//lint:allow wallclock fixture: this package owns a sanctioned wall-clock read
+package allowed
+
+import "time"
+
+// Sanctioned reads are not flagged anywhere in an allowed package.
+func Sanctioned() time.Time { return time.Now() }

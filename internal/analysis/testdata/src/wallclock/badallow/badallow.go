@@ -1,0 +1,10 @@
+// Package badallow buries its exemption mid-file, which is itself a
+// finding and grants no exemption.
+package badallow
+
+import "time"
+
+//lint:allow wallclock fixture: too late, must sit on the package clause // want `must be on or above the package clause`
+func Buried() time.Time {
+	return time.Now() // want `reference to time\.Now`
+}

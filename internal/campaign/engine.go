@@ -587,12 +587,19 @@ func scenarioRequests(sc Scenario, cfg Config) int {
 	return cfg.Requests
 }
 
-func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrace, error) {
+func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (st ScenarioTrace, err error) {
 	ex, err := factory(sc.Target, cfg.Workers)
 	if err != nil {
 		return ScenarioTrace{}, err
 	}
-	defer ex.Close()
+	// A teardown failure is a finding, not noise: an executor that cannot
+	// close cleanly after a scenario invalidates the run, so surface the
+	// error instead of discarding the typed result.
+	defer func() {
+		if cerr := ex.Close(); cerr != nil && err == nil {
+			st, err = ScenarioTrace{}, fmt.Errorf("campaign: closing %s executor after %q: %w", sc.Target, sc.Name, cerr)
+		}
+	}()
 
 	ad, err := newAdapter(sc, cfg.Seed)
 	if err != nil {
@@ -602,7 +609,7 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrac
 	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
 
 	n := scenarioRequests(sc, cfg)
-	st := ScenarioTrace{
+	st = ScenarioTrace{
 		Scenario: sc.Name,
 		Workload: sc.Workload.String(),
 		Target:   sc.Target.String(),
@@ -626,6 +633,7 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrac
 		}
 	}
 	st.Detections = ex.Detections()
+	//lint:detorder commutative uint64 sum; iteration order cannot change the total
 	for _, v := range st.Detections {
 		st.DetectionTotal += v
 	}
@@ -640,7 +648,7 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrac
 // records — and returns the executor's virtual cycles and the survivor
 // digest. The benign oracle compares these against the campaign run to
 // prove the engine adds no hidden virtual cost.
-func replayBenign(sc Scenario, cfg Config, factory ExecutorFactory) (uint64, string, error) {
+func replayBenign(sc Scenario, cfg Config, factory ExecutorFactory) (cycles uint64, dig string, err error) {
 	cfg = cfg.withDefaults()
 	if !sc.Benign() {
 		return 0, "", fmt.Errorf("campaign: replay of non-benign scenario %q", sc.Name)
@@ -649,7 +657,12 @@ func replayBenign(sc Scenario, cfg Config, factory ExecutorFactory) (uint64, str
 	if err != nil {
 		return 0, "", err
 	}
-	defer ex.Close()
+	// As in runScenario: a Close failure invalidates the replay.
+	defer func() {
+		if cerr := ex.Close(); cerr != nil && err == nil {
+			cycles, dig, err = 0, "", fmt.Errorf("campaign: closing %s executor after replay of %q: %w", sc.Target, sc.Name, cerr)
+		}
+	}()
 	ad, err := newAdapter(sc, cfg.Seed)
 	if err != nil {
 		return 0, "", err
@@ -695,12 +708,17 @@ func RunBatched(cfg Config, factory ExecutorFactory, batchSize int) (*Trace, err
 	return tr, nil
 }
 
-func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int) (ScenarioTrace, error) {
+func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int) (st ScenarioTrace, err error) {
 	ex, err := factory(sc.Target, cfg.Workers)
 	if err != nil {
 		return ScenarioTrace{}, err
 	}
-	defer ex.Close()
+	// As in runScenario: a Close failure invalidates the run.
+	defer func() {
+		if cerr := ex.Close(); cerr != nil && err == nil {
+			st, err = ScenarioTrace{}, fmt.Errorf("campaign: closing %s executor after %q: %w", sc.Target, sc.Name, cerr)
+		}
+	}()
 	bex, batchable := ex.(BatchExecutor)
 
 	ad, err := newAdapter(sc, cfg.Seed)
@@ -711,7 +729,7 @@ func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchS
 	dispatch := workload.NewRNG(subseed(cfg.Seed, sc.Name, "dispatch"))
 
 	n := scenarioRequests(sc, cfg)
-	st := ScenarioTrace{
+	st = ScenarioTrace{
 		Scenario: sc.Name,
 		Workload: sc.Workload.String(),
 		Target:   sc.Target.String(),
@@ -779,6 +797,7 @@ func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchS
 		}
 	}
 	st.Detections = ex.Detections()
+	//lint:detorder commutative uint64 sum; iteration order cannot change the total
 	for _, v := range st.Detections {
 		st.DetectionTotal += v
 	}

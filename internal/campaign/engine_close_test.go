@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// closeFail wraps a real executor so Close reports a failure after
+// releasing the underlying domains.
+type closeFail struct {
+	Executor
+	err error
+}
+
+func (c closeFail) Close() error {
+	if err := c.Executor.Close(); err != nil {
+		return err
+	}
+	return c.err
+}
+
+// TestScenarioCloseFailureInvalidatesRun pins a fix sdradlint's
+// errclass analyzer surfaced: executor Close errors were silently
+// swallowed after each scenario. A teardown failure is a finding — an
+// executor that cannot close cleanly invalidates the run — so Run must
+// fail and wrap the typed error.
+func TestScenarioCloseFailureInvalidatesRun(t *testing.T) {
+	base := coreFactory(t)
+	wantErr := errors.New("stub: close failed")
+	factory := func(target Target, workers int) (Executor, error) {
+		ex, err := base(target, workers)
+		if err != nil {
+			return nil, err
+		}
+		return closeFail{Executor: ex, err: wantErr}, nil
+	}
+	cfg := Config{Seed: 11, Workers: 2, Requests: 30, Scenarios: testScenarios()[:1]}
+	tr, err := Run(cfg, factory)
+	if err == nil {
+		t.Fatal("Run succeeded despite a failing executor Close")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Run error %v does not wrap the executor's Close error", err)
+	}
+	if !strings.Contains(err.Error(), "closing") {
+		t.Errorf("Run error %q does not name the teardown phase", err)
+	}
+	if tr != nil {
+		t.Errorf("Run returned a trace alongside the error: %+v", tr)
+	}
+}
+
+// TestScenarioBatchedCloseFailureInvalidatesRun covers the batched
+// engine path the same way.
+func TestScenarioBatchedCloseFailureInvalidatesRun(t *testing.T) {
+	base := coreFactory(t)
+	wantErr := errors.New("stub: close failed")
+	factory := func(target Target, workers int) (Executor, error) {
+		ex, err := base(target, workers)
+		if err != nil {
+			return nil, err
+		}
+		return closeFail{Executor: ex, err: wantErr}, nil
+	}
+	cfg := Config{Seed: 11, Workers: 2, Requests: 30, Scenarios: testScenarios()[:1]}
+	if _, err := RunBatched(cfg, factory, 8); err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("RunBatched error %v, want one wrapping the executor's Close error", err)
+	}
+}

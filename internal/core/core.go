@@ -263,13 +263,13 @@ func (s *System) InitDomain(udi UDI, cfg DomainConfig) (*Domain, error) {
 		Secret:       cfg.Secret,
 	})
 	if err != nil {
-		_ = s.keys.Free(key)
+		_ = s.keys.Free(key) //lint:errclass best-effort unwind; the init failure is the error callers must see
 		return nil, fmt.Errorf("sdrad: init domain %d heap: %w", udi, err)
 	}
 	st, err := stack.New(s.mem, key, cfg.StackPages, cfg.Secret)
 	if err != nil {
-		_ = h.Release()
-		_ = s.keys.Free(key)
+		_ = h.Release()      //lint:errclass best-effort unwind; the init failure is the error callers must see
+		_ = s.keys.Free(key) //lint:errclass best-effort unwind; the init failure is the error callers must see
 		return nil, fmt.Errorf("sdrad: init domain %d stack: %w", udi, err)
 	}
 	d := &Domain{udi: udi, key: key, heap: h, stack: st, sys: s}
@@ -380,6 +380,7 @@ func (s *System) current() *Domain {
 // and read-only access to any keys shared via GrantRead.
 func pkruFor(d *Domain) pku.PKRU {
 	p := pku.OnlyKeys(pku.DefaultKey, d.key)
+	//lint:detorder commutative bitmask union; iteration order cannot change the PKRU
 	for k := range d.readKeys {
 		p = p.WithAllowed(k).WithWriteDisabled(k)
 	}

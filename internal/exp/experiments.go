@@ -133,7 +133,10 @@ func TLSOverhead(sdradMode bool, n int, seed uint64) (float64, error) {
 		if _, err := sys.CopyFromDomain(out, 64); err != nil {
 			return 0, err
 		}
-		d, _ := sys.Domain(1)
+		d, err := sys.Domain(1)
+		if err != nil {
+			return 0, err
+		}
 		if err := d.Heap().Free(out); err != nil {
 			return 0, err
 		}

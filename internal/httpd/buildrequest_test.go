@@ -1,0 +1,33 @@
+package httpd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBuildRequestDeterministic pins a determinism fix sdradlint's
+// detorder analyzer surfaced: BuildRequest iterated the headers map
+// directly, so two renders of the same request could emit different
+// bytes — and request bytes feed workload streams and campaign traces,
+// where that shows up as a same-seed trace diff. Headers must come out
+// byte-identical and in sorted key order.
+func TestBuildRequestDeterministic(t *testing.T) {
+	h := map[string]string{"x-b": "2", "x-d": "4", "x-a": "1", "x-c": "3"}
+	first := BuildRequest("GET", "/items/1", h)
+	for i := 0; i < 64; i++ {
+		if got := BuildRequest("GET", "/items/1", h); !bytes.Equal(got, first) {
+			t.Fatalf("render %d differs:\n%q\n%q", i, got, first)
+		}
+	}
+	prev := -1
+	for _, k := range []string{"x-a", "x-b", "x-c", "x-d"} {
+		idx := bytes.Index(first, []byte(k+": "))
+		if idx < 0 {
+			t.Fatalf("header %s missing from %q", k, first)
+		}
+		if idx < prev {
+			t.Errorf("header %s emitted out of sorted order in %q", k, first)
+		}
+		prev = idx
+	}
+}

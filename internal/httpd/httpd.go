@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -254,6 +255,7 @@ func (s *Server) Stats() Stats {
 // restart reloads).
 func (s *Server) ContentBytes() uint64 {
 	var n uint64
+	//lint:detorder commutative uint64 sum; iteration order cannot change the total
 	for _, c := range s.routes {
 		n += uint64(len(c))
 	}
@@ -517,13 +519,21 @@ func (s *Server) route(pr ParsedRequest) Response {
 }
 
 // BuildRequest renders a well-formed HTTP/1.1 request for tests and
-// load generators.
+// load generators. Headers are emitted in sorted key order so two
+// renders of the same request are byte-identical: request bytes feed
+// workload streams and campaign traces, where map-iteration order would
+// show up as a same-seed trace diff.
 func BuildRequest(method, path string, headers map[string]string) []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
 	b.WriteString("host: localhost\r\n")
-	for k, v := range headers {
-		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, headers[k])
 	}
 	b.WriteString("\r\n")
 	return []byte(b.String())

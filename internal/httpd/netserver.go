@@ -122,10 +122,21 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 			// Overload (every queue full) or closed: shed with 503.
 			return Response{Status: 503, Err: err}
 		}
-		_ = fut.Err()
-		return a.resp
+		return respondAsync(a, fut)
 	}
 	return n, nil
+}
+
+// respondAsync maps an admitted request's future onto its response,
+// waiting for resolution. A non-nil resolution means the drain loop
+// never filled resp (the queues closed underneath the admitted
+// request), so answer 503 with the typed error instead of a zero
+// Response.
+func respondAsync(a *asyncReq, fut *submit.Future) Response {
+	if ferr := fut.Err(); ferr != nil {
+		return Response{Status: 503, Err: ferr}
+	}
+	return a.resp
 }
 
 // Close stops the batched submission layer, if this server has one:

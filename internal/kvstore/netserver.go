@@ -132,10 +132,21 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 		// The future resolves when the drain loop answered; the request's
 		// ctx still governs its in-domain budget (deadlines that expire
 		// while queued surface as preemptions, as on the serial path).
-		_ = fut.Err()
-		return a.resp
+		return respondAsync(a, fut)
 	}
 	return n, nil
+}
+
+// respondAsync maps an admitted request's future onto its wire
+// response, waiting for resolution. A non-nil resolution means the
+// drain loop never filled resp (the queues closed underneath the
+// admitted request), so the typed error must reach the wire instead of
+// a zero-value Response.
+func respondAsync(a *asyncReq, fut *submit.Future) Response {
+	if ferr := fut.Err(); ferr != nil {
+		return Response{Err: ferr}
+	}
+	return a.resp
 }
 
 // Close stops the batched submission layer, if this server has one:

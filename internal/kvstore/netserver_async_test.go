@@ -1,0 +1,33 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/submit"
+)
+
+// TestRespondAsyncClosedQueue pins a regression sdradlint's errclass
+// analyzer surfaced: a request admitted to the submission queues but
+// resolved by Close (so the drain loop never filled its response) was
+// answered with a zero-value Response, silently dropping the typed
+// ErrClosed. The classification must reach the wire.
+func TestRespondAsyncClosedQueue(t *testing.T) {
+	resp := respondAsync(&asyncReq{}, submit.Resolved(submit.ErrClosed))
+	if !errors.Is(resp.Err, submit.ErrClosed) {
+		t.Fatalf("closed-queue response carries err %v, want submit.ErrClosed", resp.Err)
+	}
+	if resp.OK {
+		t.Error("closed-queue response reports OK")
+	}
+}
+
+// TestRespondAsyncFilled returns the drain loop's response verbatim on
+// clean resolution.
+func TestRespondAsyncFilled(t *testing.T) {
+	a := &asyncReq{resp: Response{OK: true, Value: []byte("v")}}
+	resp := respondAsync(a, submit.Resolved(nil))
+	if !resp.OK || string(resp.Value) != "v" || resp.Err != nil {
+		t.Fatalf("clean resolution returned %+v, want the drain loop's response", resp)
+	}
+}

@@ -603,6 +603,8 @@ func (m *Memory) Store64(pkru pku.PKRU, addr Addr, v uint64) error {
 // KeyOf/ProtOf. The allocator uses it to walk its in-band chunk headers
 // at the same (zero) virtual cost its former host-side side tables had,
 // keeping cycle accounting identical to the seed.
+//
+//lint:uncharged
 func (m *Memory) PeekBytes(addr Addr, dst []byte) error {
 	for len(dst) > 0 {
 		pg, _ := m.lookup(addr.PageNumber())
@@ -618,6 +620,8 @@ func (m *Memory) PeekBytes(addr Addr, dst []byte) error {
 
 // Peek64 reads a little-endian uint64 without permission checks or cycle
 // charges (see PeekBytes).
+//
+//lint:uncharged
 func (m *Memory) Peek64(addr Addr) (uint64, error) {
 	var buf [8]byte
 	if err := m.PeekBytes(addr, buf[:]); err != nil {
@@ -630,6 +634,8 @@ func (m *Memory) Peek64(addr Addr) (uint64, error) {
 // cycle charges — the store-side counterpart of Peek64, for allocator
 // metadata maintenance. The touched page is marked dirty so a later Zero
 // still scrubs it.
+//
+//lint:uncharged
 func (m *Memory) Poke64(addr Addr, v uint64) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)

@@ -61,6 +61,7 @@ func (b *BatchLatency) Summaries() []BatchSummary {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([]BatchSummary, 0, len(b.bySize))
+	//lint:detorder rows are sorted by Size immediately below
 	for size, h := range b.bySize {
 		out = append(out, BatchSummary{
 			Size:    size,

@@ -21,4 +21,6 @@
 //     oracles that need exactness compare cycles, not durations.
 //
 // See DESIGN.md §2 for why virtual time replaces wall time everywhere.
+//
+//lint:allow wallclock vclock owns the one sanctioned wall-clock read: converting context deadlines into virtual-cycle budgets
 package vclock

@@ -84,7 +84,7 @@ func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, er
 		dom, err := sup.NewDomain(domOpts...)
 		if err != nil {
 			for _, w := range p.workers[:i] {
-				_ = w.dom.Close()
+				_ = w.dom.Close() //lint:errclass best-effort unwind; the construction failure is the error callers must see
 			}
 			return nil, fmt.Errorf("sdrad: pool worker %d: %w", i, err)
 		}
@@ -311,6 +311,7 @@ func (p *Pool) DetectionCounts() map[string]uint64 {
 	out := make(map[string]uint64)
 	for _, w := range p.workers {
 		w.mu.Lock()
+		//lint:detorder commutative per-mechanism sums into a map; no order-dependent state
 		for mech, n := range w.sup.DetectionCounts() {
 			out[mech] += n
 		}
