@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint docs build test race bench bench-pools bench-batched bench-smoke campaign-smoke
+.PHONY: check fmt vet lint docs build test race bench bench-pools bench-batched bench-durable bench-smoke campaign-smoke
 
 check: fmt vet lint build test race
 
@@ -56,6 +56,15 @@ bench-pools:
 bench-batched:
 	$(GO) run ./cmd/benchjson -bench 'E1KVSDRaD$$|E1HTTPSDRaD$$|E1KVSDRaDBatched|E1HTTPSDRaDBatched|AsyncPoolSubmit' \
 		-benchtime 1x -out BENCH_BATCHED_CI.json
+
+# Durability cost on the E1 hot path: the serial/batched SDRaD pair
+# against BenchmarkE1KVSDRaDDurable (fsync on/off x batch 1/8/32 plus a
+# snapshot-cadence sweep), emitted as BENCH_PR7.json with the PR 5
+# report embedded as baseline. The fsyncs/req metric records the
+# group-commit amortization; vops/s is host-independent.
+bench-durable:
+	$(GO) run ./cmd/benchjson -bench 'E1KVSDRaD$$|E1KVSDRaDBatched|E1KVSDRaDDurable' \
+		-benchtime 200x -out BENCH_PR7.json -baseline BENCH_PR5.json
 
 # One-iteration smoke pass over the suite (CI: proves the benches run).
 bench-smoke:

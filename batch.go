@@ -97,6 +97,24 @@ type batchReport struct {
 	Replayed int
 }
 
+// BatchReport is the public view of one batch resolution, delivered to
+// Domain.OnBatch observers. It is the commit hook durability layers key
+// on: a Committed report means the batch's clean results stand exactly
+// as the shared entry produced them (the exit sweep passed), while a
+// non-committed report means a detection or application error degraded
+// part or all of the batch to serial replay — for a write-ahead log,
+// the moment to decide which acknowledged effects are part of the
+// committed history.
+type BatchReport struct {
+	// Size is the number of calls submitted in the batch.
+	Size int
+	// Committed reports a fully clean optimistic pass.
+	Committed bool
+	// Replayed is the number of calls that re-derived their outcome
+	// through the serial path.
+	Replayed int
+}
+
 // minBudget returns the tightest per-call cycle budget across the batch
 // (0 = no call carries one). The batch budget under-approximates: it
 // starts at batch entry rather than at the budgeted call's own start, so

@@ -19,6 +19,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/httpd"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/procmodel"
 	"repro/internal/serde"
 	"repro/internal/workload"
@@ -134,6 +135,84 @@ func benchKVBatched(b *testing.B, batch int) {
 func BenchmarkE1KVSDRaDBatched(b *testing.B) {
 	for _, k := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) { benchKVBatched(b, k) })
+	}
+}
+
+// ---- E1 durable: WAL group commit on the E1 hot path ----
+//
+// Same workload and batching as BenchmarkE1KVSDRaDBatched, but with the
+// persistence engine attached: every committed batch is one WAL append
+// (and, with fsync, one fsync). fsyncs/req is the amortization claim in
+// metric form: batch=1 starts at the workload's write fraction (reads
+// stage no records, so a read-only "batch" costs no sync) and falls
+// with batch size as group commit coalesces the writes. The snap=
+// variants add the periodic incremental-snapshot cost at the
+// acceptance point.
+
+func benchKVDurable(b *testing.B, batch int, fsync bool, snapEvery int) {
+	b.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := kvstore.NewCache(sys, 1, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pm metrics.Persist
+	srv, err := kvstore.NewServer(sys, cache, kvstore.ServerConfig{
+		Mode:         kvstore.ModeSDRaD,
+		InterArrival: time.Nanosecond,
+		Persist: &kvstore.PersistConfig{
+			Dir: b.TempDir(), Fsync: fsync, SnapshotEvery: snapEvery, Metrics: &pm,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewKV(workload.KVConfig{Seed: 1, Keys: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]kvstore.BatchRequest, 0, batch)
+	startVT := sys.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		reqs = reqs[:0]
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, kvstore.BatchRequest{ClientID: (i + j) % 8, Req: gen.Next()})
+		}
+		for _, resp := range srv.HandleBatch(reqs) {
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if vt := sys.Clock().Now() - startVT; vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+	b.ReportMetric(float64(pm.Snapshot().Fsyncs)/float64(b.N), "fsyncs/req")
+}
+
+func BenchmarkE1KVSDRaDDurable(b *testing.B) {
+	for _, fsync := range []bool{false, true} {
+		for _, k := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("fsync=%v/batch=%d", fsync, k), func(b *testing.B) {
+				benchKVDurable(b, k, fsync, 0)
+			})
+		}
+	}
+	// Snapshot-cadence sweep at the acceptance point (fsync on, batch=32):
+	// how much the periodic dirty-page capture costs on top of the WAL.
+	for _, every := range []int{8, 64} {
+		b.Run(fmt.Sprintf("fsync=true/batch=32/snap=%d", every), func(b *testing.B) {
+			benchKVDurable(b, 32, true, every)
+		})
 	}
 }
 

@@ -11,8 +11,10 @@
 // The trace is a pure function of the flags: the same invocation
 // produces byte-identical output, which is the property the campaign's
 // differential oracles (-oracles) verify — same-seed determinism,
-// worker-count invariance (1/4/8), benign cycle parity, and
-// batched==serial outcome/digest equality at batch sizes 8 and 32.
+// worker-count invariance (1/4/8), benign cycle parity, batched==serial
+// outcome/digest equality at batch sizes 8 and 32, and crash recovery
+// (a durable server killed mid-group-commit must recover exactly the
+// acknowledged prefix, across worker counts 1/4/8 and batches 8/32).
 // -batch K drives the campaign itself through the batched execution
 // pipeline (coalesced domain entries on pool targets). Exit status is 1
 // if any oracle fails.
@@ -26,6 +28,7 @@ import (
 	sdrad "repro"
 	"repro/internal/campaign"
 	"repro/internal/campaign/scenarios"
+	"repro/internal/kvstore"
 )
 
 func main() {
@@ -40,7 +43,7 @@ func run(args []string, stdout *os.File) int {
 	requests := fs.Int("requests", 400, "requests per scenario")
 	asJSON := fs.Bool("json", false, "emit the full JSON trace instead of the text summary")
 	batch := fs.Int("batch", 0, "drive requests through the batched pipeline in waves of this size (0 = serial)")
-	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity, batched==serial)")
+	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity, batched==serial, crash recovery)")
 	showList := fs.Bool("list", false, "list shipped scenarios and exit")
 	out := fs.String("out", "", "also write the JSON trace to this file")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +110,26 @@ func run(args []string, stdout *os.File) int {
 		fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
 		return 1
 	}
+	// Crash-recovery oracle: seeded mid-commit kills over a durable
+	// server, recovered state diffed against the acknowledged prefix,
+	// across worker counts 1/4/8 and batch sizes 8/32.
+	recDir, err := os.MkdirTemp("", "sdrad-recovery-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if rerr := os.RemoveAll(recDir); rerr != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-campaign: cleanup: %v\n", rerr)
+		}
+	}()
+	recResults, err := campaign.CheckRecovery(
+		&kvstore.RecoveryHarness{Dir: recDir}, *seed, *requests, nil, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
+		return 1
+	}
+	results = append(results, recResults...)
 	failed := 0
 	for _, r := range results {
 		fmt.Fprintf(stdout, "%s\n", r)

@@ -19,9 +19,17 @@
 // SERVER_ERROR immediately) and -max-inflight=0 disables the async
 // layer entirely (one domain entry per request, as before).
 //
+// With -data-dir the cache becomes durable: every committed batch is
+// group-committed to a per-shard write-ahead log (one append — and with
+// -fsync one fsync — per batch, not per request), periodic incremental
+// snapshots bound replay time, and a restart recovers exactly the
+// acknowledged writes. Leaving -data-dir unset keeps today's
+// memory-only behavior, byte for byte.
+//
 // Usage:
 //
 //	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
+//	          [-data-dir DIR] [-fsync] [-snapshot-every N]
 //
 // Try it:
 //
@@ -52,15 +60,22 @@ func main() {
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
 	maxInflight := flag.Int("max-inflight", 1024, "admission bound on queued+executing requests across all shards; overload answers SERVER_ERROR (0 = serial path, no batching)")
 	maxBatch := flag.Int("max-batch", 32, "max pipelined requests coalesced into one batched domain execution")
+	dataDir := flag.String("data-dir", "", "durability root: per-shard WAL + snapshots under this directory (empty = memory-only)")
+	fsync := flag.Bool("fsync", true, "fsync the WAL on every group commit (only with -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every", 64, "take an incremental snapshot every N committed batches per shard (only with -data-dir; 0 = WAL only)")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch); err != nil {
+	var pcfg *kvstore.PersistConfig
+	if *dataDir != "" {
+		pcfg = &kvstore.PersistConfig{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery}
+	}
+	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch, pcfg); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
 
-func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int) error {
+func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, pcfg *kvstore.PersistConfig) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -71,9 +86,17 @@ func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Du
 		return fmt.Errorf("unknown mode %q (want sdrad or native)", modeName)
 	}
 
-	pool, err := kvstore.NewPool(core.DefaultConfig(), kvstore.ServerConfig{Mode: mode}, workers, capacity)
+	pool, err := kvstore.NewPool(core.DefaultConfig(), kvstore.ServerConfig{Mode: mode, Persist: pcfg}, workers, capacity)
 	if err != nil {
 		return err
+	}
+	if pcfg != nil {
+		defer func() {
+			if cerr := pool.Close(); cerr != nil {
+				log.Printf("close pool: %v", cerr)
+			}
+		}()
+		log.Printf("durability on (data-dir=%s, fsync=%v, snapshot-every=%d)", pcfg.Dir, pcfg.Fsync, pcfg.SnapshotEvery)
 	}
 
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,209 @@
+package alloc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/pku"
+	"repro/internal/vclock"
+)
+
+func newTrackedHeap(t *testing.T) (*Heap, *mem.Memory) {
+	t.Helper()
+	m := mem.New(vclock.New(vclock.DefaultCostModel()))
+	h, err := New(m, pku.Key(1), Config{InitialPages: 4, MaxPages: 4096})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h.TrackModified()
+	return h, m
+}
+
+// captureRestoreRoundTrip captures src, restores into a fresh heap with
+// identical construction, and returns the restored heap.
+func restoreFresh(t *testing.T, img *HeapImage) (*Heap, *mem.Memory) {
+	t.Helper()
+	m := mem.New(vclock.New(vclock.DefaultCostModel()))
+	h, err := New(m, pku.Key(1), Config{InitialPages: 4, MaxPages: 4096})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h.RestoreImage(img); err != nil {
+		t.Fatalf("RestoreImage: %v", err)
+	}
+	return h, m
+}
+
+func TestImageRoundTripPreservesContentsAndIntegrity(t *testing.T) {
+	h, m := newTrackedHeap(t)
+	pkru := pku.OnlyKeys(pku.DefaultKey, h.Key())
+
+	var live []mem.Addr
+	for i := 0; i < 20; i++ {
+		p, err := h.Alloc(48)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := m.StoreBytes(pkru, p, []byte{byte(i), byte(i + 1), byte(i + 2)}); err != nil {
+			t.Fatalf("StoreBytes: %v", err)
+		}
+		if i%3 == 0 {
+			if err := h.Free(p); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+		} else {
+			live = append(live, p)
+		}
+	}
+
+	img, err := h.CaptureImage(false)
+	if err != nil {
+		t.Fatalf("CaptureImage: %v", err)
+	}
+	h2, m2 := restoreFresh(t, img)
+
+	// The integrity sweep — the same one a domain exit runs — must pass
+	// on the restored heap.
+	if err := h2.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity after restore: %v", err)
+	}
+	if got, want := h2.Stats().LiveChunks, h.Stats().LiveChunks; got != want {
+		t.Fatalf("LiveChunks = %d, want %d", got, want)
+	}
+	pkru2 := pku.OnlyKeys(pku.DefaultKey, h2.Key())
+	for i, p := range live {
+		buf := make([]byte, 3)
+		if err := m2.LoadBytes(pkru2, p, buf); err != nil {
+			t.Fatalf("restored read %#x: %v", uint64(p), err)
+		}
+		if buf[1] != buf[0]+1 || buf[2] != buf[0]+2 {
+			t.Fatalf("live chunk %d contents corrupted: %v", i, buf)
+		}
+	}
+	// The restored heap keeps allocating: freed chunks rejoined the free
+	// lists during reindex.
+	if _, err := h2.Alloc(48); err != nil {
+		t.Fatalf("Alloc after restore: %v", err)
+	}
+}
+
+func TestIncrementalCaptureOnlyModifiedPages(t *testing.T) {
+	h, m := newTrackedHeap(t)
+	pkru := pku.OnlyKeys(pku.DefaultKey, h.Key())
+
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	full, err := h.CaptureImage(false)
+	if err != nil {
+		t.Fatalf("full capture: %v", err)
+	}
+	if len(full.Pages) == 0 {
+		t.Fatal("full capture empty")
+	}
+
+	// Nothing changed: the incremental delta is empty.
+	inc, err := h.CaptureImage(true)
+	if err != nil {
+		t.Fatalf("incremental capture: %v", err)
+	}
+	if len(inc.Pages) != 0 {
+		t.Fatalf("idle incremental captured %d pages", len(inc.Pages))
+	}
+
+	// One store dirties exactly one page.
+	if err := m.StoreBytes(pkru, p, []byte("delta")); err != nil {
+		t.Fatalf("StoreBytes: %v", err)
+	}
+	inc, err = h.CaptureImage(true)
+	if err != nil {
+		t.Fatalf("incremental capture: %v", err)
+	}
+	if len(inc.Pages) != 1 {
+		t.Fatalf("incremental captured %d pages, want 1", len(inc.Pages))
+	}
+
+	// Merging full+delta (what the store backend does) restores the
+	// latest contents.
+	merged := &HeapImage{Regions: inc.Regions}
+	byPN := map[uint64][]byte{}
+	for _, pg := range full.Pages {
+		byPN[pg.PN] = pg.Data
+	}
+	for _, pg := range inc.Pages {
+		byPN[pg.PN] = pg.Data
+	}
+	for _, pg := range full.Pages {
+		merged.Pages = append(merged.Pages, PageImage{PN: pg.PN, Data: byPN[pg.PN]})
+	}
+	h2, m2 := restoreFresh(t, merged)
+	if err := h2.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity: %v", err)
+	}
+	buf := make([]byte, 5)
+	if err := m2.LoadBytes(pku.OnlyKeys(pku.DefaultKey, h2.Key()), p, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("delta")) {
+		t.Fatalf("restored contents = %q", buf)
+	}
+}
+
+func TestRestoreGrownHeapRemapsRegions(t *testing.T) {
+	h, _ := newTrackedHeap(t)
+	// Force growth past InitialPages: allocations large enough to need
+	// new regions.
+	var ptrs []mem.Addr
+	for i := 0; i < 12; i++ {
+		p, err := h.Alloc(8192)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(h.regions) < 2 {
+		t.Skipf("heap did not grow (%d regions)", len(h.regions))
+	}
+	img, err := h.CaptureImage(false)
+	if err != nil {
+		t.Fatalf("CaptureImage: %v", err)
+	}
+	h2, _ := restoreFresh(t, img)
+	if err := h2.CheckIntegrity(); err != nil {
+		t.Fatalf("CheckIntegrity: %v", err)
+	}
+	if got, want := len(h2.regions), len(h.regions); got != want {
+		t.Fatalf("restored %d regions, want %d", got, want)
+	}
+	// Every original pointer frees cleanly on the restored heap.
+	for _, p := range ptrs {
+		if err := h2.Free(p); err != nil {
+			t.Fatalf("Free(%#x) after restore: %v", uint64(p), err)
+		}
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	h, _ := newTrackedHeap(t)
+	if _, err := h.Alloc(32); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	img, err := h.CaptureImage(false)
+	if err != nil {
+		t.Fatalf("CaptureImage: %v", err)
+	}
+
+	m2 := mem.New(vclock.New(vclock.DefaultCostModel()))
+	h2, err := New(m2, pku.Key(1), Config{InitialPages: 8, MaxPages: 4096})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := h2.RestoreImage(img); err == nil {
+		t.Fatal("restore across mismatched geometry succeeded")
+	}
+	if err := h2.RestoreImage(&HeapImage{}); err == nil {
+		t.Fatal("restore of empty image succeeded")
+	}
+}

@@ -21,14 +21,54 @@ import (
 //     classification: a dropped *OverloadError turns backpressure into
 //     lost writes. Either handle the error or justify the drop with
 //     "//lint:errclass <justification>".
+//  3. Silently discarding (*os.File).Sync or (*os.File).Close errors.
+//     The durability engine's ack-after-commit contract is only as
+//     strong as its syncs: a dropped Sync error acknowledges writes the
+//     kernel may never have made durable, and Close is the last chance
+//     to see a deferred write-back failure.
 //
-// Discarded errors from standard-library calls are out of scope — that
-// is errcheck's battle, not a soundness invariant of this repo.
+// Other discarded errors from standard-library calls remain out of
+// scope — that is errcheck's battle, not a soundness invariant of this
+// repo. The os.File carve-out exists because the WAL's crash-consistency
+// argument (DESIGN.md §11) cites those two calls by name.
 var ErrClass = &Analyzer{
 	Name: "errclass",
 	Doc: "require errors.Is-style classification of typed errors: no ==/!= " +
-		"between errors, no discarded error results from module functions",
+		"between errors, no discarded error results from module functions " +
+		"or from (*os.File).Sync/Close (the durability boundary)",
 	Run: runErrClass,
+}
+
+// isFileSyncClose reports whether fn is (*os.File).Sync or
+// (*os.File).Close — the two calls the WAL's durability argument rests
+// on, charged even though they live in the standard library.
+func isFileSyncClose(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	if fn.Name() != "Sync" && fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}
+
+// errClassCharged reports whether a discarded error from fn is this
+// analyzer's business: module functions, plus the os.File durability
+// carve-out.
+func (p *Pass) errClassCharged(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return p.InModule(fn.Pkg().Path()) || isFileSyncClose(fn)
 }
 
 func runErrClass(pass *Pass) error {
@@ -70,11 +110,12 @@ func runErrClass(pass *Pass) error {
 	return nil
 }
 
-// checkDiscardedCall flags a statement-position call to a module
-// function whose results include an error.
+// checkDiscardedCall flags a statement-position call whose results
+// include an error this analyzer charges (module functions, or the
+// os.File durability carve-out).
 func (p *Pass) checkDiscardedCall(call *ast.CallExpr, isErrExpr func(ast.Expr) bool) {
 	fn := p.calleeFunc(call)
-	if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+	if !p.errClassCharged(fn) {
 		return
 	}
 	tv, ok := p.TypesInfo.Types[call]
@@ -82,6 +123,13 @@ func (p *Pass) checkDiscardedCall(call *ast.CallExpr, isErrExpr func(ast.Expr) b
 		return
 	}
 	if !tupleHasError(tv.Type) {
+		return
+	}
+	if isFileSyncClose(fn) {
+		p.Reportf(call.Pos(),
+			"(*os.File).%s error silently discarded: an unseen sync/close failure breaks the "+
+				"ack-after-commit durability contract; handle it, or justify with "+
+				"\"//lint:errclass <why the drop is sound>\"", fn.Name())
 		return
 	}
 	p.Reportf(call.Pos(),
@@ -100,7 +148,7 @@ func (p *Pass) checkBlankErrorAssign(assign *ast.AssignStmt, errorIface *types.I
 			return
 		}
 		fn := p.calleeFunc(call)
-		if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+		if !p.errClassCharged(fn) {
 			return
 		}
 		tuple, ok := p.TypesInfo.Types[call].Type.(*types.Tuple)
@@ -138,11 +186,18 @@ func (p *Pass) checkBlankErrorAssign(assign *ast.AssignStmt, errorIface *types.I
 			continue
 		}
 		fn := p.calleeFunc(call)
-		if fn == nil || fn.Pkg() == nil || !p.InModule(fn.Pkg().Path()) {
+		if !p.errClassCharged(fn) {
 			continue
 		}
 		tv, ok := p.TypesInfo.Types[call]
 		if ok && tv.Type != nil && tupleHasError(tv.Type) {
+			if isFileSyncClose(fn) {
+				p.Reportf(lhs.Pos(),
+					"(*os.File).%s error assigned to _: an unseen sync/close failure breaks the "+
+						"ack-after-commit durability contract; handle it, or justify with "+
+						"\"//lint:errclass <why the drop is sound>\"", fn.Name())
+				continue
+			}
 			p.Reportf(lhs.Pos(),
 				"error result of %s.%s assigned to _: classify it, or justify with "+
 					"\"//lint:errclass <why the drop is sound>\"", fn.Pkg().Name(), fn.Name())

@@ -1,0 +1,42 @@
+package a
+
+import (
+	"io"
+	"os"
+)
+
+// SyncDropped drops a WAL-boundary sync in statement position: flagged
+// even though os is stdlib (the durability carve-out).
+func SyncDropped(f *os.File) {
+	f.Sync() // want `\(\*os\.File\)\.Sync error silently discarded`
+}
+
+// CloseDeferredDrop drops the last chance to see a write-back failure.
+func CloseDeferredDrop(f *os.File) {
+	defer f.Close() // want `\(\*os\.File\)\.Close error silently discarded`
+}
+
+// SyncBlanked drops via the blank identifier: flagged.
+func SyncBlanked(f *os.File) {
+	_ = f.Sync() // want `\(\*os\.File\)\.Sync error assigned to _`
+}
+
+// CloseHandled is the sanctioned pattern: the error reaches a caller.
+func CloseHandled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// CloseJustified drops with a reviewable reason on the same line.
+func CloseJustified(f *os.File) {
+	_ = f.Close() //lint:errclass fixture: read-only handle, nothing buffered
+}
+
+// CloserDropped is out of scope: an interface Close resolves to
+// io.Closer, not *os.File, and generic stdlib errors stay errcheck's
+// battle.
+func CloserDropped(c io.Closer) {
+	c.Close()
+}

@@ -1,0 +1,293 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/workload"
+)
+
+// newDurableServer builds a full SDRaD server persisting into dir.
+func newDurableServer(t *testing.T, dir string, snapEvery int, pm *metrics.Persist) *Server {
+	t.Helper()
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := NewCache(sys, 1, 8<<20)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	srv, err := NewServer(sys, cache, ServerConfig{
+		Mode:         ModeSDRaD,
+		Workers:      2,
+		InterArrival: time.Nanosecond,
+		Persist:      &PersistConfig{Dir: dir, Fsync: true, SnapshotEvery: snapEvery, Metrics: pm},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return srv
+}
+
+func setReq(key, val string) workload.Request {
+	return workload.Request{Op: workload.OpSet, Key: key, Value: []byte(val)}
+}
+
+func dumpOrFatal(t *testing.T, c *Cache) map[string][]byte {
+	t.Helper()
+	m, err := c.Dump()
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	return m
+}
+
+func requireSameState(t *testing.T, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("state size mismatch: want %d items, got %d", len(want), len(got))
+	}
+	for k, v := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Fatalf("key %q lost", k)
+		}
+		if !bytes.Equal(v, gv) {
+			t.Fatalf("key %q = %q, want %q", k, gv, v)
+		}
+	}
+}
+
+func TestServerPersistRoundTripWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir, 0, nil)
+	for i := 0; i < 40; i++ {
+		if resp := srv.Handle(i, setReq(fmt.Sprintf("k-%02d", i), fmt.Sprintf("v-%02d", i))); !resp.OK || resp.Err != nil {
+			t.Fatalf("set %d: %+v", i, resp)
+		}
+	}
+	for i := 0; i < 40; i += 4 {
+		if resp := srv.Handle(i, workload.Request{Op: workload.OpDelete, Key: fmt.Sprintf("k-%02d", i)}); !resp.OK || resp.Err != nil {
+			t.Fatalf("delete %d: %+v", i, resp)
+		}
+	}
+	want := dumpOrFatal(t, srv.Cache())
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2 := newDurableServer(t, dir, 0, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	requireSameState(t, want, dumpOrFatal(t, srv2.Cache()))
+	// The recovered server keeps serving: reads hit, writes persist.
+	if resp := srv2.Handle(1, workload.Request{Op: workload.OpGet, Key: "k-01"}); !resp.OK || string(resp.Value) != "v-01" {
+		t.Fatalf("recovered get: %+v", resp)
+	}
+}
+
+func TestServerPersistSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	var pm metrics.Persist
+	srv := newDurableServer(t, dir, 2, &pm)
+	// Drive batches so the every-2-batches cadence fires repeatedly, with
+	// interleaved overwrites and deletes to exercise incremental deltas.
+	for round := 0; round < 6; round++ {
+		batch := make([]BatchRequest, 8)
+		for i := range batch {
+			key := fmt.Sprintf("k-%02d", (round*3+i)%10)
+			batch[i] = BatchRequest{ClientID: i, Req: setReq(key, fmt.Sprintf("r%d-%d", round, i))}
+		}
+		batch[7] = BatchRequest{ClientID: 7, Req: workload.Request{Op: workload.OpDelete, Key: "k-00"}}
+		for i, resp := range srv.HandleBatch(batch) {
+			if resp.Err != nil {
+				t.Fatalf("round %d req %d: %v", round, i, resp.Err)
+			}
+		}
+	}
+	snaps := pm.Snapshot()
+	if snaps.Snapshots < 2 {
+		t.Fatalf("cadence never fired: %+v", snaps)
+	}
+	// One group commit per batch, not per op: 6 batches, 6 appends.
+	if snaps.Appends != 6 {
+		t.Fatalf("appends = %d, want 6 (one per batch)", snaps.Appends)
+	}
+	if snaps.Fsyncs != snaps.Appends {
+		t.Fatalf("fsync-on store: fsyncs %d != appends %d", snaps.Fsyncs, snaps.Appends)
+	}
+	want := dumpOrFatal(t, srv.Cache())
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2 := newDurableServer(t, dir, 2, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	requireSameState(t, want, dumpOrFatal(t, srv2.Cache()))
+}
+
+func TestViolationRewindAbortsWALRecords(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir, 0, nil)
+	batch := []BatchRequest{
+		{ClientID: 0, Req: setReq("good-1", "a")},
+		{ClientID: 0, Req: workload.Request{Op: workload.OpSet, Key: "evil", Value: []byte("x"), Malicious: true}},
+		{ClientID: 0, Req: setReq("good-2", "b")},
+		{ClientID: 1, Req: setReq("good-3", "c")},
+	}
+	out := srv.HandleBatch(batch)
+	if !out[1].Contained {
+		t.Fatalf("malicious request not contained: %+v", out[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !out[i].OK || out[i].Err != nil {
+			t.Fatalf("clean request %d: %+v", i, out[i])
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2 := newDurableServer(t, dir, 0, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got := dumpOrFatal(t, srv2.Cache())
+	if _, ok := got["evil"]; ok {
+		t.Fatal("rewound request's write survived recovery")
+	}
+	for _, k := range []string{"good-1", "good-2", "good-3"} {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("acknowledged key %q lost", k)
+		}
+	}
+	// The commit hook observed the degraded batch.
+	if st := srv.Stats(); st.BatchesDegraded == 0 {
+		t.Fatalf("batch commit hook saw no degraded batch: %+v", st)
+	}
+}
+
+func TestKilledCommitWithdrawsAcks(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir, 0, nil)
+	if resp := srv.Handle(0, setReq("durable", "yes")); !resp.OK {
+		t.Fatalf("set: %+v", resp)
+	}
+	fs, ok := srv.Store().(*persist.FileStore)
+	if !ok {
+		t.Fatalf("store is %T", srv.Store())
+	}
+	fs.KillNextAppend(0.4)
+	batch := []BatchRequest{
+		{ClientID: 0, Req: setReq("lost-1", "a")},
+		{ClientID: 1, Req: setReq("lost-2", "b")},
+		{ClientID: 0, Req: workload.Request{Op: workload.OpGet, Key: "durable"}},
+	}
+	out := srv.HandleBatch(batch)
+	// The commit died: mutation acks are withdrawn, the pure read stands.
+	if out[0].Err == nil || out[0].OK {
+		t.Fatalf("killed commit still acked: %+v", out[0])
+	}
+	if out[1].Err == nil || out[1].OK {
+		t.Fatalf("killed commit still acked: %+v", out[1])
+	}
+	if !out[2].OK || out[2].Err != nil {
+		t.Fatalf("read caught in commit failure: %+v", out[2])
+	}
+
+	srv2 := newDurableServer(t, dir, 0, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got := dumpOrFatal(t, srv2.Cache())
+	if _, ok := got["lost-1"]; ok {
+		t.Fatal("unacknowledged write survived the torn commit")
+	}
+	if v, ok := got["durable"]; !ok || string(v) != "yes" {
+		t.Fatalf("committed write lost: %q %v", v, ok)
+	}
+}
+
+func TestPersistTTLSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir, 0, nil)
+	if resp := srv.Handle(0, workload.Request{Op: workload.OpSet, Key: "ttl", Value: []byte("v"), TTL: time.Hour}); !resp.OK {
+		t.Fatalf("set: %+v", resp)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	srv2 := newDurableServer(t, dir, 0, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	el, ok := srv2.Cache().item["ttl"]
+	if !ok {
+		t.Fatal("ttl key lost")
+	}
+	if el.Value.(*entry).expireAt <= 0 {
+		t.Fatal("absolute expiry lost in recovery")
+	}
+	if resp := srv2.Handle(0, workload.Request{Op: workload.OpGet, Key: "ttl"}); !resp.OK {
+		t.Fatalf("get before expiry: %+v", resp)
+	}
+}
+
+func TestPoolPersistsPerShard(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{
+		Mode: ModeSDRaD, Workers: 2, InterArrival: time.Nanosecond,
+		Persist: &PersistConfig{Dir: dir, Fsync: true},
+	}
+	pool, err := NewPool(core.DefaultConfig(), cfg, 4, 32<<20)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if resp := pool.Handle(i, setReq(workload.Key(i), fmt.Sprintf("val-%d", i))); !resp.OK || resp.Err != nil {
+			t.Fatalf("set %d: %+v", i, resp)
+		}
+	}
+	var want []map[string][]byte
+	for i := 0; i < pool.Workers(); i++ {
+		want = append(want, dumpOrFatal(t, pool.Shard(i).Cache()))
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	pool2, err := NewPool(core.DefaultConfig(), cfg, 4, 32<<20)
+	if err != nil {
+		t.Fatalf("reopen pool: %v", err)
+	}
+	defer func() {
+		if err := pool2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	for i := 0; i < pool2.Workers(); i++ {
+		requireSameState(t, want[i], dumpOrFatal(t, pool2.Shard(i).Cache()))
+	}
+	for i := 0; i < 50; i++ {
+		resp := pool2.Handle(i, workload.Request{Op: workload.OpGet, Key: workload.Key(i)})
+		if !resp.OK || string(resp.Value) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("recovered get %d: %+v", i, resp)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -57,7 +58,16 @@ func NewPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) (*Poo
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
 		}
-		srv, err := NewServer(sys, cache, cfg)
+		// Persistence shards with the keys: each shard owns a private
+		// store directory (its keys never migrate, so its WAL+snapshot
+		// are self-contained and shards recover independently).
+		shardCfg := cfg
+		if cfg.Persist != nil && cfg.Persist.Dir != "" {
+			pc := *cfg.Persist
+			pc.Dir = filepath.Join(cfg.Persist.Dir, fmt.Sprintf("shard-%02d", i))
+			shardCfg.Persist = &pc
+		}
+		srv, err := NewServer(sys, cache, shardCfg)
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
 		}
@@ -65,6 +75,26 @@ func NewPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) (*Poo
 	}
 	return p, nil
 }
+
+// Close flushes and releases every shard's durability backend (no-op
+// for memory-only pools). The first error wins; every shard is still
+// closed.
+func (p *Pool) Close() error {
+	var first error
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.srv.Close()
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("kvstore: pool shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Shard returns shard i's server, for tests that need to reach a
+// specific shard's durability backend.
+func (p *Pool) Shard(i int) *Server { return p.shards[i].srv }
 
 // Workers returns the number of shards.
 func (p *Pool) Workers() int { return len(p.shards) }

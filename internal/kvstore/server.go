@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/persist"
 	"repro/internal/pku"
 	"repro/internal/procmodel"
 	"repro/internal/vclock"
@@ -69,6 +70,9 @@ type ServerConfig struct {
 	// InterArrival is the virtual time between request arrivals, used to
 	// model load during downtime windows (default 100µs ≈ 10k req/s).
 	InterArrival time.Duration
+	// Persist enables durable persistence (nil or an empty Dir keeps
+	// today's memory-only behavior). See PersistConfig.
+	Persist *PersistConfig
 }
 
 func (c *ServerConfig) fill() {
@@ -121,12 +125,25 @@ type Server struct {
 
 	downUntil uint64 // virtual cycle until which the native server is down
 
+	// Durability state (nil store = memory-only; see persist.go).
+	store     persist.Store
+	snapEvery int
+	pending   [][]byte // records staged by apply, flushed per batch
+	replaying bool     // recovery replay in progress: do not re-log
+	sinceSnap int      // committed batches since the last snapshot
+	snapCount int      // snapshots taken (or restored) this process
+
 	// stats
 	requests   uint64
 	violations uint64
 	crashes    uint64
 	dropped    uint64
 	preempted  uint64
+	// Batch-resolution accounting, fed by the root batch commit hook
+	// (Domain.OnBatch).
+	batchesCommitted uint64
+	batchesDegraded  uint64
+	callsReplayed    uint64
 }
 
 // NewServer builds a server over an existing system and cache.
@@ -148,6 +165,7 @@ func NewServer(sys *core.System, cache *Cache, cfg ServerConfig) (*Server, error
 			if err != nil {
 				return nil, fmt.Errorf("kvstore: worker %d: %w", i, err)
 			}
+			d.OnBatch(s.observeBatch)
 			s.workers = append(s.workers, d)
 		}
 	case ModeNative, ModeSandbox:
@@ -159,7 +177,33 @@ func NewServer(sys *core.System, cache *Cache, cfg ServerConfig) (*Server, error
 	default:
 		return nil, fmt.Errorf("kvstore: unknown mode %v", cfg.Mode)
 	}
+	if cfg.Persist != nil && cfg.Persist.Dir != "" {
+		st, err := persist.OpenFile(cfg.Persist.Dir, persist.FileConfig{
+			Fsync:   cfg.Persist.Fsync,
+			Metrics: cfg.Persist.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: open store: %w", err)
+		}
+		if err := s.AttachStore(st, cfg.Persist.SnapshotEvery); err != nil {
+			if cerr := st.Close(); cerr != nil {
+				return nil, fmt.Errorf("%w (and store close failed: %v)", err, cerr)
+			}
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// observeBatch is the Domain.OnBatch hook: it aggregates how worker
+// batches resolved (clean commit vs degraded-to-serial).
+func (s *Server) observeBatch(rep sdrad.BatchReport) {
+	if rep.Committed {
+		s.batchesCommitted++
+	} else {
+		s.batchesDegraded++
+	}
+	s.callsReplayed += uint64(rep.Replayed)
 }
 
 // Mode returns the server's mode.
@@ -190,16 +234,27 @@ type ServerStats struct {
 	// the in-domain run exhausted its deadline-derived virtual-cycle
 	// budget, or the context expired before the domain was entered.
 	Preempted uint64
+	// BatchesCommitted counts worker-domain batches whose optimistic
+	// pass stood (one shared entry, one sweep); BatchesDegraded counts
+	// batches a detection or application error pushed to serial replay;
+	// CallsReplayed is the total serially re-derived calls. Fed by the
+	// Domain.OnBatch commit hook.
+	BatchesCommitted uint64
+	BatchesDegraded  uint64
+	CallsReplayed    uint64
 }
 
 // Stats returns a snapshot of server accounting.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests:   s.requests,
-		Violations: s.violations,
-		Crashes:    s.crashes,
-		Dropped:    s.dropped,
-		Preempted:  s.preempted,
+		Requests:         s.requests,
+		Violations:       s.violations,
+		Crashes:          s.crashes,
+		Dropped:          s.dropped,
+		Preempted:        s.preempted,
+		BatchesCommitted: s.batchesCommitted,
+		BatchesDegraded:  s.batchesDegraded,
+		CallsReplayed:    s.callsReplayed,
 	}
 }
 
@@ -261,6 +316,12 @@ func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.R
 	}
 	if err != nil {
 		resp.Err = err
+	}
+	// Serial requests are batches of one: the group commit degenerates
+	// to one append. Ack-after-commit: a failed commit fails the request.
+	if ferr := s.flushWAL(); ferr != nil {
+		resp.OK = false
+		resp.Err = ferr
 	}
 	resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
 	return resp
@@ -401,15 +462,32 @@ func (s *Server) HandleBatch(batch []BatchRequest) []Response {
 		}
 	}
 
-	// Apply to the protected cache in arrival order.
+	// Apply to the protected cache in arrival order, remembering which
+	// requests staged WAL records.
+	staged := make([]bool, len(batch))
 	for i, r := range batch {
 		d := s.workers[r.ClientID%len(s.workers)]
+		before := len(s.pending)
 		resp, err := s.finishSDRaD(d, r.Req, verrs[i])
 		if err != nil {
 			resp.Err = err
 		}
+		staged[i] = len(s.pending) > before
 		resp.Latency = vclock.CyclesToDuration(clk.Cycles()-start, cost.CPUHz)
 		out[i] = resp
+	}
+	// The group commit: every mutation the batch acknowledged goes out
+	// as ONE append (at most one fsync). Requests the sweep rewound
+	// never staged records — the rewind logically aborted their writes.
+	// On a failed commit the acknowledgement is withdrawn from exactly
+	// the requests whose records were lost.
+	if ferr := s.flushWAL(); ferr != nil {
+		for i := range out {
+			if staged[i] {
+				out[i].OK = false
+				out[i].Err = ferr
+			}
+		}
 	}
 	return out
 }
@@ -504,11 +582,15 @@ func (s *Server) apply(req workload.Request) (Response, error) {
 		if err := s.cache.SetItem(req.Key, req.Value, req.TTL, req.Flags); err != nil {
 			return Response{}, err
 		}
+		s.stageSet(req.Key, req.Flags, req.Value)
 		return Response{OK: true}, nil
 	case workload.OpDelete:
 		found, err := s.cache.Delete(req.Key)
 		if err != nil {
 			return Response{}, err
+		}
+		if found {
+			s.stageDelete(req.Key)
 		}
 		return Response{OK: found}, nil
 	default:

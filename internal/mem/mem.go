@@ -135,7 +135,12 @@ type leaf struct {
 	// dirty marks pages whose contents may differ from all-zero: the bit
 	// is set on every store and cleared when Zero scrubs the page. Fresh
 	// mappings start clean (Map hands out zeroed pages).
-	dirty  [leafWords]uint64
+	dirty [leafWords]uint64
+	// snap marks pages whose contents may have changed since the last
+	// ClearModified — the incremental-snapshot bitmap. Maintained only
+	// while TrackModified is on; unlike dirty it is never cleared by Zero
+	// (a scrub is a modification), only by ClearModified and Unmap.
+	snap   [leafWords]uint64
 	mapped int // non-nil entries; the leaf is freed when it reaches 0
 }
 
@@ -174,6 +179,9 @@ type Memory struct {
 	next       uint64
 	mapped     int
 	dirtyPages int
+	// trackMod enables the modified-since-snapshot bitmaps (snapshot.go).
+	// Off by default so the memory-only hot path is unchanged.
+	trackMod bool
 
 	stats Stats
 }
@@ -254,13 +262,21 @@ func (m *Memory) flushTLB() {
 }
 
 // markDirty records that page pn (held by lf) may now hold nonzero
-// bytes.
+// bytes, and — when modified-page tracking is on — that it changed
+// since the last snapshot baseline. The snap bit must be set even when
+// the dirty bit already was: a page written before a snapshot and again
+// after it is dirty throughout, but only the second write makes it part
+// of the next incremental capture.
 func (m *Memory) markDirty(lf *leaf, pn uint64) {
-	w := &lf.dirty[(pn&leafMask)>>6]
-	bit := uint64(1) << (pn & 63)
+	idx := pn & leafMask
+	bit := uint64(1) << (idx & 63)
+	w := &lf.dirty[idx>>6]
 	if *w&bit == 0 {
 		*w |= bit
 		m.dirtyPages++
+	}
+	if m.trackMod {
+		lf.snap[idx>>6] |= bit
 	}
 }
 
@@ -307,11 +323,13 @@ func (m *Memory) Unmap(base Addr, npages int) error {
 		lf := m.leaves[li]
 		idx := p & leafMask
 		lf.pages[idx] = nil
+		bit := uint64(1) << (idx & 63)
 		w := &lf.dirty[idx>>6]
-		if bit := uint64(1) << (idx & 63); *w&bit != 0 {
+		if *w&bit != 0 {
 			*w &^= bit
 			m.dirtyPages--
 		}
+		lf.snap[idx>>6] &^= bit
 		lf.mapped--
 		if lf.mapped == 0 {
 			m.leaves[li] = nil
@@ -389,6 +407,14 @@ func (m *Memory) Zero(base Addr, npages int) error {
 			clear(lf.pages[idx].data)
 			*w &^= bit
 			m.dirtyPages--
+			if m.trackMod {
+				// The scrub changed the page relative to the snapshot
+				// baseline (it held nonzero bytes a moment ago), so the
+				// next incremental capture must re-serialize it. Pages
+				// the fast path above skips are already all-zero and are
+				// not modified by Zero.
+				lf.snap[idx>>6] |= bit
+			}
 		}
 		i++
 	}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Persist aggregates durability-engine counters: WAL group commits,
+// fsyncs, snapshot commits, and recovery outcomes. One Persist can be
+// shared across shards (the pool hands every shard store the same
+// instance), so all methods are safe for concurrent use. The zero value
+// is ready to use.
+type Persist struct {
+	mu sync.Mutex
+	s  PersistSnapshot
+}
+
+// PersistSnapshot is a point-in-time copy of the durability counters.
+type PersistSnapshot struct {
+	// Appends counts committed WAL group commits (one per batch, never
+	// per op); AppendedBytes is their total framed size.
+	Appends       uint64
+	AppendedBytes uint64
+	// Fsyncs counts file syncs on the WAL path. With fsync enabled this
+	// tracks Appends one-to-one — the group-commit amortization claim.
+	Fsyncs uint64
+	// Snapshots counts committed snapshots; SnapshotPages the page
+	// images they serialized (incremental, so far fewer than pages
+	// mapped).
+	Snapshots     uint64
+	SnapshotPages uint64
+	// Recoveries counts store opens that found prior state;
+	// RecoveredBatches the committed WAL batches they replayed;
+	// TornTailBytes the bytes discarded by torn-tail truncation.
+	Recoveries       uint64
+	RecoveredBatches uint64
+	TornTailBytes    uint64
+}
+
+// ObserveAppend records one committed WAL group commit of n framed
+// bytes, plus whether it was fsynced.
+func (p *Persist) ObserveAppend(n int, fsynced bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.Appends++
+	p.s.AppendedBytes += uint64(n)
+	if fsynced {
+		p.s.Fsyncs++
+	}
+}
+
+// ObserveSnapshot records one committed snapshot of pages page images.
+func (p *Persist) ObserveSnapshot(pages int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.Snapshots++
+	p.s.SnapshotPages += uint64(pages)
+}
+
+// ObserveRecovery records one recovery: the committed WAL batches
+// replayed and the torn-tail bytes truncated.
+func (p *Persist) ObserveRecovery(batches int, tornBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.s.Recoveries++
+	p.s.RecoveredBatches += uint64(batches)
+	p.s.TornTailBytes += uint64(tornBytes)
+}
+
+// Snapshot returns a copy of the counters.
+func (p *Persist) Snapshot() PersistSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.s
+}
+
+// String renders the counters as a compact single-line summary.
+func (p *Persist) String() string {
+	s := p.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "appends=%d bytes=%d fsyncs=%d snapshots=%d pages=%d",
+		s.Appends, s.AppendedBytes, s.Fsyncs, s.Snapshots, s.SnapshotPages)
+	fmt.Fprintf(&sb, " recoveries=%d replayed=%d torn=%d",
+		s.Recoveries, s.RecoveredBatches, s.TornTailBytes)
+	return sb.String()
+}

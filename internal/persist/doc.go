@@ -1,0 +1,31 @@
+// Package persist is the durability engine: a write-ahead log with
+// batch-granular group commit, incremental page snapshots, and
+// crash-consistent recovery.
+//
+// The design follows the SDRaD execution model. Mutations are only
+// logged after a batch passes the domain integrity sweep and commits,
+// so the log records exactly the acknowledged history: a rewind on a
+// detected violation aborts the batch before any of its records reach
+// the WAL. Group commit aligns with DoBatch boundaries — one framed
+// append and at most one fsync per committed batch, never per
+// operation — which is what makes fsync-on durability affordable at
+// batch sizes above 1.
+//
+// On disk, the WAL is a sequence of length+CRC32-framed batch records
+// (see wal.go for the exact layout). Recovery scans frames from the
+// front and truncates the log at the first bad frame: a torn final
+// frame is an append cut short by a crash, and because each batch is
+// one frame, the committed prefix is always whole batches.
+//
+// Snapshots supersede the log. A checkpoint carries an opaque metadata
+// blob plus the page images modified since the previous checkpoint
+// (the backend keeps the cumulative set), and commits atomically:
+// write to a temp file, fsync, rename into place, fsync the directory,
+// then truncate the WAL. A crash between the rename and the truncate
+// is benign — replaying the full WAL over the new snapshot is
+// idempotent, since records are whole-value puts and deletes.
+//
+// Store is the pluggable backend interface; FileStore is the file
+// implementation. Callers speak records and snapshots, never files, so
+// a SQL-style backend can slot in behind the same interface.
+package persist

@@ -1,0 +1,207 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func page(fill byte) []byte { return bytes.Repeat([]byte{fill}, 4096) }
+
+func TestFileStoreAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	var pm metrics.Persist
+	st, err := OpenFile(dir, FileConfig{Fsync: true, Metrics: &pm})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Append([][]byte{[]byte("r1"), []byte("r2")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Append([][]byte{[]byte("r3")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if s := pm.Snapshot(); s.Appends != 2 || s.Fsyncs != 2 {
+		t.Fatalf("metrics = %+v, want 2 appends 2 fsyncs", s)
+	}
+
+	st2, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	snap, records, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if snap != nil {
+		t.Fatalf("unexpected snapshot")
+	}
+	want := []string{"r1", "r2", "r3"}
+	if len(records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(records), len(want))
+	}
+	for i, w := range want {
+		if string(records[i]) != w {
+			t.Errorf("record %d = %q, want %q", i, records[i], w)
+		}
+	}
+	if info := st2.Info(); info.Batches != 2 || info.TornBytes != 0 || info.HadSnapshot {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestFileStoreKillTearsTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(dir, FileConfig{Fsync: true})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Append([][]byte{[]byte("committed")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	st.KillNextAppend(0.6)
+	if err := st.Append([][]byte{[]byte("torn-away")}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed append err = %v, want ErrKilled", err)
+	}
+	// Dead store rejects everything.
+	if err := st.Append([][]byte{[]byte("after")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-kill append err = %v, want ErrClosed", err)
+	}
+	if _, _, err := st.Recover(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-kill recover err = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var pm metrics.Persist
+	st2, err := OpenFile(dir, FileConfig{Metrics: &pm})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, records, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(records) != 1 || string(records[0]) != "committed" {
+		t.Fatalf("records = %q, want [committed]", records)
+	}
+	info := st2.Info()
+	if info.TornBytes == 0 {
+		t.Fatalf("expected torn tail, info = %+v", info)
+	}
+	if s := pm.Snapshot(); s.Recoveries != 1 || s.TornTailBytes != uint64(info.TornBytes) {
+		t.Fatalf("metrics = %+v vs info %+v", s, info)
+	}
+	// The truncation repaired the file: appends continue cleanly.
+	if err := st2.Append([][]byte{[]byte("next")}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+func TestFileStoreSnapshotSupersedesLog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(dir, FileConfig{Fsync: true})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Append([][]byte{[]byte("pre-snap")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Snapshot([]byte("meta-1"), []SnapshotPage{{PN: 0x10, Data: page(1)}, {PN: 0x11, Data: page(2)}}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if n := st.WALBytes(); n != 0 {
+		t.Fatalf("WAL not truncated after snapshot: %d bytes", n)
+	}
+	if err := st.Append([][]byte{[]byte("post-snap")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Incremental: only 0x11 changed; the backend must keep 0x10.
+	if err := st.Snapshot([]byte("meta-2"), []SnapshotPage{{PN: 0x11, Data: page(3)}}); err != nil {
+		t.Fatalf("Snapshot 2: %v", err)
+	}
+	if err := st.Append([][]byte{[]byte("tail")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	snap, records, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot recovered")
+	}
+	if string(snap.Meta) != "meta-2" {
+		t.Fatalf("meta = %q, want meta-2", snap.Meta)
+	}
+	if len(snap.Pages) != 2 {
+		t.Fatalf("got %d pages, want 2 (cumulative)", len(snap.Pages))
+	}
+	if snap.Pages[0].PN != 0x10 || !bytes.Equal(snap.Pages[0].Data, page(1)) {
+		t.Fatalf("page 0x10 wrong")
+	}
+	if snap.Pages[1].PN != 0x11 || !bytes.Equal(snap.Pages[1].Data, page(3)) {
+		t.Fatalf("page 0x11 not the newer image")
+	}
+	if len(records) != 1 || string(records[0]) != "tail" {
+		t.Fatalf("records = %q, want [tail] (snapshot superseded the rest)", records)
+	}
+}
+
+func TestFileStoreCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Snapshot([]byte("m"), []SnapshotPage{{PN: 1, Data: page(9)}}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, snapshotName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Unlike a torn WAL tail, a bad snapshot frame is real corruption —
+	// the rename committed it atomically — so open refuses.
+	if _, err := OpenFile(dir, FileConfig{}); err == nil {
+		t.Fatal("open succeeded on corrupt snapshot")
+	}
+}

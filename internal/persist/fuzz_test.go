@@ -1,0 +1,63 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzWALDecode throws arbitrary bytes at the full decode pipeline —
+// frame scan, per-frame decode, batch decode — and asserts the decoder
+// contract: typed errors, no panics, no over-reads, and truncate-at-
+// first-bad-frame consistency. The checked-in corpus under
+// testdata/fuzz/FuzzWALDecode covers the crash shapes recovery must
+// survive: truncated tails, flipped CRC bytes, oversized length
+// fields, and malformed batch payloads behind valid CRCs.
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, EncodeBatch(nil)))
+	f.Add(AppendFrame(nil, EncodeBatch([][]byte{[]byte("Skey\x00value")})))
+	two := AppendFrame(nil, EncodeBatch([][]byte{[]byte("a")}))
+	two = AppendFrame(two, EncodeBatch([][]byte{[]byte("b"), []byte("c")}))
+	f.Add(two)
+	f.Add(two[:len(two)-3])                           // torn tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length
+	flipped := append([]byte(nil), two...)
+	flipped[5] ^= 0x40 // corrupt CRC header
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, valid, err := ScanFrames(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid offset %d outside [0,%d]", valid, len(data))
+		}
+		if err == nil && valid != len(data) {
+			t.Fatalf("nil error but valid=%d of %d", valid, len(data))
+		}
+		if err != nil {
+			if !errors.Is(err, ErrTornFrame) && !errors.Is(err, ErrBadCRC) && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("untyped scan error: %v", err)
+			}
+			// The rest must decode as frames up to exactly the reported
+			// offset: re-scanning the committed prefix is clean.
+			re, revalid, rerr := ScanFrames(data[:valid])
+			if rerr != nil || revalid != valid || len(re) != len(payloads) {
+				t.Fatalf("committed prefix rescan: %d/%d frames, %v", len(re), len(payloads), rerr)
+			}
+		}
+		for _, payload := range payloads {
+			records, berr := DecodeBatch(payload)
+			if berr != nil {
+				if !errors.Is(berr, ErrBadBatch) {
+					t.Fatalf("untyped batch error: %v", berr)
+				}
+				continue
+			}
+			// Round-trip: re-encoding the decoded records must reproduce
+			// the payload byte for byte.
+			if !bytes.Equal(EncodeBatch(records), payload) {
+				t.Fatalf("batch round-trip mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL frame format. Each committed batch is exactly one frame:
+//
+//	[length u32 LE][crc32 u32 LE][payload length bytes]
+//
+// length counts payload bytes only; crc32 is IEEE over the payload.
+// One frame per batch makes batch atomicity structural: a crash during
+// the group commit leaves a torn final frame (short, or with a CRC that
+// cannot match its partially written payload), which recovery truncates
+// wholesale — committed WAL records are therefore always whole batches.
+//
+// The frame payload is a batch: [count u32 LE] then count records,
+// each [length u32 LE][bytes]. Records are opaque to this package; the
+// kvstore layer encodes its mutations into them.
+
+const (
+	// FrameHeaderSize is the fixed per-frame overhead in bytes.
+	FrameHeaderSize = 8
+	// MaxFrameSize bounds one frame's payload, so a corrupt length field
+	// can never drive an over-read or an absurd allocation. 64 MiB holds
+	// any realistic batch (kvstore values cap at 1 MiB).
+	MaxFrameSize = 64 << 20
+)
+
+// Typed decode errors. The decoder returns these (wrapped with
+// context); it never panics and never reads past the input.
+var (
+	// ErrTornFrame marks a frame cut short — a header or payload
+	// truncated by a crash mid-append. Recovery truncates the log here.
+	ErrTornFrame = errors.New("persist: torn frame")
+	// ErrBadCRC marks a complete frame whose payload fails its checksum.
+	ErrBadCRC = errors.New("persist: frame CRC mismatch")
+	// ErrFrameTooLarge marks a length field above MaxFrameSize.
+	ErrFrameTooLarge = errors.New("persist: frame length exceeds limit")
+	// ErrBadBatch marks a frame payload that does not parse as a record
+	// batch.
+	ErrBadBatch = errors.New("persist: malformed record batch")
+)
+
+// AppendFrame appends one framed payload to dst and returns the
+// extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame of b, returning its payload
+// (aliasing b) and the remaining bytes. Errors are typed: ErrTornFrame
+// for truncation, ErrFrameTooLarge for an oversized length field,
+// ErrBadCRC for checksum failure.
+func DecodeFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < FrameHeaderSize {
+		return nil, nil, fmt.Errorf("%w: %d header bytes", ErrTornFrame, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b[0:])
+	if n > MaxFrameSize {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint64(len(b)-FrameHeaderSize) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: %d of %d payload bytes", ErrTornFrame, len(b)-FrameHeaderSize, n)
+	}
+	payload = b[FrameHeaderSize : FrameHeaderSize+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, nil, fmt.Errorf("%w: got %#x want %#x", ErrBadCRC, got, want)
+	}
+	return payload, b[FrameHeaderSize+int(n):], nil
+}
+
+// ScanFrames decodes consecutive frames from the front of b, stopping
+// at the first bad one. It returns the valid payloads, the byte offset
+// of the first bad frame (== len(b) when every byte parsed), and the
+// error that stopped the scan (nil when every byte parsed). Recovery
+// truncates the log at valid — the torn-tail rule: everything before
+// the first bad frame is committed, everything after it is discarded.
+func ScanFrames(b []byte) (payloads [][]byte, valid int, err error) {
+	rest := b
+	for len(rest) > 0 {
+		payload, next, derr := DecodeFrame(rest)
+		if derr != nil {
+			return payloads, len(b) - len(rest), derr
+		}
+		payloads = append(payloads, payload)
+		rest = next
+	}
+	return payloads, len(b), nil
+}
+
+// EncodeBatch encodes records as one frame payload.
+func EncodeBatch(records [][]byte) []byte {
+	size := 4
+	for _, r := range records {
+		size += 4 + len(r)
+	}
+	out := make([]byte, 0, size)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(records)))
+	out = append(out, n[:]...)
+	for _, r := range records {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(r)))
+		out = append(out, n[:]...)
+		out = append(out, r...)
+	}
+	return out
+}
+
+// DecodeBatch decodes a frame payload back into its records (aliasing
+// payload). A payload that does not parse exactly is ErrBadBatch: the
+// CRC already vouched for the bytes, so a malformed batch means a
+// writer bug or version skew, not a torn write.
+func DecodeBatch(payload []byte) ([][]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadBatch, len(payload))
+	}
+	count := binary.LittleEndian.Uint32(payload[0:])
+	rest := payload[4:]
+	// Each record costs at least its 4-byte length prefix, so an honest
+	// count is bounded by the remaining bytes — reject before allocating.
+	if uint64(count)*4 > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrBadBatch, count)
+	}
+	records := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: record %d header truncated", ErrBadBatch, i)
+		}
+		n := binary.LittleEndian.Uint32(rest[0:])
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(n) {
+			return nil, fmt.Errorf("%w: record %d is %d of %d bytes", ErrBadBatch, i, len(rest), n)
+		}
+		records = append(records, rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(rest))
+	}
+	return records, nil
+}

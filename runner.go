@@ -274,7 +274,10 @@ func (d *Domain) DoBatchItems(items []BatchItem) []error {
 		discard: d.Discard,
 		serial:  func(c *batchCall) error { return d.doSettings(c.ctx, c.set, c.fn) },
 	}
-	b.run(calls)
+	rep := b.run(calls)
+	if d.onBatch != nil {
+		d.onBatch(BatchReport{Size: len(calls), Committed: rep.Committed, Replayed: rep.Replayed})
+	}
 	errs := make([]error, len(calls))
 	for i, c := range calls {
 		errs[i] = c.err

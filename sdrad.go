@@ -170,10 +170,19 @@ type DomainStats struct {
 type Domain struct {
 	sup *Supervisor
 	udi core.UDI
+	// onBatch, when set, observes every DoBatch/DoBatchItems resolution
+	// on this handle — the batch commit hook (see BatchReport).
+	onBatch func(BatchReport)
 }
 
 // UDI returns the domain's index (its handle in the C API).
 func (d *Domain) UDI() int { return int(d.udi) }
+
+// OnBatch registers fn to observe every batch resolution on this domain
+// handle. The report fires after the batch's errors are final, on the
+// submitting goroutine. Durability layers use it to align group commits
+// with batch boundaries; pass nil to remove the observer.
+func (d *Domain) OnBatch(fn func(BatchReport)) { d.onBatch = fn }
 
 // Run executes fn inside the domain.
 //
