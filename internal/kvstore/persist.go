@@ -368,6 +368,15 @@ func (s *Server) stageDelete(key string) {
 // flushWAL group-commits the staged records: one Append (one frame, at
 // most one fsync) for everything the resolved batch acknowledged. On
 // the configured cadence it then takes an incremental snapshot.
+//
+// The two failure modes are deliberately asymmetric. A failed Append
+// means the batch's records are NOT durable while its mutations are
+// already in the cache: the caller withdraws the acks and the shard
+// fail-stops (persistErr) so the divergent in-memory state can never
+// reach a reader or a snapshot. A failed snapshot is the opposite —
+// the records ARE durably committed, so the acks must stand; the shard
+// degrades to log-only operation (snapErr) and retries on the next
+// cadence point (the Store contract retains the delta).
 func (s *Server) flushWAL() error {
 	if s.store == nil || len(s.pending) == 0 {
 		return nil
@@ -375,22 +384,39 @@ func (s *Server) flushWAL() error {
 	recs := s.pending
 	s.pending = nil
 	if err := s.store.Append(recs); err != nil {
-		return fmt.Errorf("kvstore: wal commit: %w", err)
+		err = fmt.Errorf("kvstore: wal commit: %w", err)
+		s.persistErr = err
+		return err
 	}
 	s.sinceSnap++
 	if s.snapEvery > 0 && s.sinceSnap >= s.snapEvery {
 		if err := s.snapshotNow(); err != nil {
-			return err
+			// Degraded, never nacked: everything acknowledged is in the
+			// WAL, which recovery replays whether or not a newer snapshot
+			// exists. The WAL just keeps growing until a snapshot lands.
+			s.snapErr = err
 		}
 	}
 	return nil
 }
 
+// failStopResponse is the response every request receives after the
+// shard fail-stopped (see flushWAL and ErrShardFailed).
+func (s *Server) failStopResponse() Response {
+	return Response{Err: fmt.Errorf("%w: %w", ErrShardFailed, s.persistErr)}
+}
+
+// SnapshotErr returns the last snapshot failure, nil once a later
+// snapshot commits — the observable "degraded log-only" condition.
+func (s *Server) SnapshotErr() error { return s.snapErr }
+
 // snapshotNow checkpoints the storage heap: the first snapshot of a
 // process captures every nonzero page, later ones only the pages
 // modified since the previous capture. The capture resets the
-// modified-page baseline, so a failed backend commit surfaces as an
-// error (the delta would otherwise be lost silently).
+// modified-page baseline even when the backend commit then fails; that
+// is safe because the Store contract requires a failed Snapshot to
+// retain the handed-in delta, so the retry on the next cadence point
+// (sinceSnap is not reset on failure) commits the union.
 func (s *Server) snapshotNow() error {
 	heap := s.cache.dom.Heap()
 	img, err := heap.CaptureImage(s.snapCount > 0)
@@ -406,6 +432,7 @@ func (s *Server) snapshotNow() error {
 	}
 	s.snapCount++
 	s.sinceSnap = 0
+	s.snapErr = nil
 	return nil
 }
 

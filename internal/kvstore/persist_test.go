@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -220,6 +221,151 @@ func TestKilledCommitWithdrawsAcks(t *testing.T) {
 	if v, ok := got["durable"]; !ok || string(v) != "yes" {
 		t.Fatalf("committed write lost: %q %v", v, ok)
 	}
+}
+
+func TestFailedCommitFailStopsShard(t *testing.T) {
+	dir := t.TempDir()
+	srv := newDurableServer(t, dir, 1, nil) // snapshot every batch: maximal pressure
+	if resp := srv.Handle(0, setReq("durable", "yes")); !resp.OK {
+		t.Fatalf("set: %+v", resp)
+	}
+	fs, ok := srv.Store().(*persist.FileStore)
+	if !ok {
+		t.Fatalf("store is %T", srv.Store())
+	}
+	fs.KillNextAppend(0.4)
+	if resp := srv.Handle(0, setReq("nacked", "x")); resp.OK || resp.Err == nil {
+		t.Fatalf("killed commit still acked: %+v", resp)
+	}
+	// The shard fail-stopped: the nacked mutation is still in the
+	// in-memory cache, so every later request — including the reads that
+	// would observe it and the batches whose snapshot cadence would make
+	// it durable — is refused.
+	if resp := srv.Handle(0, setReq("after", "x")); !errors.Is(resp.Err, ErrShardFailed) {
+		t.Fatalf("post-failure set err = %v, want ErrShardFailed", resp.Err)
+	}
+	if resp := srv.Handle(0, workload.Request{Op: workload.OpGet, Key: "nacked"}); !errors.Is(resp.Err, ErrShardFailed) {
+		t.Fatalf("post-failure get err = %v, want ErrShardFailed", resp.Err)
+	}
+	out := srv.HandleBatch([]BatchRequest{
+		{ClientID: 0, Req: setReq("b-1", "x")},
+		{ClientID: 1, Req: setReq("b-2", "y")},
+	})
+	for i, resp := range out {
+		if !errors.Is(resp.Err, ErrShardFailed) {
+			t.Fatalf("post-failure batch req %d err = %v, want ErrShardFailed", i, resp.Err)
+		}
+	}
+	if st := srv.Stats(); st.Dropped < 4 {
+		t.Fatalf("refused requests not accounted as dropped: %+v", st)
+	}
+
+	// Recovery yields exactly the acknowledged prefix: nothing the
+	// fail-stopped shard refused (or nacked) became durable.
+	srv2 := newDurableServer(t, dir, 1, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	got := dumpOrFatal(t, srv2.Cache())
+	for _, k := range []string{"nacked", "after", "b-1", "b-2"} {
+		if _, ok := got[k]; ok {
+			t.Fatalf("unacknowledged key %q survived the fail-stop", k)
+		}
+	}
+	if v, ok := got["durable"]; !ok || string(v) != "yes" {
+		t.Fatalf("committed write lost: %q %v", v, ok)
+	}
+}
+
+// errInjectedSnap is the failure flakySnapStore injects.
+var errInjectedSnap = errors.New("injected snapshot failure")
+
+// flakySnapStore wraps a Store and fails its first N Snapshot calls,
+// honoring the Store contract by retaining the rejected deltas for the
+// eventual successful commit.
+type flakySnapStore struct {
+	persist.Store
+	failures int
+	held     []persist.SnapshotPage
+	commits  int
+}
+
+func (f *flakySnapStore) Snapshot(meta []byte, delta []persist.SnapshotPage) error {
+	if f.failures > 0 {
+		f.failures--
+		f.held = append(f.held, delta...)
+		return errInjectedSnap
+	}
+	delta = append(f.held, delta...)
+	f.held = nil
+	f.commits++
+	return f.Store.Snapshot(meta, delta)
+}
+
+func TestSnapshotFailureDegradesWithoutNacking(t *testing.T) {
+	dir := t.TempDir()
+	sys := core.NewSystem(core.DefaultConfig())
+	cache, err := NewCache(sys, 1, 8<<20)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	srv, err := NewServer(sys, cache, ServerConfig{
+		Mode: ModeSDRaD, Workers: 2, InterArrival: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	fs, err := persist.OpenFile(dir, persist.FileConfig{Fsync: true})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	flaky := &flakySnapStore{Store: fs, failures: 2}
+	if err := srv.AttachStore(flaky, 2); err != nil {
+		t.Fatalf("AttachStore: %v", err)
+	}
+
+	// Drive batches across the failing cadence points. Every mutation's
+	// WAL record commits before the snapshot attempt, so every ack must
+	// stand — a snapshot failure is degradation, not data loss.
+	degraded := false
+	for round := 0; round < 8; round++ {
+		batch := make([]BatchRequest, 4)
+		for i := range batch {
+			batch[i] = BatchRequest{ClientID: i, Req: setReq(fmt.Sprintf("k-%d-%d", round, i), fmt.Sprintf("v-%d", round))}
+		}
+		for i, resp := range srv.HandleBatch(batch) {
+			if !resp.OK || resp.Err != nil {
+				t.Fatalf("round %d req %d nacked by snapshot failure: %+v", round, i, resp)
+			}
+		}
+		if srv.SnapshotErr() != nil {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("injected snapshot failures never surfaced via SnapshotErr")
+	}
+	// The cadence retried past the injected failures and committed.
+	if flaky.commits == 0 {
+		t.Fatal("snapshot never recovered from the injected failures")
+	}
+	if srv.SnapshotErr() != nil {
+		t.Fatalf("SnapshotErr still set after a successful snapshot: %v", srv.SnapshotErr())
+	}
+
+	want := dumpOrFatal(t, srv.Cache())
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	srv2 := newDurableServer(t, dir, 2, nil)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	requireSameState(t, want, dumpOrFatal(t, srv2.Cache()))
 }
 
 func TestPersistTTLSurvivesRecovery(t *testing.T) {

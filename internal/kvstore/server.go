@@ -55,6 +55,14 @@ func (m Mode) String() string {
 // restarting.
 var ErrUnavailable = errors.New("kvstore: service unavailable (restarting)")
 
+// ErrShardFailed is the client-visible failure after a durable shard's
+// group commit failed. The failed batch's mutations were nacked but had
+// already reached the in-memory cache, so the shard fail-stops: serving
+// on (and in particular snapshotting) would leak unacknowledged writes
+// into reads and into durable state. Recovery from disk yields exactly
+// the acknowledged prefix.
+var ErrShardFailed = errors.New("kvstore: durability failed; shard stopped serving")
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Mode selects native vs SDRaD operation.
@@ -126,12 +134,14 @@ type Server struct {
 	downUntil uint64 // virtual cycle until which the native server is down
 
 	// Durability state (nil store = memory-only; see persist.go).
-	store     persist.Store
-	snapEvery int
-	pending   [][]byte // records staged by apply, flushed per batch
-	replaying bool     // recovery replay in progress: do not re-log
-	sinceSnap int      // committed batches since the last snapshot
-	snapCount int      // snapshots taken (or restored) this process
+	store      persist.Store
+	snapEvery  int
+	pending    [][]byte // records staged by apply, flushed per batch
+	replaying  bool     // recovery replay in progress: do not re-log
+	sinceSnap  int      // committed batches since the last snapshot
+	snapCount  int      // snapshots taken (or restored) this process
+	persistErr error    // fatal group-commit failure: the shard fail-stopped
+	snapErr    error    // last snapshot failure (degraded log-only operation)
 
 	// stats
 	requests   uint64
@@ -228,7 +238,8 @@ type ServerStats struct {
 	Violations uint64
 	// Crashes is the number of full-process crashes (native).
 	Crashes uint64
-	// Dropped is the number of requests rejected during restart downtime.
+	// Dropped is the number of requests rejected during restart downtime
+	// or refused by a fail-stopped durable shard (ErrShardFailed).
 	Dropped uint64
 	// Preempted is the number of requests cancelled by their context:
 	// the in-domain run exhausted its deadline-derived virtual-cycle
@@ -288,6 +299,11 @@ func (s *Server) Handle(clientID int, req workload.Request) Response {
 // bounds the in-domain run with a virtual-cycle budget: a request that
 // exhausts it is rewound and answered with a *core.BudgetError.
 func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.Request) Response {
+	if s.persistErr != nil {
+		s.requests++
+		s.dropped++
+		return s.failStopResponse()
+	}
 	s.requests++
 	clk := s.sys.Clock()
 	cost := clk.Model()
@@ -318,7 +334,8 @@ func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.R
 		resp.Err = err
 	}
 	// Serial requests are batches of one: the group commit degenerates
-	// to one append. Ack-after-commit: a failed commit fails the request.
+	// to one append. Ack-after-commit: a failed commit fails the request
+	// and fail-stops the shard (see flushWAL).
 	if ferr := s.flushWAL(); ferr != nil {
 		resp.OK = false
 		resp.Err = ferr
@@ -426,6 +443,14 @@ func (s *Server) HandleBatch(batch []BatchRequest) []Response {
 	if len(batch) == 0 {
 		return out
 	}
+	if s.persistErr != nil {
+		s.requests += uint64(len(batch))
+		s.dropped += uint64(len(batch))
+		for i := range out {
+			out[i] = s.failStopResponse()
+		}
+		return out
+	}
 	if s.cfg.Mode != ModeSDRaD || len(batch) == 1 {
 		for i, r := range batch {
 			out[i] = s.HandleContext(batchCtx(r.Ctx), r.ClientID, r.Req)
@@ -480,7 +505,10 @@ func (s *Server) HandleBatch(batch []BatchRequest) []Response {
 	// as ONE append (at most one fsync). Requests the sweep rewound
 	// never staged records — the rewind logically aborted their writes.
 	// On a failed commit the acknowledgement is withdrawn from exactly
-	// the requests whose records were lost.
+	// the requests whose records were lost, and the shard fail-stops
+	// (flushWAL set persistErr): the nacked mutations are still in the
+	// in-memory cache, so serving on would expose them to reads and a
+	// later snapshot would make them durable.
 	if ferr := s.flushWAL(); ferr != nil {
 		for i := range out {
 			if staged[i] {

@@ -113,6 +113,15 @@ func (s *FileStore) loadSnapshot() error {
 	if err != nil {
 		return fmt.Errorf("persist: snapshot: %w", err)
 	}
+	// Deep-copy out of the read buffer. decodeSnapshotPayload aliases
+	// raw, and the store must never hand out (or keep) bytes backed by
+	// it: a later Snapshot rebuilds s.meta while s.recovered is still
+	// live, and sharing the file buffer would let one overwrite the
+	// other's pages.
+	meta = append([]byte(nil), meta...)
+	for i := range pages {
+		pages[i].Data = append([]byte(nil), pages[i].Data...)
+	}
 	s.meta = meta
 	for _, p := range pages {
 		s.pages[p.PN] = p.Data
@@ -211,14 +220,25 @@ func (s *FileStore) KillNextAppend(frac float64) {
 }
 
 // Append implements Store: one framed write and at most one fsync for
-// the whole batch.
+// the whole batch. An oversized batch is rejected before any byte
+// reaches the file (the store stays usable); a failed write or sync
+// kills the store — the commit offset may now hold a torn partial
+// frame, and committing anything after it would let recovery's
+// first-bad-frame rule truncate those later, acknowledged batches.
 func (s *FileStore) Append(records [][]byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
 		return ErrClosed
 	}
-	frame := AppendFrame(nil, EncodeBatch(records))
+	payload := EncodeBatch(records)
+	if len(payload) > MaxFrameSize {
+		// Enforced at append time, not just decode time: a frame the
+		// decoder would refuse must never be written, or recovery would
+		// discard it — and everything after it — as a torn tail.
+		return fmt.Errorf("persist: append: %w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	frame := AppendFrame(nil, payload)
 	if s.killFrac >= 0 {
 		n := int(s.killFrac * float64(len(frame)))
 		if n >= len(frame) {
@@ -239,10 +259,12 @@ func (s *FileStore) Append(records [][]byte) error {
 		return ErrKilled
 	}
 	if _, err := s.wal.Write(frame); err != nil {
+		s.dead = true
 		return fmt.Errorf("persist: append: %w", err)
 	}
 	if s.cfg.Fsync {
 		if err := s.wal.Sync(); err != nil {
+			s.dead = true
 			return fmt.Errorf("persist: append sync: %w", err)
 		}
 	}
@@ -258,13 +280,19 @@ func (s *FileStore) Append(records [][]byte) error {
 // fsync dir), then truncate the WAL it supersedes. A crash between the
 // rename and the truncate is safe: replaying the full WAL over the new
 // snapshot is idempotent (records are whole-value puts and deletes).
+// The merge happens before any file I/O, so a failed commit retains
+// the delta in the cumulative set — the store stays usable in
+// log-only mode and the next Snapshot call re-commits everything.
 func (s *FileStore) Snapshot(meta []byte, delta []SnapshotPage) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
 		return ErrClosed
 	}
-	s.meta = append(s.meta[:0], meta...)
+	// Fresh allocation, never append-in-place: after recovery s.meta
+	// shares its backing array with s.recovered.Meta, and a longer meta
+	// written in place would trample it.
+	s.meta = append([]byte(nil), meta...)
 	for _, p := range delta {
 		s.pages[p.PN] = append([]byte(nil), p.Data...)
 	}

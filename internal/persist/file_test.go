@@ -178,6 +178,91 @@ func TestFileStoreSnapshotSupersedesLog(t *testing.T) {
 	}
 }
 
+func TestFileStoreOversizedAppendRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if err := st.Append([][]byte{[]byte("first")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// One MaxFrameSize record overflows the payload limit once batch
+	// framing is added. The decoder would refuse this frame, so the
+	// writer must too — before any byte reaches the file.
+	if err := st.Append([][]byte{make([]byte, MaxFrameSize)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized append err = %v, want ErrFrameTooLarge", err)
+	}
+	// The rejection was clean: the store lives on and later commits land.
+	if err := st.Append([][]byte{[]byte("second")}); err != nil {
+		t.Fatalf("append after rejection: %v", err)
+	}
+
+	st2, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	_, records, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(records) != 2 || string(records[0]) != "first" || string(records[1]) != "second" {
+		t.Fatalf("records = %q, want [first second]", records)
+	}
+	if info := st2.Info(); info.TornBytes != 0 {
+		t.Fatalf("oversized append left torn bytes: %+v", info)
+	}
+}
+
+func TestFileStoreRecoveredSnapshotNotAliased(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Snapshot([]byte("m"), []SnapshotPage{{PN: 1, Data: page(7)}}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	snap, _, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// A follow-up snapshot with a much longer meta must not trample the
+	// recovered snapshot's bytes (both once aliased the same read buffer).
+	if err := st2.Snapshot(bytes.Repeat([]byte{'M'}, 4096), nil); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if string(snap.Meta) != "m" {
+		t.Fatalf("recovered meta trampled: %q", snap.Meta)
+	}
+	if len(snap.Pages) != 1 || !bytes.Equal(snap.Pages[0].Data, page(7)) {
+		t.Fatal("recovered page bytes trampled by later snapshot")
+	}
+}
+
 func TestFileStoreCorruptSnapshotRejected(t *testing.T) {
 	dir := t.TempDir()
 	st, err := OpenFile(dir, FileConfig{})

@@ -38,12 +38,21 @@ var ErrKilled = errors.New("persist: store killed mid-append")
 // records appended after it, in order.
 type Store interface {
 	// Append durably commits one batch of records as a unit: one framed
-	// write (and at most one fsync) regardless of batch size.
+	// write (and at most one fsync) regardless of batch size. A batch
+	// rejected before any byte was written (e.g. over the frame size
+	// limit) leaves the store usable; any failure after bytes may have
+	// reached the log kills the store (later calls return ErrClosed) —
+	// committing past a possibly-torn frame would let recovery's
+	// first-bad-frame truncation discard acknowledged batches.
 	Append(records [][]byte) error
 	// Snapshot atomically commits a checkpoint: the metadata blob plus
 	// the page images modified since the previous snapshot (the backend
 	// keeps the cumulative set). After it returns, the log records it
-	// covered are no longer needed for recovery.
+	// covered are no longer needed for recovery. A failed Snapshot must
+	// leave the store usable for appends and retain the handed-in delta
+	// for the next attempt: callers treat the failure as a degraded,
+	// log-only condition, never as data loss — the WAL still holds the
+	// full committed history.
 	Snapshot(meta []byte, delta []SnapshotPage) error
 	// Recover returns the latest committed snapshot (nil if none) and
 	// the committed record suffix to replay over it.
