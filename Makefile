@@ -78,4 +78,5 @@ bench-smoke:
 campaign-smoke:
 	$(GO) run ./cmd/sdrad-campaign -seed 42 -requests 100 \
 		-scenarios kv-pool-mixed,http-domain-malformed,ffi-bridge-binary,kv-pool-benign \
+		-gateway gw-attack-tenants \
 		-oracles -out CAMPAIGN_CI.json

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sdrad-campaign [-seed N] [-scenarios a,b|all] [-workers N]
-//	               [-requests N] [-batch K] [-json] [-oracles] [-list] [-out FILE]
+//	               [-requests N] [-batch K] [-gateway a,b|all] [-json] [-oracles] [-list] [-out FILE]
 //
 // The trace is a pure function of the flags: the same invocation
 // produces byte-identical output, which is the property the campaign's
@@ -16,7 +16,12 @@
 // (a durable server killed mid-group-commit must recover exactly the
 // acknowledged prefix, across worker counts 1/4/8 and batches 8/32).
 // -batch K drives the campaign itself through the batched execution
-// pipeline (coalesced domain entries on pool targets). Exit status is 1
+// pipeline (coalesced domain entries on pool targets). -gateway runs
+// the selected multi-tenant gateway scenarios (noisy neighbor, tenant
+// attacks, mid-run drain, quarantine/probe) and, with -oracles, their
+// isolation oracle: every benign tenant's outcomes and survivor digest
+// must be byte-identical with and without the hostile co-tenant, across
+// worker counts 1/4/8 serially and batch sizes 8/32. Exit status is 1
 // if any oracle fails.
 package main
 
@@ -43,7 +48,8 @@ func run(args []string, stdout *os.File) int {
 	requests := fs.Int("requests", 400, "requests per scenario")
 	asJSON := fs.Bool("json", false, "emit the full JSON trace instead of the text summary")
 	batch := fs.Int("batch", 0, "drive requests through the batched pipeline in waves of this size (0 = serial)")
-	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity, batched==serial, crash recovery)")
+	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity, batched==serial, crash recovery, gateway isolation)")
+	gatewayList := fs.String("gateway", "", "comma-separated gateway scenario names, or 'all' (empty = skip the gateway tier)")
 	showList := fs.Bool("list", false, "list shipped scenarios and exit")
 	out := fs.String("out", "", "also write the JSON trace to this file")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +63,16 @@ func run(args []string, stdout *os.File) int {
 				kind = fmt.Sprintf("attack 1/%d", sc.AttackEvery)
 			}
 			fmt.Fprintf(stdout, "%-28s %-6s %-6s %s\n", sc.Name, sc.Workload, sc.Target, kind)
+		}
+		for _, sc := range scenarios.Gateway() {
+			hostile := 0
+			for _, t := range sc.Tenants {
+				if t.Hostile {
+					hostile++
+				}
+			}
+			fmt.Fprintf(stdout, "%-28s %-6s %-6s gateway: %d tenants (%d hostile)\n",
+				sc.Name, "multi", sc.Target, len(sc.Tenants), hostile)
 		}
 		return 0
 	}
@@ -95,6 +111,30 @@ func run(args []string, stdout *os.File) int {
 		fmt.Fprint(stdout, trace.Summary())
 	}
 
+	// Gateway tier: run the selected multi-tenant scenarios at the
+	// configured worker count and print their per-tenant summaries.
+	var gscs []campaign.GatewayScenario
+	if *gatewayList != "" {
+		gscs, err = scenarios.SelectGateway(*gatewayList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+			return 2
+		}
+		for _, gsc := range gscs {
+			var gtr *campaign.GatewayTrace
+			if *batch > 0 {
+				gtr, err = sdrad.RunGatewayCampaignBatched(gsc, cfg, *batch)
+			} else {
+				gtr, err = sdrad.RunGatewayCampaign(gsc, cfg)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdrad-campaign: %v\n", err)
+				return 1
+			}
+			fmt.Fprint(stdout, gtr.Summary())
+		}
+	}
+
 	if !*oracles {
 		return 0
 	}
@@ -130,6 +170,17 @@ func run(args []string, stdout *os.File) int {
 		return 1
 	}
 	results = append(results, recResults...)
+	// Gateway isolation oracle: benign tenants' outcomes and survivor
+	// digests must be byte-identical with and without the hostile
+	// co-tenant, serially at worker counts 1/4/8 and batched at 8/32.
+	for _, gsc := range gscs {
+		isoResults, err := sdrad.CheckGatewayIsolation(gsc, cfg, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
+			return 1
+		}
+		results = append(results, isoResults...)
+	}
 	failed := 0
 	for _, r := range results {
 		fmt.Fprintf(stdout, "%s\n", r)

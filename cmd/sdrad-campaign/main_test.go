@@ -72,6 +72,52 @@ func TestUnknownScenarioFails(t *testing.T) {
 	}
 }
 
+func TestGatewaySummaryOutput(t *testing.T) {
+	code, out := capture(t, "-seed", "5", "-requests", "40",
+		"-scenarios", "kv-pool-benign", "-gateway", "gw-attack-tenants")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"gateway gw-attack-tenants", "steady", "attacker", "hostile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gateway summary missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGatewayListed(t *testing.T) {
+	code, out := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "gw-noisy-neighbor") || !strings.Contains(out, "hostile") {
+		t.Errorf("list missing gateway scenarios:\n%s", out)
+	}
+}
+
+func TestUnknownGatewayScenarioFails(t *testing.T) {
+	code, _ := capture(t, "-scenarios", "kv-pool-benign", "-gateway", "no-such-gateway")
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestGatewayIsolationOracleWired(t *testing.T) {
+	code, out := capture(t, "-seed", "11", "-requests", "40",
+		"-scenarios", "kv-pool-benign", "-gateway", "gw-noisy-neighbor", "-oracles")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		`PASS oracle "isolation" scenario "gw-noisy-neighbor(w=1)"`,
+		`PASS oracle "isolation(batch=32)" scenario "gw-noisy-neighbor(w=8)"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("oracle output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestOutFileAndOracles(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	code, out := capture(t, "-seed", "3", "-requests", "30",

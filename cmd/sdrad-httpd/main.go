@@ -14,9 +14,17 @@
 // answers 503 immediately) and -max-inflight=0 disables the async layer
 // entirely (one domain entry per request, as before).
 //
+// With -tenants FILE the gateway tier comes on: every request needs an
+// Authorization: Bearer token from the file ("<tenant> <token>" per
+// line), per-tenant token buckets and inflight quotas answer 429 with a
+// deterministic Retry-After, repeat offenders are quarantined, and the
+// /healthz and /drainz lifecycle endpoints come alive (SIGINT/SIGTERM
+// also drains gracefully).
+//
 // Usage:
 //
 //	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
+//	            [-tenants FILE] [-tenant-burst 8] [-tenant-refill-every 2] [-tenant-max-inflight 64] [-quarantine-after 3]
 //
 // Try it:
 //
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/httpd"
 )
 
@@ -47,15 +56,46 @@ func main() {
 	reqTimeout := flag.Duration("req-timeout", 0, "per-request deadline, mapped to a deterministic virtual-cycle budget (0 = none)")
 	maxInflight := flag.Int("max-inflight", 1024, "admission bound on queued+executing requests across all workers; overload answers 503 (0 = serial path, no batching)")
 	maxBatch := flag.Int("max-batch", 32, "max pipelined requests coalesced into one batched domain execution")
+	tenants := flag.String("tenants", "", "tenant table file (\"<tenant> <token>\" per line); enables the gateway tier")
+	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant token-bucket burst (with -tenants)")
+	tenantRefill := flag.Uint64("tenant-refill-every", 2, "grant one admission token per N tenant arrivals (with -tenants)")
+	tenantInflight := flag.Int("tenant-max-inflight", 64, "per-tenant inflight quota (with -tenants)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "detections in the sliding window that quarantine a tenant (with -tenants; -1 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *mode, *workers, *reqTimeout, *maxInflight, *maxBatch); err != nil {
+	var gcfg *gateway.Config
+	if *tenants != "" {
+		gcfg = &gateway.Config{
+			Limits:          gateway.Limits{Burst: *tenantBurst, RefillEvery: *tenantRefill, MaxInflight: *tenantInflight},
+			QuarantineAfter: *quarantineAfter,
+		}
+	}
+	if err := run(*addr, *mode, *workers, *reqTimeout, *maxInflight, *maxBatch, *tenants, gcfg); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-httpd: %v", err)
 	}
 }
 
-func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflight, maxBatch int) error {
+// loadGateway parses the tenant table file and builds the gateway.
+func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			log.Printf("close tenants file: %v", cerr)
+		}
+	}()
+	table, err := gateway.ParseTable(f)
+	if err != nil {
+		return nil, err
+	}
+	gcfg.Table = table
+	return gateway.New(*gcfg)
+}
+
+func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, tenantsFile string, gcfg *gateway.Config) error {
 	var mode httpd.Mode
 	switch modeName {
 	case "sdrad":
@@ -79,27 +119,42 @@ func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflig
 	}
 	log.Printf("sdrad-httpd listening on %s (mode=%s, workers=%d)", ln.Addr(), mode, pool.Workers())
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigCh
-		log.Print("shutting down")
-		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
-			log.Printf("close listener: %v", cerr)
-		}
-	}()
-
 	var srv *httpd.NetServer
 	if maxInflight > 0 {
 		srv, err = httpd.NewBatchedNetServerPool(pool, log.Default(), maxInflight, maxBatch)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer func() {
+			if cerr := srv.Close(); cerr != nil {
+				log.Printf("close server: %v", cerr)
+			}
+		}()
 		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
 	} else {
 		srv = httpd.NewNetServerPool(pool, log.Default())
 	}
+	if gcfg != nil {
+		gw, gerr := loadGateway(tenantsFile, gcfg)
+		if gerr != nil {
+			return gerr
+		}
+		srv.SetGateway(gw)
+		log.Printf("gateway tier on (tenants=%s): bearer auth, per-tenant limits, /healthz, /drainz", tenantsFile)
+	}
 	srv.SetRequestTimeout(reqTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("draining")
+		if derr := srv.Drain(); derr != nil {
+			log.Printf("drain: %v", derr)
+		}
+		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			log.Printf("close listener: %v", cerr)
+		}
+	}()
 	return srv.Serve(ln)
 }

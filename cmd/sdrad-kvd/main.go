@@ -26,10 +26,20 @@
 // acknowledged writes. Leaving -data-dir unset keeps today's
 // memory-only behavior, byte for byte.
 //
+// With -tenants FILE the gateway tier comes on: data commands need a
+// prior "auth <token>" on the connection (tokens from the file,
+// "<tenant> <token>" per line), per-tenant token buckets and inflight
+// quotas answer SERVER_ERROR with a deterministic retry hint, repeat
+// offenders are quarantined, and the "health" command reports shard +
+// tenant state. SIGINT/SIGTERM drains gracefully: admission stops,
+// queued requests finish, the WAL commits, a final snapshot lands, and
+// no acknowledged write is lost.
+//
 // Usage:
 //
 //	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
 //	          [-data-dir DIR] [-fsync] [-snapshot-every N]
+//	          [-tenants FILE] [-tenant-burst 8] [-tenant-refill-every 2] [-tenant-max-inflight 64] [-quarantine-after 3]
 //
 // Try it:
 //
@@ -49,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/kvstore"
 )
 
@@ -63,19 +74,50 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability root: per-shard WAL + snapshots under this directory (empty = memory-only)")
 	fsync := flag.Bool("fsync", true, "fsync the WAL on every group commit (only with -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", 64, "take an incremental snapshot every N committed batches per shard (only with -data-dir; 0 = WAL only)")
+	tenants := flag.String("tenants", "", "tenant table file (\"<tenant> <token>\" per line); enables the gateway tier")
+	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant token-bucket burst (with -tenants)")
+	tenantRefill := flag.Uint64("tenant-refill-every", 2, "grant one admission token per N tenant arrivals (with -tenants)")
+	tenantInflight := flag.Int("tenant-max-inflight", 64, "per-tenant inflight quota (with -tenants)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "detections in the sliding window that quarantine a tenant (with -tenants; -1 disables)")
 	flag.Parse()
 
 	var pcfg *kvstore.PersistConfig
 	if *dataDir != "" {
 		pcfg = &kvstore.PersistConfig{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery}
 	}
-	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch, pcfg); err != nil {
+	var gcfg *gateway.Config
+	if *tenants != "" {
+		gcfg = &gateway.Config{
+			Limits:          gateway.Limits{Burst: *tenantBurst, RefillEvery: *tenantRefill, MaxInflight: *tenantInflight},
+			QuarantineAfter: *quarantineAfter,
+		}
+	}
+	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch, pcfg, *tenants, gcfg); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
 
-func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, pcfg *kvstore.PersistConfig) error {
+// loadGateway parses the tenant table file and builds the gateway.
+func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			log.Printf("close tenants file: %v", cerr)
+		}
+	}()
+	table, err := gateway.ParseTable(f)
+	if err != nil {
+		return nil, err
+	}
+	gcfg.Table = table
+	return gateway.New(*gcfg)
+}
+
+func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, pcfg *kvstore.PersistConfig, tenantsFile string, gcfg *gateway.Config) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -110,27 +152,47 @@ func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Du
 			eff, capacity, pool.Workers(), kvstore.MaxValueSize)
 	}
 
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigCh
-		log.Print("shutting down")
-		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
-			log.Printf("close listener: %v", cerr)
-		}
-	}()
-
 	var srv *kvstore.NetServer
 	if maxInflight > 0 {
 		srv, err = kvstore.NewBatchedNetServerPool(pool, log.Default(), maxInflight, maxBatch)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
 		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
 	} else {
 		srv = kvstore.NewNetServerPool(pool, log.Default())
 	}
+	// NetServer.Close closes the pool too (idempotently), so it subsumes
+	// the pool's own deferred close above.
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("close server: %v", cerr)
+		}
+	}()
+	if gcfg != nil {
+		gw, gerr := loadGateway(tenantsFile, gcfg)
+		if gerr != nil {
+			return gerr
+		}
+		srv.SetGateway(gw)
+		log.Printf("gateway tier on (tenants=%s): auth command, per-tenant limits, health command", tenantsFile)
+	}
 	srv.SetRequestTimeout(reqTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("draining")
+		// Graceful drain: stop admission, flush queues (every ack made
+		// durable by its batch's WAL commit), final snapshot, release
+		// stores — then close the listener to let Serve return.
+		if derr := srv.Drain(); derr != nil {
+			log.Printf("drain: %v", derr)
+		}
+		if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			log.Printf("close listener: %v", cerr)
+		}
+	}()
 	return srv.Serve(ln)
 }

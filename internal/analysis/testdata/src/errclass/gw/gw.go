@@ -1,0 +1,89 @@
+// Package gw exercises the errclass analyzer against gateway-tier
+// error shapes: typed admission rejections (QuarantinedError) and
+// overload errors (OverloadError) whose classification must not be
+// silently dropped by servers translating them onto the wire.
+package gw
+
+import "errors"
+
+// QuarantinedError mirrors the gateway's circuit-breaker rejection.
+type QuarantinedError struct{ Tenant string }
+
+// Error implements error.
+func (e *QuarantinedError) Error() string { return "gw: tenant quarantined" }
+
+// OverloadError mirrors the submission tier's queue-full rejection.
+type OverloadError struct{ Depth int }
+
+// Error implements error.
+func (e *OverloadError) Error() string { return "gw: overloaded" }
+
+// Admit returns a typed admission rejection.
+func Admit(tenant string) error { return &QuarantinedError{Tenant: tenant} }
+
+// Submit returns a value plus a typed overload error.
+func Submit() (int, error) { return 0, &OverloadError{Depth: 1} }
+
+// IsQuarantined classifies err, comma-ok style.
+func IsQuarantined(err error) (*QuarantinedError, bool) {
+	var qe *QuarantinedError
+	if errors.As(err, &qe) {
+		return qe, true
+	}
+	return nil, false
+}
+
+// IsOverload classifies err, comma-ok style.
+func IsOverload(err error) (*OverloadError, bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe, true
+	}
+	return nil, false
+}
+
+// DroppedAdmit discards the quarantine rejection in statement position:
+// the caller never learns the tenant was refused. Flagged.
+func DroppedAdmit() {
+	Admit("mal") // want `result of gw\.Admit includes a typed error that is silently discarded`
+}
+
+// DeferredAdmit discards in defer position: flagged.
+func DeferredAdmit() {
+	defer Admit("mal") // want `result of gw\.Admit includes a typed error`
+}
+
+// BlankedAdmit discards via the blank identifier: flagged.
+func BlankedAdmit() {
+	_ = Admit("mal") // want `error result of gw\.Admit assigned to _`
+}
+
+// BlankedSubmit drops the overload half of the tuple — the retry hint
+// is lost and the request silently vanishes. Flagged.
+func BlankedSubmit() int {
+	v, _ := Submit() // want `error result of gw\.Submit assigned to _`
+	return v
+}
+
+// HandledAdmit routes the rejection through a classifier: the sanctioned
+// pattern, not flagged.
+func HandledAdmit() bool {
+	err := Admit("mal")
+	if _, ok := IsQuarantined(err); ok {
+		return true
+	}
+	_, over := IsOverload(err)
+	return over
+}
+
+// CommaOKProbe consumes only the classifier bool: blanking the typed
+// half loses nothing, not flagged.
+func CommaOKProbe(err error) bool {
+	_, ok := IsOverload(err)
+	return ok
+}
+
+// JustifiedDrop carries a reviewable justification: not flagged.
+func JustifiedDrop() {
+	_ = Admit("mal") //lint:errclass fixture: shed on shutdown, rejection intentional
+}

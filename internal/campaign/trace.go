@@ -37,6 +37,15 @@ const (
 	// OutcomeError: an unexpected engine-level failure (oracles treat
 	// any occurrence as a bug).
 	OutcomeError = "error"
+	// OutcomeThrottled: the gateway rejected the arrival before any
+	// domain work (token-bucket rate limit or inflight quota).
+	OutcomeThrottled = "throttled"
+	// OutcomeQuarantined: the gateway's circuit breaker rejected a
+	// quarantined tenant's arrival.
+	OutcomeQuarantined = "quarantined"
+	// OutcomeDrained: the arrival landed after drain started; admission
+	// was stopped.
+	OutcomeDrained = "drained"
 )
 
 // ScenarioTrace is the structured record of one scenario run.

@@ -1,0 +1,102 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// This file defines the health surface the lifecycle endpoints render:
+// /healthz on httpd and the health command on kvstore. The shape is
+// protocol-agnostic — servers fill in their shard states (including the
+// persist tier's fail-stop/degraded split from the durability layer)
+// and the gateway contributes drain state and per-tenant counters.
+
+// Shard states reported by Health.
+const (
+	// ShardOK is a fully serving shard.
+	ShardOK = "ok"
+	// ShardFailStop is a shard that stopped serving after a WAL commit
+	// failure (acks could no longer be made durable).
+	ShardFailStop = "fail-stop"
+	// ShardDegraded is a shard serving log-only after a snapshot
+	// failure; acked writes are durable but recovery replays a longer
+	// WAL.
+	ShardDegraded = "degraded"
+	// ShardDrained is a shard that finished a graceful drain.
+	ShardDrained = "drained"
+)
+
+// ShardHealth is one shard's health row.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// State is one of the Shard* constants.
+	State string `json:"state"`
+	// Detail carries the failure description for non-ok states.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health is the full health document a lifecycle endpoint renders.
+type Health struct {
+	// State summarizes the whole server: "ok" when every shard is ok and
+	// the server is not draining, "draining" during a drain, "degraded"
+	// when any shard is degraded or drained, "fail-stop" when any shard
+	// fail-stopped.
+	State string `json:"state"`
+	// Draining reports whether admission has stopped.
+	Draining bool `json:"draining"`
+	// Workers is the shard/worker count.
+	Workers int `json:"workers"`
+	// Shards lists per-shard states (empty for servers without a
+	// durable shard tier).
+	Shards []ShardHealth `json:"shards,omitempty"`
+	// Tenants lists per-tenant gateway counters in sorted order.
+	Tenants []metrics.TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// BuildHealth assembles the document and derives the summary state from
+// the shard rows and drain flag: fail-stop dominates, then draining,
+// then degraded/drained shards, then ok.
+func BuildHealth(draining bool, workers int, shards []ShardHealth, tenants []metrics.TenantSnapshot) *Health {
+	h := &Health{State: ShardOK, Draining: draining, Workers: workers, Shards: shards, Tenants: tenants}
+	for _, sh := range shards {
+		switch sh.State {
+		case ShardFailStop:
+			h.State = ShardFailStop
+		case ShardDegraded, ShardDrained:
+			if h.State == ShardOK {
+				h.State = ShardDegraded
+			}
+		}
+	}
+	if draining && h.State == ShardOK {
+		h.State = "draining"
+	}
+	return h
+}
+
+// Status maps the health document to an HTTP status: 200 while the
+// server can make acked progress (ok, degraded — durable but log-only),
+// 503 once it cannot or will not admit (fail-stop, draining).
+func (h *Health) Status() int {
+	if h.State == ShardFailStop || h.Draining {
+		return 503
+	}
+	return 200
+}
+
+// JSON renders the document as stable, indented JSON ending in a
+// newline.
+func (h *Health) JSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		// The document is plain data; encoding cannot fail on it.
+		return []byte(fmt.Sprintf("{\"state\":%q}\n", h.State))
+	}
+	return buf.Bytes()
+}

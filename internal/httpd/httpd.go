@@ -136,6 +136,10 @@ type Response struct {
 	Latency time.Duration
 	// Contained reports a rewound parser-domain violation.
 	Contained bool
+	// RetryAfterCycles, when nonzero, is the quantized virtual-cycle
+	// retry hint an overload/admission rejection carries; the wire
+	// response renders it as a Retry-After header.
+	RetryAfterCycles uint64
 }
 
 // Config configures a Server.

@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,8 +14,16 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/gateway"
 	"repro/internal/submit"
 )
+
+// overloadRetryCyclesPerSlot is the virtual-cycle cost estimate behind
+// the batched path's overload retry hint (one queue slot ≈ one request's
+// service time). The hint is configured depth × this, quantized — the
+// bare OverloadError's worker/occupancy detail depends on host timing
+// and must never reach the wire.
+const overloadRetryCyclesPerSlot = 300_000
 
 // NetServer serves HTTP/1.1 over TCP on top of a Server or a Pool, with
 // connections multiplexing on real sockets. One request per connection
@@ -29,6 +38,17 @@ type NetServer struct {
 
 	// queues is the async submission layer (batched servers only).
 	queues *submit.Queues
+
+	// gw, when set, fronts every request with tenant admission and adds
+	// the /healthz and /drainz lifecycle endpoints.
+	gw      *gateway.Gateway
+	workers int
+
+	drainMu   sync.Mutex
+	drainDone bool
+
+	closeMu sync.Mutex
+	closed  bool
 
 	connMu sync.Mutex
 	nextID int
@@ -47,6 +67,7 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 			defer mu.Unlock()
 			return srv.ServeContext(ctx, clientID, raw)
 		},
+		workers: 1,
 	}
 }
 
@@ -54,7 +75,7 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 // pool synchronizes internally per worker, so requests on different
 // workers execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
-	return &NetServer{log: logger, handle: p.ServeContext}
+	return &NetServer{log: logger, handle: p.ServeContext, workers: p.Workers()}
 }
 
 // asyncReq is one connection request in flight through the submission
@@ -72,8 +93,9 @@ type asyncReq struct {
 // Server.ServeBatch — one domain Enter per parsing-domain group instead
 // of per request. maxInflight bounds admitted-but-unanswered requests
 // across the pool (<= 0 means 1024); at capacity new requests are
-// answered 503 immediately (admission control / backpressure). Call
-// Close after Serve returns to stop the drain loops.
+// answered 503 immediately with a deterministic Retry-After hint
+// (admission control / backpressure). Call Close after Serve returns to
+// stop the drain loops.
 func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch int) (*NetServer, error) {
 	if maxInflight <= 0 {
 		maxInflight = 1024
@@ -103,7 +125,7 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 	if err != nil {
 		return nil, err
 	}
-	n := &NetServer{log: logger, queues: q}
+	n := &NetServer{log: logger, queues: q, workers: p.Workers()}
 	n.handle = func(ctx context.Context, clientID int, raw []byte) Response {
 		a := &asyncReq{clientID: clientID, raw: raw}
 		w := dispatch.LeastLoaded(p.Workers(), int(rr.Add(1)-1), q.Load)
@@ -119,7 +141,17 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 			}
 		}
 		if err != nil {
-			// Overload (every queue full) or closed: shed with 503.
+			// Overload (every queue full) or closed: shed with 503. The
+			// overload case carries a deterministic cycles-quantized hint
+			// computed from configuration, not from which queue rejected.
+			if _, over := submit.IsOverload(err); over {
+				cycles := gateway.QuantizeRetryCycles(uint64(q.Depth()) * overloadRetryCyclesPerSlot)
+				return Response{
+					Status:           503,
+					Err:              &gateway.RetryHintError{Cycles: cycles, Cause: err},
+					RetryAfterCycles: cycles,
+				}
+			}
 			return Response{Status: 503, Err: err}
 		}
 		return respondAsync(a, fut)
@@ -139,14 +171,56 @@ func respondAsync(a *asyncReq, fut *submit.Future) Response {
 	return a.resp
 }
 
+// SetGateway installs the tenant admission front tier: every request
+// then requires a bearer token, passes per-tenant admission, and the
+// /healthz and /drainz lifecycle endpoints come alive. Call before
+// Serve.
+func (n *NetServer) SetGateway(gw *gateway.Gateway) { n.gw = gw }
+
 // Close stops the batched submission layer, if this server has one:
-// queued requests are answered and the drain loops exit. Serve must
-// have returned (or never been called).
-func (n *NetServer) Close() {
+// queued requests are answered and the drain loops exit. Idempotent.
+// Serve must have returned (or never been called).
+func (n *NetServer) Close() error {
+	n.closeMu.Lock()
+	defer n.closeMu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
 	if n.queues != nil {
 		n.queues.Flush()
 		n.queues.Close()
 	}
+	return nil
+}
+
+// Drain shuts the server down gracefully: stop admission (the gateway
+// answers 503 draining), flush the submission queues so every admitted
+// request is answered, then close them so stragglers get typed
+// ErrClosed. The httpd tier holds no durable state, so the drain is
+// complete once the queues are empty. Idempotent.
+func (n *NetServer) Drain() error {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+	if n.drainDone {
+		return nil
+	}
+	n.drainDone = true
+	if n.gw != nil {
+		n.gw.StartDrain()
+	}
+	if n.queues != nil {
+		n.queues.Flush()
+		n.queues.Close()
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called.
+func (n *NetServer) Draining() bool {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+	return n.drainDone
 }
 
 // SetRequestTimeout installs a per-request deadline (0 disables it, the
@@ -200,11 +274,97 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 		ctx, cancel = context.WithTimeout(ctx, n.reqTimeout)
 		defer cancel()
 	}
-	resp := n.handle(ctx, id, raw)
+	resp := n.dispatch(ctx, id, raw)
 	if resp.Contained {
 		n.logf("conn %d: contained parser exploit (domain rewound)", id)
 	}
 	WriteHTTPResponse(conn, resp)
+}
+
+// dispatch routes one request: without a gateway it goes straight to
+// the backend; with one, lifecycle endpoints are answered host-side and
+// everything else runs the admission pipeline — bearer auth (401),
+// per-tenant rate/quota/quarantine (429 + Retry-After), drain (503) —
+// before the backend sees a byte, and reports its outcome to the
+// tenant's circuit breaker afterwards.
+func (n *NetServer) dispatch(ctx context.Context, id int, raw []byte) Response {
+	if n.gw == nil {
+		return n.handle(ctx, id, raw)
+	}
+	path := requestPath(raw)
+	if path == "/healthz" {
+		// Unauthenticated by design: load-balancer probes carry no
+		// credentials, and the document holds no tenant secrets (only
+		// tenant names and counters).
+		return n.healthResponse()
+	}
+	token, aerr := gateway.BearerToken(raw)
+	if aerr != nil {
+		n.logf("conn %d auth rejected: %v", id, aerr)
+		return Response{Status: 401, Body: []byte("unauthorized\n")}
+	}
+	tenant, err := n.gw.Authenticate(token)
+	if err != nil {
+		n.logf("conn %d auth rejected: %v", id, err)
+		return Response{Status: 401, Body: []byte("unauthorized\n")}
+	}
+	if path == "/drainz" {
+		if derr := n.Drain(); derr != nil {
+			return Response{Status: 500, Err: derr}
+		}
+		return Response{Status: 200, Body: []byte("draining\n")}
+	}
+	ticket, err := n.gw.Admit(tenant)
+	if err != nil {
+		return admissionResponse(err)
+	}
+	resp := n.handle(ctx, id, raw)
+	// 408 is the wire mapping of a budget preemption (see finishSDRaD).
+	ticket.Done(resp.Contained, resp.Status == 408)
+	return resp
+}
+
+// admissionResponse maps a typed gateway rejection onto the wire:
+// rate/quota/quarantine answer 429 with a deterministic Retry-After,
+// drain answers 503.
+func admissionResponse(err error) Response {
+	if gateway.IsDraining(err) {
+		return Response{Status: 503, Err: err}
+	}
+	if qe, ok := gateway.IsQuarantined(err); ok {
+		return Response{
+			Status:           429,
+			Err:              err,
+			RetryAfterCycles: gateway.QuantizeRetryCycles(qe.ProbeIn * overloadRetryCyclesPerSlot),
+		}
+	}
+	if cycles, ok := gateway.RetryAfterCycles(err); ok {
+		return Response{Status: 429, Err: err, RetryAfterCycles: cycles}
+	}
+	return Response{Status: 503, Err: err}
+}
+
+// healthResponse renders the health document (shard tier states are the
+// gateway owner's concern on kvstore; httpd's workers hold no durable
+// state, so the document carries drain state and tenant counters).
+func (n *NetServer) healthResponse() Response {
+	draining := n.Draining() || n.gw.Draining()
+	h := gateway.BuildHealth(draining, n.workers, nil, n.gw.Stats().Snapshot())
+	return Response{Status: h.Status(), Body: h.JSON()}
+}
+
+// requestPath extracts the path from an HTTP/1.x request line, "" when
+// malformed (the backend parser then produces the 400).
+func requestPath(raw []byte) string {
+	line := raw
+	if i := bytes.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	parts := bytes.Split(bytes.TrimRight(line, "\r"), []byte(" "))
+	if len(parts) != 3 {
+		return ""
+	}
+	return string(parts[1])
 }
 
 // ReadRequestHead reads bytes up to and including the blank line that
@@ -229,7 +389,9 @@ func ReadRequestHead(r *bufio.Reader) ([]byte, error) {
 	}
 }
 
-// WriteHTTPResponse renders resp on the wire with Connection: close.
+// WriteHTTPResponse renders resp on the wire with Connection: close,
+// including a Retry-After header when the response carries a retry
+// hint.
 func WriteHTTPResponse(w io.Writer, resp Response) {
 	status := resp.Status
 	if status == 0 {
@@ -239,8 +401,12 @@ func WriteHTTPResponse(w io.Writer, resp Response) {
 	if body == nil && resp.Err != nil {
 		body = []byte(resp.Err.Error() + "\n")
 	}
-	_, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
-		status, StatusText(status), len(body))
+	retry := ""
+	if resp.RetryAfterCycles > 0 {
+		retry = fmt.Sprintf("Retry-After: %d\r\n", gateway.RetrySeconds(resp.RetryAfterCycles))
+	}
+	_, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Length: %d\r\n%sConnection: close\r\n\r\n",
+		status, StatusText(status), len(body), retry)
 	if err != nil {
 		return
 	}
@@ -255,12 +421,16 @@ func StatusText(code int) string {
 		return "OK"
 	case 400:
 		return "Bad Request"
+	case 401:
+		return "Unauthorized"
 	case 404:
 		return "Not Found"
 	case 405:
 		return "Method Not Allowed"
 	case 408:
 		return "Request Timeout"
+	case 429:
+		return "Too Many Requests"
 	case 503:
 		return "Service Unavailable"
 	default:

@@ -12,6 +12,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
 	"repro/internal/submit"
 	"repro/internal/workload"
 )
@@ -19,6 +22,13 @@ import (
 // AttackMarker makes a SET over the wire malicious: values with this
 // prefix stand in for crafted exploit payloads against the parser.
 const AttackMarker = "!!exploit"
+
+// overloadRetryCyclesPerSlot is the virtual-cycle cost estimate behind
+// the batched path's overload retry hint: one queue slot ≈ one request's
+// service time (the servers' 100µs inter-arrival at the default clock).
+// The hint is depth × this, quantized — pure configuration, so the
+// rejection bytes are identical across runs and hosts.
+const overloadRetryCyclesPerSlot = 300_000
 
 // NetServer serves the memcached text protocol over TCP on top of a
 // Server or a Pool, with connections multiplexing on real sockets.
@@ -33,6 +43,25 @@ type NetServer struct {
 
 	// queues is the async submission layer (batched servers only).
 	queues *submit.Queues
+
+	// gw, when set, fronts every data command with tenant admission
+	// (auth command, rate limits, quotas, quarantine, drain).
+	gw *gateway.Gateway
+
+	// workers, healthFn, drainFn, closeFn abstract over the Server/Pool
+	// split for the lifecycle surface.
+	workers  int
+	healthFn func() []gateway.ShardHealth
+	drainFn  func() error
+	closeFn  func() error
+
+	drainMu   sync.Mutex
+	drainDone bool
+	drainErr  error
+
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
 
 	connMu sync.Mutex
 	nextID int
@@ -57,7 +86,39 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 			defer mu.Unlock()
 			return WriteStats(w, srv)
 		},
+		workers: 1,
+		healthFn: func() []gateway.ShardHealth {
+			mu.Lock()
+			defer mu.Unlock()
+			return serverHealth(srv)
+		},
+		drainFn: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Drain()
+		},
+		closeFn: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Close()
+		},
 	}
+}
+
+// serverHealth is the single-server shard-health row.
+func serverHealth(srv *Server) []gateway.ShardHealth {
+	h := gateway.ShardHealth{Shard: 0, State: gateway.ShardOK}
+	switch {
+	case srv.PersistErr() != nil:
+		h.State = gateway.ShardFailStop
+		h.Detail = srv.PersistErr().Error()
+	case srv.Drained():
+		h.State = gateway.ShardDrained
+	case srv.SnapshotErr() != nil:
+		h.State = gateway.ShardDegraded
+		h.Detail = srv.SnapshotErr().Error()
+	}
+	return []gateway.ShardHealth{h}
 }
 
 // NewNetServerPool wraps a Pool for TCP serving; logger may be nil. The
@@ -65,9 +126,13 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 // different shards execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 	return &NetServer{
-		log:    logger,
-		handle: p.HandleContext,
-		stats:  func(w io.Writer) error { return WriteStats(w, p) },
+		log:      logger,
+		handle:   p.HandleContext,
+		stats:    func(w io.Writer) error { return WriteStats(w, p) },
+		workers:  p.Workers(),
+		healthFn: p.Health,
+		drainFn:  p.Drain,
+		closeFn:  p.Close,
 	}
 }
 
@@ -87,8 +152,9 @@ type asyncReq struct {
 // Server.HandleBatch — one domain Enter per worker group instead of per
 // request. maxInflight bounds admitted-but-unanswered requests across
 // the pool (<= 0 means 1024); at capacity new requests are answered
-// SERVER_ERROR immediately (admission control / backpressure). Call
-// Close after Serve returns to stop the drain loops.
+// SERVER_ERROR immediately with a deterministic cycles-quantized retry
+// hint (admission control / backpressure). Call Close after Serve
+// returns to stop the drain loops.
 func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch int) (*NetServer, error) {
 	if maxInflight <= 0 {
 		maxInflight = 1024
@@ -118,15 +184,29 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 		return nil, err
 	}
 	n := &NetServer{
-		log:    logger,
-		stats:  func(w io.Writer) error { return WriteStats(w, p) },
-		queues: q,
+		log:      logger,
+		stats:    func(w io.Writer) error { return WriteStats(w, p) },
+		queues:   q,
+		workers:  p.Workers(),
+		healthFn: p.Health,
+		drainFn:  p.Drain,
+		closeFn:  p.Close,
 	}
 	n.handle = func(ctx context.Context, clientID int, req workload.Request) Response {
 		a := &asyncReq{clientID: clientID, req: req}
 		fut, err := q.Submit(p.shardIndex(req.Key), ctx, a)
 		if err != nil {
-			// Overload (queue full) or closed: shed the request.
+			// Overload (queue full) or closed: shed the request. An
+			// overload is decorated with a deterministic retry hint derived
+			// from the configured queue depth — the bare OverloadError's
+			// occupancy detail is timing-dependent and must not reach the
+			// wire (campaign traces pin the rejection bytes).
+			if _, over := submit.IsOverload(err); over {
+				err = &gateway.RetryHintError{
+					Cycles: gateway.QuantizeRetryCycles(uint64(q.Depth()) * overloadRetryCyclesPerSlot),
+					Cause:  err,
+				}
+			}
 			return Response{Err: err}
 		}
 		// The future resolves when the drain loop answered; the request's
@@ -149,14 +229,66 @@ func respondAsync(a *asyncReq, fut *submit.Future) Response {
 	return a.resp
 }
 
-// Close stops the batched submission layer, if this server has one:
-// queued requests are answered and the drain loops exit. Serve must
-// have returned (or never been called).
-func (n *NetServer) Close() {
+// SetGateway installs the tenant admission front tier: data commands
+// then require a successful auth command on the connection and pass
+// per-tenant admission before executing. Call before Serve.
+func (n *NetServer) SetGateway(gw *gateway.Gateway) { n.gw = gw }
+
+// Close stops the batched submission layer (queued requests are
+// answered, drain loops exit) and releases the underlying server or
+// pool, propagating its error. Idempotent: later calls return the first
+// outcome. Serve must have returned (or never been called).
+func (n *NetServer) Close() error {
+	n.closeMu.Lock()
+	defer n.closeMu.Unlock()
+	if n.closed {
+		return n.closeErr
+	}
+	n.closed = true
 	if n.queues != nil {
 		n.queues.Flush()
 		n.queues.Close()
 	}
+	if n.closeFn != nil {
+		n.closeErr = n.closeFn()
+	}
+	return n.closeErr
+}
+
+// Drain shuts the server down gracefully, in the order that makes
+// "every ack durable, nothing after" true: (1) stop admission — the
+// gateway rejects new arrivals with *DrainingError; (2) flush the
+// submission queues — every admitted request executes and its batch
+// group-commits to the WAL before its ack is written; (3) close the
+// queues — stragglers get typed ErrClosed; (4) drain the shards — final
+// WAL commit, snapshot, store release, and the ErrDrained gate for any
+// request that still reaches a shard. Idempotent: later calls return
+// the first outcome.
+func (n *NetServer) Drain() error {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+	if n.drainDone {
+		return n.drainErr
+	}
+	n.drainDone = true
+	if n.gw != nil {
+		n.gw.StartDrain()
+	}
+	if n.queues != nil {
+		n.queues.Flush()
+		n.queues.Close()
+	}
+	if n.drainFn != nil {
+		n.drainErr = n.drainFn()
+	}
+	return n.drainErr
+}
+
+// Draining reports whether Drain has been called.
+func (n *NetServer) Draining() bool {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+	return n.drainDone
 }
 
 // SetRequestTimeout installs a per-request deadline (0 disables it, the
@@ -198,10 +330,14 @@ func (n *NetServer) Serve(ln net.Listener) error {
 	}
 }
 
-// serveConn runs the command loop for one connection.
+// serveConn runs the command loop for one connection. With a gateway
+// installed the connection carries tenant state: data commands require
+// a prior successful auth command and pass per-tenant admission.
 func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	tenant := ""
+	authed := false
 	for {
 		cmd, err := ReadCommand(r)
 		if err != nil {
@@ -215,6 +351,10 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 		case cmd.Quit:
 			_ = w.Flush()
 			return
+		case cmd.Auth:
+			err = n.handleAuth(w, cmd.Token, &tenant, &authed)
+		case cmd.Health:
+			err = n.writeHealth(w)
 		case cmd.Stats:
 			err = n.stats(w)
 		default:
@@ -222,11 +362,7 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
 				req.Malicious = true
 			}
-			resp := n.handleTimed(id, req)
-			if resp.Contained {
-				n.logf("conn %d: contained memory-safety violation (domain rewound)", id)
-			}
-			err = WriteResponse(w, req, resp)
+			err = n.handleData(w, id, req, tenant, authed)
 		}
 		if err != nil {
 			n.logf("conn %d write: %v", id, err)
@@ -237,6 +373,98 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			return
 		}
 	}
+}
+
+// handleAuth binds the connection to a tenant. Every failure mode
+// answers the same uniform line — the response never reveals whether
+// the token was close to (or part of) a valid credential.
+func (n *NetServer) handleAuth(w io.Writer, token string, tenant *string, authed *bool) error {
+	if n.gw == nil {
+		_, err := io.WriteString(w, "CLIENT_ERROR gateway disabled\r\n")
+		return err
+	}
+	name, aerr := n.gw.Authenticate([]byte(token))
+	if aerr != nil {
+		*tenant = ""
+		*authed = false
+		n.logf("auth rejected: %v", aerr)
+		_, err := io.WriteString(w, "CLIENT_ERROR unauthorized\r\n")
+		return err
+	}
+	*tenant = name
+	*authed = true
+	_, err := io.WriteString(w, "OK\r\n")
+	return err
+}
+
+// handleData executes one data command, running gateway admission first
+// when a gateway is installed: rejections become SERVER_ERROR lines
+// carrying the typed error's deterministic rendering, and admitted
+// requests report their outcome (contained violation, budget
+// preemption) back to the tenant's circuit breaker.
+func (n *NetServer) handleData(w io.Writer, id int, req workload.Request, tenant string, authed bool) error {
+	if n.gw == nil {
+		resp := n.handleTimed(id, req)
+		if resp.Contained {
+			n.logf("conn %d: contained memory-safety violation (domain rewound)", id)
+		}
+		return WriteResponse(w, req, resp)
+	}
+	if !authed {
+		_, err := io.WriteString(w, "CLIENT_ERROR auth required\r\n")
+		return err
+	}
+	ticket, aerr := n.gw.Admit(tenant)
+	if aerr != nil {
+		return WriteResponse(w, req, Response{Err: aerr})
+	}
+	resp := n.handleTimed(id, req)
+	_, preempted := core.IsBudget(resp.Err)
+	ticket.Done(resp.Contained, preempted)
+	if resp.Contained {
+		n.logf("conn %d: tenant %s: contained memory-safety violation (domain rewound)", id, tenant)
+	}
+	return WriteResponse(w, req, resp)
+}
+
+// writeHealth renders the lifecycle health document as STAT lines: the
+// summary state, drain flag, worker count, per-shard states, and (with
+// a gateway) per-tenant counters, all in deterministic order.
+func (n *NetServer) writeHealth(w io.Writer) error {
+	var shards []gateway.ShardHealth
+	if n.healthFn != nil {
+		shards = n.healthFn()
+	}
+	var tenants []metrics.TenantSnapshot
+	draining := n.Draining()
+	if n.gw != nil {
+		draining = draining || n.gw.Draining()
+		tenants = n.gw.Stats().Snapshot()
+	}
+	h := gateway.BuildHealth(draining, n.workers, shards, tenants)
+	drainInt := 0
+	if h.Draining {
+		drainInt = 1
+	}
+	if _, err := fmt.Fprintf(w, "STAT state %s\r\nSTAT draining %d\r\nSTAT workers %d\r\n",
+		h.State, drainInt, h.Workers); err != nil {
+		return err
+	}
+	for _, sh := range h.Shards {
+		if _, err := fmt.Fprintf(w, "STAT shard_%d %s\r\n", sh.Shard, sh.State); err != nil {
+			return err
+		}
+	}
+	for _, t := range h.Tenants {
+		if _, err := fmt.Fprintf(w,
+			"STAT tenant_%s admitted=%d completed=%d throttled=%d quota=%d quarantine=%d drained=%d detections=%d preemptions=%d quarantines=%d\r\n",
+			t.Tenant, t.Admitted, t.Completed, t.Throttled, t.QuotaRejected, t.QuarantineRejected,
+			t.Drained, t.Detections, t.Preemptions, t.Quarantines); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "END\r\n")
+	return err
 }
 
 // handleTimed wraps handle with the per-request deadline, when one is

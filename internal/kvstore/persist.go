@@ -453,3 +453,49 @@ func (s *Server) Close() error {
 
 // Store returns the attached durability backend (nil when memory-only).
 func (s *Server) Store() persist.Store { return s.store }
+
+// PersistErr returns the fatal group-commit failure that fail-stopped
+// the shard, nil while the shard serves (the health surface's
+// fail-stop signal).
+func (s *Server) PersistErr() error { return s.persistErr }
+
+// Drained reports whether a graceful drain completed on this shard.
+func (s *Server) Drained() bool { return s.drained }
+
+// Drain finishes the shard gracefully: commit any staged WAL records,
+// take a final snapshot so recovery is cheap, release the store, and
+// stop accepting requests. The WAL commit precedes the drained flag —
+// the drain contract is that every acknowledged write is durable and no
+// later request can be acknowledged at all. A fail-stopped shard drains
+// without touching durable state (its WAL already holds exactly the
+// acked prefix); a snapshot failure degrades the drain (the WAL alone
+// recovers) rather than failing it. Idempotent.
+func (s *Server) Drain() error {
+	if s.drained {
+		return nil
+	}
+	s.drained = true
+	if s.store == nil {
+		return nil
+	}
+	var ferr, serr error
+	if s.persistErr == nil {
+		ferr = s.flushWAL()
+		if ferr == nil {
+			if err := s.snapshotNow(); err != nil {
+				// Degrade, don't fail: the committed WAL recovers alone.
+				s.snapErr = err
+				serr = err
+			}
+		}
+	}
+	cerr := s.store.Close()
+	s.store = nil
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}

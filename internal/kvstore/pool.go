@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,13 @@ import (
 // simulated machine's single-goroutine contract.
 type Pool struct {
 	shards []*kvShard
+
+	// closeMu/closed/closeErr memoize Close: a second Close must not
+	// re-run the shard closes (a released store double-closing is a
+	// correctness bug) and must report the same outcome as the first.
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
 }
 
 type kvShard struct {
@@ -78,8 +86,15 @@ func NewPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) (*Poo
 
 // Close flushes and releases every shard's durability backend (no-op
 // for memory-only pools). The first error wins; every shard is still
-// closed.
+// closed. Idempotent: later calls return the first call's outcome
+// without touching the shards again.
 func (p *Pool) Close() error {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.closed {
+		return p.closeErr
+	}
+	p.closed = true
 	var first error
 	for i, sh := range p.shards {
 		sh.mu.Lock()
@@ -89,7 +104,51 @@ func (p *Pool) Close() error {
 			first = fmt.Errorf("kvstore: pool shard %d: %w", i, err)
 		}
 	}
+	p.closeErr = first
 	return first
+}
+
+// Drain drains every shard gracefully (Server.Drain: flush, snapshot,
+// release, stop accepting) under the shard locks, so the drained flag
+// and the last WAL commit are one atomic step per shard — a request
+// racing the drain either executes fully durable or is rejected with
+// ErrDrained, never acked-but-lost. First error wins; every shard is
+// still drained. Idempotent per shard.
+func (p *Pool) Drain() error {
+	var first error
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.srv.Drain()
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("kvstore: pool shard %d drain: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Health reports each shard's serving state for the lifecycle
+// endpoints: fail-stop dominates, then drained, then degraded
+// (log-only after a snapshot failure), then ok.
+func (p *Pool) Health() []gateway.ShardHealth {
+	out := make([]gateway.ShardHealth, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		h := gateway.ShardHealth{Shard: i, State: gateway.ShardOK}
+		switch {
+		case sh.srv.PersistErr() != nil:
+			h.State = gateway.ShardFailStop
+			h.Detail = sh.srv.PersistErr().Error()
+		case sh.srv.Drained():
+			h.State = gateway.ShardDrained
+		case sh.srv.SnapshotErr() != nil:
+			h.State = gateway.ShardDegraded
+			h.Detail = sh.srv.SnapshotErr().Error()
+		}
+		sh.mu.Unlock()
+		out[i] = h
+	}
+	return out
 }
 
 // Shard returns shard i's server, for tests that need to reach a

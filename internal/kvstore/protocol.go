@@ -21,6 +21,11 @@ import (
 //	stats\r\n
 //	quit\r\n
 //
+// plus two gateway extensions:
+//
+//	auth <token>\r\n    (bind the connection to a tenant)
+//	health\r\n          (shard + tenant state as STAT lines)
+//
 // Responses follow the memcached wire format (VALUE/END, STORED,
 // DELETED, NOT_FOUND, ERROR, SERVER_ERROR <msg>).
 
@@ -34,6 +39,13 @@ type Command struct {
 	// Stats and Quit flag the non-data commands.
 	Stats bool
 	Quit  bool
+	// Auth flags the gateway extension "auth <token>"; Token carries the
+	// presented credential.
+	Auth  bool
+	Token string
+	// Health flags the gateway extension "health" (shard + tenant
+	// state).
+	Health bool
 }
 
 // ReadCommand reads and parses one command from r.
@@ -90,6 +102,13 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		}}, nil
 	case "stats":
 		return Command{Stats: true}, nil
+	case "auth":
+		if len(fields) != 2 {
+			return Command{}, fmt.Errorf("%w: auth wants 1 token", ErrProtocol)
+		}
+		return Command{Auth: true, Token: fields[1]}, nil
+	case "health":
+		return Command{Health: true}, nil
 	case "quit":
 		return Command{Quit: true}, nil
 	default:

@@ -63,6 +63,12 @@ var ErrUnavailable = errors.New("kvstore: service unavailable (restarting)")
 // the acknowledged prefix.
 var ErrShardFailed = errors.New("kvstore: durability failed; shard stopped serving")
 
+// ErrDrained is the client-visible failure after a graceful drain
+// completed: the shard flushed, snapshotted, and released its store, and
+// by the drain contract no request admitted afterwards may execute (its
+// ack could not be made durable).
+var ErrDrained = errors.New("kvstore: drained; shard stopped accepting requests")
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Mode selects native vs SDRaD operation.
@@ -142,6 +148,7 @@ type Server struct {
 	snapCount  int      // snapshots taken (or restored) this process
 	persistErr error    // fatal group-commit failure: the shard fail-stopped
 	snapErr    error    // last snapshot failure (degraded log-only operation)
+	drained    bool     // graceful drain completed: reject all requests
 
 	// stats
 	requests   uint64
@@ -299,6 +306,11 @@ func (s *Server) Handle(clientID int, req workload.Request) Response {
 // bounds the in-domain run with a virtual-cycle budget: a request that
 // exhausts it is rewound and answered with a *core.BudgetError.
 func (s *Server) HandleContext(ctx context.Context, clientID int, req workload.Request) Response {
+	if s.drained {
+		s.requests++
+		s.dropped++
+		return Response{Err: ErrDrained}
+	}
 	if s.persistErr != nil {
 		s.requests++
 		s.dropped++
@@ -441,6 +453,14 @@ type BatchRequest struct {
 func (s *Server) HandleBatch(batch []BatchRequest) []Response {
 	out := make([]Response, len(batch))
 	if len(batch) == 0 {
+		return out
+	}
+	if s.drained {
+		s.requests += uint64(len(batch))
+		s.dropped += uint64(len(batch))
+		for i := range out {
+			out[i] = Response{Err: ErrDrained}
+		}
 		return out
 	}
 	if s.persistErr != nil {

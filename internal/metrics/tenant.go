@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file adds per-tenant accounting for the gateway tier: admission
+// outcomes (admitted, throttled, quota- and quarantine-rejected,
+// drained) and per-tenant fault attribution (detections, preemptions),
+// which the circuit breaker and the campaign gateway trace both read.
+// All counters are tenant-local: one tenant's traffic never moves
+// another tenant's numbers, which is the invariant the isolation oracle
+// leans on.
+
+// TenantCounters is one tenant's gateway accounting.
+type TenantCounters struct {
+	// Admitted counts requests that passed admission (probes included);
+	// Completed counts the subset whose outcome was observed.
+	Admitted, Completed uint64
+	// Throttled counts token-bucket rejections, QuotaRejected the
+	// inflight-quota rejections, QuarantineRejected the circuit-breaker
+	// rejections, Drained the rejections after drain started.
+	Throttled, QuotaRejected, QuarantineRejected, Drained uint64
+	// Detections and Preemptions attribute contained violations and
+	// budget preemptions to the tenant whose request caused them.
+	Detections, Preemptions uint64
+	// Quarantines counts breaker trips, Probes the quarantine probe
+	// admissions, Readmissions the clean probes that lifted a quarantine.
+	Quarantines, Probes, Readmissions uint64
+}
+
+// TenantSnapshot is one tenant's counters with its name attached.
+type TenantSnapshot struct {
+	// Tenant is the tenant name.
+	Tenant string
+	// TenantCounters is the counter snapshot.
+	TenantCounters
+}
+
+// TenantStats tracks TenantCounters per tenant. Safe for concurrent
+// use.
+type TenantStats struct {
+	mu sync.Mutex
+	m  map[string]*TenantCounters
+}
+
+// NewTenantStats creates an empty per-tenant stats table.
+func NewTenantStats() *TenantStats {
+	return &TenantStats{m: make(map[string]*TenantCounters)}
+}
+
+// Observe applies f to tenant's counters under the lock, creating the
+// tenant's row on first use.
+func (s *TenantStats) Observe(tenant string, f func(*TenantCounters)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.m[tenant]
+	if c == nil {
+		c = &TenantCounters{}
+		s.m[tenant] = c
+	}
+	f(c)
+}
+
+// Get returns a copy of tenant's counters (zero value for an unseen
+// tenant).
+func (s *TenantStats) Get(tenant string) TenantCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.m[tenant]; c != nil {
+		return *c
+	}
+	return TenantCounters{}
+}
+
+// Snapshot returns every tenant's counters sorted by tenant name, the
+// deterministic order health endpoints and traces render.
+func (s *TenantStats) Snapshot() []TenantSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TenantSnapshot, len(names))
+	for i, name := range names {
+		out[i] = TenantSnapshot{Tenant: name, TenantCounters: *s.m[name]}
+	}
+	return out
+}
+
+// String renders one line per tenant in sorted order.
+func (s *TenantStats) String() string {
+	var sb strings.Builder
+	for _, t := range s.Snapshot() {
+		fmt.Fprintf(&sb,
+			"tenant %s: admitted=%d completed=%d throttled=%d quota=%d quarantine=%d drained=%d detections=%d preemptions=%d quarantines=%d probes=%d readmissions=%d\n",
+			t.Tenant, t.Admitted, t.Completed, t.Throttled, t.QuotaRejected, t.QuarantineRejected,
+			t.Drained, t.Detections, t.Preemptions, t.Quarantines, t.Probes, t.Readmissions)
+	}
+	return sb.String()
+}

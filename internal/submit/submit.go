@@ -196,6 +196,11 @@ func New(cfg Config) (*Queues, error) {
 // Workers returns the number of queues.
 func (q *Queues) Workers() int { return len(q.qs) }
 
+// Depth returns the per-worker queue capacity. Servers use it to derive
+// deterministic retry hints: the capacity is configuration, not load, so
+// a hint computed from it is identical across runs.
+func (q *Queues) Depth() int { return q.cfg.Depth }
+
 // Load returns worker w's current occupancy (queued + executing),
 // suitable as a least-loaded dispatch signal.
 func (q *Queues) Load(w int) int64 { return q.qs[w].load.Load() }
