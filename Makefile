@@ -5,9 +5,18 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint docs build test race bench bench-pools bench-batched bench-durable bench-smoke campaign-smoke
+.PHONY: check fmt vet lint docs build test race test-lifecycle bench bench-pools bench-batched bench-durable bench-elastic bench-smoke campaign-smoke
 
-check: fmt vet lint build test race
+check: fmt vet lint build test race test-lifecycle
+
+# Lifecycle/elasticity conformance tier (DESIGN.md §13): the shared
+# lifecycletest battery against every component (Domain, Pool,
+# AsyncPool, kvstore.Pool, both NetServers), the -race elasticity
+# hammers (concurrent Resize under load with a mid-run drain), the
+# retired-worker and durable-acked-write regressions, and the
+# controller grow/shrink cycle.
+test-lifecycle:
+	$(GO) test -race -run 'TestLifecycleConformance|TestElastic|TestResize|TestRetiredWorkerNeverRedispatched' ./...
 
 # Lint gate: the sdradlint invariant analyzers (internal/analysis) over
 # every package — wall-clock ban, uncharged-accessor containment,
@@ -66,17 +75,28 @@ bench-durable:
 	$(GO) run ./cmd/benchjson -bench 'E1KVSDRaD$$|E1KVSDRaDBatched|E1KVSDRaDDurable' \
 		-benchtime 200x -out BENCH_PR7.json -baseline BENCH_PR5.json
 
+# Elastic-controller burst benchmark plus the AsyncPool submission
+# baseline, emitted as BENCH_PR9.json with the PR 7 report embedded for
+# comparison. 2000 iterations are needed for real controller activity:
+# the custom metrics (workers_max/workers_final, grown/shrunk,
+# sheds/op) pin the grow-under-burst / shrink-back-to-Min cycle.
+bench-elastic:
+	$(GO) run ./cmd/benchjson -bench 'ElasticBurst|AsyncPoolSubmit' \
+		-benchtime 2000x -out BENCH_PR9.json -baseline BENCH_PR7.json
+
 # One-iteration smoke pass over the suite (CI: proves the benches run).
 bench-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_CI.json
 
 # Deterministic resilience-campaign smoke (CI): fixed seed, three
 # attacked scenarios plus one benign control (so every oracle — same
-# seed, worker counts, benign cycle parity — actually runs), ~1s wall
-# budget. Writes the JSON trace to CAMPAIGN_CI.json for artifact
-# upload; two runs of this target produce byte-identical traces.
+# seed, worker counts, benign cycle parity — actually runs) plus the
+# elastic-resize scenario (so the resize oracle replays its grow/shrink
+# schedule), ~1s wall budget. Writes the JSON trace to CAMPAIGN_CI.json
+# for artifact upload; two runs of this target produce byte-identical
+# traces.
 campaign-smoke:
 	$(GO) run ./cmd/sdrad-campaign -seed 42 -requests 100 \
-		-scenarios kv-pool-mixed,http-domain-malformed,ffi-bridge-binary,kv-pool-benign \
+		-scenarios kv-pool-mixed,http-domain-malformed,ffi-bridge-binary,kv-pool-benign,kv-pool-resize \
 		-gateway gw-attack-tenants \
 		-oracles -out CAMPAIGN_CI.json

@@ -151,23 +151,19 @@ func (e *poolExecutor) Exec(worker int, budget uint64, fn func(*core.DomainCtx) 
 }
 
 // ExecBatch implements campaign.BatchExecutor: same-worker calls
-// coalesce into one batched domain execution (pool.execBatchOn), whose
-// replay rule guarantees the positional results match serial Exec.
+// coalesce into one batched domain execution (pool.dispatchBatch),
+// whose replay rule guarantees the positional results match serial
+// Exec.
 func (e *poolExecutor) ExecBatch(worker int, calls []campaign.BatchCall) []error {
-	idx := worker % e.pool.Workers()
-	if idx < 0 {
-		idx += e.pool.Workers()
-	}
 	bcalls := make([]*batchCall, len(calls))
 	for i, c := range calls {
 		bcalls[i] = &batchCall{
 			ctx: context.Background(),
 			fn:  c.Fn,
-			set: runSettings{budget: c.Budget, worker: idx, hasWorker: true},
+			set: runSettings{budget: c.Budget, worker: worker, hasWorker: true},
 		}
 	}
-	e.pool.workers[idx].inflight.Add(1)
-	e.pool.execBatchOn(idx, bcalls)
+	e.pool.dispatchBatch(worker, true, bcalls)
 	errs := make([]error, len(calls))
 	for i, c := range bcalls {
 		errs[i] = c.err
@@ -175,8 +171,23 @@ func (e *poolExecutor) ExecBatch(worker int, calls []campaign.BatchCall) []error
 	return errs
 }
 
-// Interface compliance check: the pool backend supports batching.
-var _ campaign.BatchExecutor = (*poolExecutor)(nil)
+// Resize implements campaign.ResizableExecutor: the engine's resize
+// schedule maps directly onto the pool's elastic worker set. The
+// engine's dispatch stream stays keyed by the configured worker count
+// (scheduled worker indices are affinity keys, mapped onto the live set
+// modulo its size), which is what makes a resize behaviorally invisible
+// — the resize oracle proves it.
+func (e *poolExecutor) Resize(n int) error { return e.pool.Resize(n) }
+
+// Workers returns the pool's live worker count.
+func (e *poolExecutor) Workers() int { return e.pool.Workers() }
+
+// Interface compliance checks: the pool backend supports batching and
+// elastic resizing.
+var (
+	_ campaign.BatchExecutor     = (*poolExecutor)(nil)
+	_ campaign.ResizableExecutor = (*poolExecutor)(nil)
+)
 
 func (e *poolExecutor) Detections() map[string]uint64 { return e.pool.DetectionCounts() }
 

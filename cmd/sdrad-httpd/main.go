@@ -21,10 +21,16 @@
 // /healthz and /drainz lifecycle endpoints come alive (SIGINT/SIGTERM
 // also drains gracefully).
 //
+// With -elastic the per-worker parsing-domain sets autoscale between
+// -min-workers and -max-workers: the set doubles when the submission
+// queues back up and halves again after a sustained idle stretch
+// (requires the batched path, -max-inflight > 0).
+//
 // Usage:
 //
 //	sdrad-httpd [-addr 127.0.0.1:8080] [-mode sdrad|native] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
 //	            [-tenants FILE] [-tenant-burst 8] [-tenant-refill-every 2] [-tenant-max-inflight 64] [-quarantine-after 3]
+//	            [-elastic] [-min-workers 1] [-max-workers 8]
 //
 // Try it:
 //
@@ -61,6 +67,9 @@ func main() {
 	tenantRefill := flag.Uint64("tenant-refill-every", 2, "grant one admission token per N tenant arrivals (with -tenants)")
 	tenantInflight := flag.Int("tenant-max-inflight", 64, "per-tenant inflight quota (with -tenants)")
 	quarantineAfter := flag.Int("quarantine-after", 3, "detections in the sliding window that quarantine a tenant (with -tenants; -1 disables)")
+	elastic := flag.Bool("elastic", false, "autoscale the per-worker parsing domains between -min-workers and -max-workers from queue backlog (needs the batched path, -max-inflight > 0)")
+	minWorkers := flag.Int("min-workers", 1, "elastic lower bound on parsing domains per worker (with -elastic)")
+	maxWorkers := flag.Int("max-workers", 8, "elastic upper bound on parsing domains per worker (with -elastic)")
 	flag.Parse()
 
 	var gcfg *gateway.Config
@@ -70,11 +79,18 @@ func main() {
 			QuarantineAfter: *quarantineAfter,
 		}
 	}
-	if err := run(*addr, *mode, *workers, *reqTimeout, *maxInflight, *maxBatch, *tenants, gcfg); err != nil {
+	var ecfg *elasticBounds
+	if *elastic {
+		ecfg = &elasticBounds{min: *minWorkers, max: *maxWorkers}
+	}
+	if err := run(*addr, *mode, *workers, *reqTimeout, *maxInflight, *maxBatch, *tenants, gcfg, ecfg); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-httpd: %v", err)
 	}
 }
+
+// elasticBounds carries the -elastic autoscaling bounds.
+type elasticBounds struct{ min, max int }
 
 // loadGateway parses the tenant table file and builds the gateway.
 func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
@@ -95,7 +111,7 @@ func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
 	return gateway.New(*gcfg)
 }
 
-func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, tenantsFile string, gcfg *gateway.Config) error {
+func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, tenantsFile string, gcfg *gateway.Config, ecfg *elasticBounds) error {
 	var mode httpd.Mode
 	switch modeName {
 	case "sdrad":
@@ -133,6 +149,12 @@ func run(addr, modeName string, workers int, reqTimeout time.Duration, maxInflig
 		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
 	} else {
 		srv = httpd.NewNetServerPool(pool, log.Default())
+	}
+	if ecfg != nil {
+		if err := srv.EnableElastic(ecfg.min, ecfg.max); err != nil {
+			return err
+		}
+		log.Printf("elastic parsing domains on (min=%d, max=%d per worker)", ecfg.min, ecfg.max)
 	}
 	if gcfg != nil {
 		gw, gerr := loadGateway(tenantsFile, gcfg)

@@ -35,11 +35,17 @@
 // queued requests finish, the WAL commits, a final snapshot lands, and
 // no acknowledged write is lost.
 //
+// With -elastic the per-shard parser worker-domain sets autoscale
+// between -min-workers and -max-workers: the set doubles when the
+// submission queues back up and halves again after a sustained idle
+// stretch (requires the batched path, -max-inflight > 0).
+//
 // Usage:
 //
 //	sdrad-kvd [-addr 127.0.0.1:11211] [-mode sdrad|native] [-capacity 67108864] [-workers N] [-req-timeout 0] [-max-inflight 1024] [-max-batch 32]
 //	          [-data-dir DIR] [-fsync] [-snapshot-every N]
 //	          [-tenants FILE] [-tenant-burst 8] [-tenant-refill-every 2] [-tenant-max-inflight 64] [-quarantine-after 3]
+//	          [-elastic] [-min-workers 1] [-max-workers 8]
 //
 // Try it:
 //
@@ -79,6 +85,9 @@ func main() {
 	tenantRefill := flag.Uint64("tenant-refill-every", 2, "grant one admission token per N tenant arrivals (with -tenants)")
 	tenantInflight := flag.Int("tenant-max-inflight", 64, "per-tenant inflight quota (with -tenants)")
 	quarantineAfter := flag.Int("quarantine-after", 3, "detections in the sliding window that quarantine a tenant (with -tenants; -1 disables)")
+	elastic := flag.Bool("elastic", false, "autoscale the per-shard parser worker domains between -min-workers and -max-workers from queue backlog (needs the batched path, -max-inflight > 0)")
+	minWorkers := flag.Int("min-workers", 1, "elastic lower bound on parser workers per shard (with -elastic)")
+	maxWorkers := flag.Int("max-workers", 8, "elastic upper bound on parser workers per shard (with -elastic)")
 	flag.Parse()
 
 	var pcfg *kvstore.PersistConfig
@@ -92,11 +101,18 @@ func main() {
 			QuarantineAfter: *quarantineAfter,
 		}
 	}
-	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch, pcfg, *tenants, gcfg); err != nil {
+	var ecfg *elasticBounds
+	if *elastic {
+		ecfg = &elasticBounds{min: *minWorkers, max: *maxWorkers}
+	}
+	if err := run(*addr, *mode, *capacity, *workers, *reqTimeout, *maxInflight, *maxBatch, pcfg, *tenants, gcfg, ecfg); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sdrad-kvd: %v", err)
 	}
 }
+
+// elasticBounds carries the -elastic autoscaling bounds.
+type elasticBounds struct{ min, max int }
 
 // loadGateway parses the tenant table file and builds the gateway.
 func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
@@ -117,7 +133,7 @@ func loadGateway(path string, gcfg *gateway.Config) (*gateway.Gateway, error) {
 	return gateway.New(*gcfg)
 }
 
-func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, pcfg *kvstore.PersistConfig, tenantsFile string, gcfg *gateway.Config) error {
+func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Duration, maxInflight, maxBatch int, pcfg *kvstore.PersistConfig, tenantsFile string, gcfg *gateway.Config, ecfg *elasticBounds) error {
 	var mode kvstore.Mode
 	switch modeName {
 	case "sdrad":
@@ -161,6 +177,12 @@ func run(addr, modeName string, capacity uint64, workers int, reqTimeout time.Du
 		log.Printf("async submission queues on (max-inflight=%d, max-batch=%d)", maxInflight, maxBatch)
 	} else {
 		srv = kvstore.NewNetServerPool(pool, log.Default())
+	}
+	if ecfg != nil {
+		if err := srv.EnableElastic(ecfg.min, ecfg.max); err != nil {
+			return err
+		}
+		log.Printf("elastic parser workers on (min=%d, max=%d per shard)", ecfg.min, ecfg.max)
 	}
 	// NetServer.Close closes the pool too (idempotently), so it subsumes
 	// the pool's own deferred close above.

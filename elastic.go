@@ -1,0 +1,234 @@
+package sdrad
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the optional elastic-worker controller for
+// AsyncPool (DESIGN.md §13). The controller is event-driven rather than
+// timer-driven — the virtual-clock discipline bans wall-clock pacing —
+// so it re-evaluates on the signals that carry the load information
+// anyway: a batch finishing (queue depth just changed) and an overload
+// rejection (admission control just fired). From those it reads the two
+// pressure signals the ISSUE names: summed submission-queue depth from
+// internal/submit and the per-batch p99 virtual-cycle latency from the
+// internal/metrics histograms, growing the worker set under pressure
+// and shrinking it back after sustained idleness.
+
+// ElasticConfig configures the elastic-worker controller.
+type ElasticConfig struct {
+	// Min and Max bound the worker count the controller may set
+	// (defaults: the current worker count for both, which disables
+	// scaling in that direction).
+	Min, Max int
+	// GrowDepthPerWorker is the queue-depth pressure threshold: when the
+	// summed queue depth reaches this many calls per live worker, the
+	// controller doubles the worker set (capped at Max). Default: the
+	// configured MaxBatch — a full batch already waiting per worker.
+	GrowDepthPerWorker int
+	// GrowLatencyP99 additionally grows when the p99 per-call virtual-
+	// cycle latency at any observed batch size exceeds this many cycles
+	// (0 disables the latency signal).
+	GrowLatencyP99 uint64
+	// ShrinkIdleEvals is how many consecutive low-pressure evaluations
+	// (total depth at most one call per worker) must pass before the
+	// controller halves the worker set (floored at Min). Default 8.
+	ShrinkIdleEvals int
+}
+
+func (c *ElasticConfig) fill(a *AsyncPool) error {
+	workers := a.Workers()
+	if c.Min <= 0 {
+		c.Min = workers
+	}
+	if c.Max <= 0 {
+		c.Max = workers
+	}
+	if c.Min > c.Max {
+		return fmt.Errorf("sdrad: elastic Min %d > Max %d", c.Min, c.Max)
+	}
+	if c.GrowDepthPerWorker <= 0 {
+		c.GrowDepthPerWorker = a.cfg.MaxBatch
+	}
+	if c.ShrinkIdleEvals <= 0 {
+		c.ShrinkIdleEvals = 8
+	}
+	return nil
+}
+
+// elasticController owns the scaling loop. Signals arrive on kick (a
+// capacity-1 channel: coalescing bursts is exactly right — the
+// controller only needs to know "pressure may have changed", not how
+// many times); the loop re-reads the live signals on every kick so a
+// coalesced burst is never under-observed.
+type elasticController struct {
+	a   *AsyncPool
+	cfg ElasticConfig
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	// idle counts consecutive low-pressure evaluations (loop-local use
+	// only, but kept here for Stats).
+	mu         sync.Mutex
+	idle       int
+	grown      uint64
+	shrunk     uint64
+	maxWorkers int
+}
+
+// ElasticStats reports the controller's scaling activity.
+type ElasticStats struct {
+	// Grown and Shrunk count resize operations in each direction.
+	Grown, Shrunk uint64
+	// MaxWorkers is the high-water worker count the controller reached.
+	MaxWorkers int
+	// Workers is the current worker count.
+	Workers int
+}
+
+// EnableElastic starts the elastic controller with cfg. Legal once,
+// while the async layer is serving; the controller stops automatically
+// on Drain/Stop/Close. Manual Resize calls still work and compose with
+// the controller (both go through the same serialized Resize).
+func (a *AsyncPool) EnableElastic(cfg ElasticConfig) error {
+	if err := a.lc.Resizable(); err != nil {
+		return err
+	}
+	if err := cfg.fill(a); err != nil {
+		return err
+	}
+	a.ctrlMu.Lock()
+	defer a.ctrlMu.Unlock()
+	if a.ctrl != nil {
+		return fmt.Errorf("sdrad: elastic controller already enabled")
+	}
+	c := &elasticController{
+		a:          a,
+		cfg:        cfg,
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		maxWorkers: a.Workers(),
+	}
+	a.ctrl = c
+	go c.loop()
+	return nil
+}
+
+// ElasticStats returns the controller's scaling counters (zero value
+// when EnableElastic was never called).
+func (a *AsyncPool) ElasticStats() ElasticStats {
+	a.ctrlMu.Lock()
+	c := a.ctrl
+	a.ctrlMu.Unlock()
+	st := ElasticStats{Workers: a.Workers()}
+	if c == nil {
+		return st
+	}
+	c.mu.Lock()
+	st.Grown, st.Shrunk, st.MaxWorkers = c.grown, c.shrunk, c.maxWorkers
+	c.mu.Unlock()
+	return st
+}
+
+// kickController nudges the controller to re-evaluate (no-op when the
+// controller is not enabled; bursts coalesce in the 1-slot channel).
+func (a *AsyncPool) kickController() {
+	a.ctrlMu.Lock()
+	c := a.ctrl
+	a.ctrlMu.Unlock()
+	if c == nil {
+		return
+	}
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stopController stops the controller and waits for its loop to exit,
+// so no resize can race teardown. Idempotent.
+func (a *AsyncPool) stopController() {
+	a.ctrlMu.Lock()
+	c := a.ctrl
+	a.ctrl = nil
+	a.ctrlMu.Unlock()
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+}
+
+func (c *elasticController) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+		}
+		c.evaluate()
+	}
+}
+
+// evaluate reads the pressure signals and resizes if warranted.
+func (c *elasticController) evaluate() {
+	a := c.a
+	q := a.queues()
+	if q == nil {
+		return
+	}
+	workers := q.Workers()
+	depth := q.TotalLoad()
+
+	grow := depth >= int64(c.cfg.GrowDepthPerWorker)*int64(workers)
+	if !grow && c.cfg.GrowLatencyP99 > 0 {
+		for _, s := range a.BatchLatency() {
+			if s.P99 > 0 && uint64(s.P99) > c.cfg.GrowLatencyP99 {
+				grow = true
+				break
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case grow && workers < c.cfg.Max:
+		n := workers * 2
+		if n > c.cfg.Max {
+			n = c.cfg.Max
+		}
+		c.idle = 0
+		c.mu.Unlock()
+		err := a.Resize(n)
+		c.mu.Lock()
+		if err == nil {
+			c.grown++
+			if n > c.maxWorkers {
+				c.maxWorkers = n
+			}
+		}
+	case depth <= int64(workers):
+		c.idle++
+		if c.idle >= c.cfg.ShrinkIdleEvals && workers > c.cfg.Min {
+			n := workers / 2
+			if n < c.cfg.Min {
+				n = c.cfg.Min
+			}
+			c.idle = 0
+			c.mu.Unlock()
+			err := a.Resize(n)
+			c.mu.Lock()
+			if err == nil {
+				c.shrunk++
+			}
+		}
+	default:
+		c.idle = 0
+	}
+}

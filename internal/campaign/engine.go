@@ -587,7 +587,14 @@ func scenarioRequests(sc Scenario, cfg Config) int {
 	return cfg.Requests
 }
 
-func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (st ScenarioTrace, err error) {
+func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (ScenarioTrace, error) {
+	return runScenarioPlan(sc, cfg, factory, nil)
+}
+
+// runScenarioPlan is the serial scenario loop, optionally applying a
+// resize plan (resize.go) between requests. plan == nil is the plain
+// fixed-size run.
+func runScenarioPlan(sc Scenario, cfg Config, factory ExecutorFactory, plan *ResizePlan) (st ScenarioTrace, err error) {
 	ex, err := factory(sc.Target, cfg.Workers)
 	if err != nil {
 		return ScenarioTrace{}, err
@@ -601,6 +608,10 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (st ScenarioT
 		}
 	}()
 
+	pa, err := newPlanApplier(ex, plan)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
 	ad, err := newAdapter(sc, cfg.Seed)
 	if err != nil {
 		return ScenarioTrace{}, err
@@ -617,6 +628,9 @@ func runScenario(sc Scenario, cfg Config, factory ExecutorFactory) (st ScenarioT
 		Outcomes: make([]RequestOutcome, 0, n),
 	}
 	for i := 0; i < n; i++ {
+		if err := pa.before(i); err != nil {
+			return ScenarioTrace{}, err
+		}
 		fc := sched.next()
 		w := dispatch.Intn(cfg.Workers)
 		out := runOne(ad, ex, w, i, fc)
@@ -708,7 +722,15 @@ func RunBatched(cfg Config, factory ExecutorFactory, batchSize int) (*Trace, err
 	return tr, nil
 }
 
-func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int) (st ScenarioTrace, err error) {
+func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int) (ScenarioTrace, error) {
+	return runScenarioBatchedPlan(sc, cfg, factory, batchSize, nil)
+}
+
+// runScenarioBatchedPlan is the batched scenario loop, optionally
+// applying a resize plan between waves (waves split at resize
+// boundaries so a resize never lands inside a coalesced batch). plan ==
+// nil is the plain fixed-size run.
+func runScenarioBatchedPlan(sc Scenario, cfg Config, factory ExecutorFactory, batchSize int, plan *ResizePlan) (st ScenarioTrace, err error) {
 	ex, err := factory(sc.Target, cfg.Workers)
 	if err != nil {
 		return ScenarioTrace{}, err
@@ -720,6 +742,10 @@ func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchS
 		}
 	}()
 	bex, batchable := ex.(BatchExecutor)
+	pa, err := newPlanApplier(ex, plan)
+	if err != nil {
+		return ScenarioTrace{}, err
+	}
 
 	ad, err := newAdapter(sc, cfg.Seed)
 	if err != nil {
@@ -742,11 +768,20 @@ func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchS
 		pc  *preparedCall
 		err error
 	}
-	for base := 0; base < n; base += batchSize {
-		k := batchSize
-		if rem := n - base; rem < k {
-			k = rem
+	for base := 0; base < n; {
+		if err := pa.before(base); err != nil {
+			return ScenarioTrace{}, err
 		}
+		end := base + batchSize
+		if end > n {
+			end = n
+		}
+		// A resize boundary inside the wave truncates it: the resize
+		// happens between batches, never mid-batch.
+		if stop := pa.nextBoundary(base, n); stop < end {
+			end = stop
+		}
+		k := end - base
 		// Draw the wave in request order: stream consumption (workload,
 		// schedule, dispatch, corruption) is identical to the serial loop.
 		wave := make([]pending, k)
@@ -795,6 +830,7 @@ func runScenarioBatched(sc Scenario, cfg Config, factory ExecutorFactory, batchS
 					out.I, out.W, out.Fault)
 			}
 		}
+		base = end
 	}
 	st.Detections = ex.Detections()
 	//lint:detorder commutative uint64 sum; iteration order cannot change the total

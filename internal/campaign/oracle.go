@@ -276,10 +276,110 @@ func diffBatched(serial, batched ScenarioTrace, k int) string {
 	return ""
 }
 
+// CheckResize runs the campaign's pool-target scenarios under the
+// canonical grow/shrink schedule (workers 1→4→8→2 across the run's
+// quarters, DefaultResizePlan) and asserts per-request outcomes,
+// survivor digests, and detection totals identical to the fixed-size
+// base run — serially and through the batched pipeline at each batch
+// size (default 8 and 32). This is the resize-invisibility contract
+// (DESIGN.md §13): growing or shrinking a live pool must not change
+// what any single request experiences or what state survives. Virtual
+// cycles are NOT compared — hot-added workers pay a warm-up entry.
+func CheckResize(cfg Config, factory ExecutorFactory, batchSizes ...int) ([]OracleResult, error) {
+	base, err := Run(cfg.withDefaults(), factory)
+	if err != nil {
+		return nil, err
+	}
+	return CheckResizeAgainst(base, cfg, factory, batchSizes...)
+}
+
+// CheckResizeAgainst is CheckResize with the fixed-size base trace
+// supplied by the caller (a trace already produced with exactly cfg).
+// Scenarios whose target cannot resize are skipped; with no resizable
+// scenarios the result set is empty.
+func CheckResizeAgainst(base *Trace, cfg Config, factory ExecutorFactory, batchSizes ...int) ([]OracleResult, error) {
+	cfg = cfg.withDefaults()
+	if len(batchSizes) == 0 {
+		batchSizes = []int{8, 32}
+	}
+	// Keep only scenarios whose executor actually supports resizing:
+	// probe one executor per distinct target (a factory may serve
+	// TargetPool with a fixed-size backend, e.g. the in-package test
+	// executor) and skip the rest.
+	resizable := make(map[Target]bool)
+	sub := cfg
+	sub.Scenarios = nil
+	for _, sc := range cfg.Scenarios {
+		ok, probed := resizable[sc.Target]
+		if !probed {
+			ex, err := factory(sc.Target, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: resize oracle probing %s executor: %w", sc.Target, err)
+			}
+			_, ok = ex.(ResizableExecutor)
+			if err := ex.Close(); err != nil {
+				return nil, fmt.Errorf("campaign: resize oracle closing %s probe: %w", sc.Target, err)
+			}
+			resizable[sc.Target] = ok
+		}
+		if ok {
+			sub.Scenarios = append(sub.Scenarios, sc)
+		}
+	}
+	if len(sub.Scenarios) == 0 {
+		return nil, nil
+	}
+	plan := DefaultResizePlan(sub.Requests)
+	var out []OracleResult
+
+	rt, err := RunResized(sub, factory, plan)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resize oracle: %w", err)
+	}
+	for _, sc := range sub.Scenarios {
+		res := OracleResult{Oracle: "resize", Scenario: sc.Name, Pass: true}
+		b, r := base.Scenario(sc.Name), rt.Scenario(sc.Name)
+		switch {
+		case b == nil:
+			res.Pass, res.Detail = false, "missing from base trace"
+		case r == nil:
+			res.Pass, res.Detail = false, "missing from resized trace"
+		default:
+			if d := diffOutcomes(*b, *r, cfg.Workers, -1); d != "" {
+				res.Pass, res.Detail = false, d
+			}
+		}
+		out = append(out, res)
+	}
+
+	for _, k := range batchSizes {
+		bt, err := RunResizedBatched(sub, factory, k, plan)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resize oracle at batch %d: %w", k, err)
+		}
+		for _, sc := range sub.Scenarios {
+			res := OracleResult{Oracle: fmt.Sprintf("resize-batched(%d)", k), Scenario: sc.Name, Pass: true}
+			b, r := base.Scenario(sc.Name), bt.Scenario(sc.Name)
+			switch {
+			case b == nil:
+				res.Pass, res.Detail = false, "missing from base trace"
+			case r == nil:
+				res.Pass, res.Detail = false, "missing from resized batched trace"
+			default:
+				if d := diffBatched(*b, *r, k); d != "" {
+					res.Pass, res.Detail = false, d
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
 // CheckAll runs every oracle: same-seed determinism, worker-count
 // invariance at the given counts (default 1/4/8), the benign
-// zero-detection + cycle-parity check, and the batched==serial check at
-// batch sizes 8 and 32.
+// zero-detection + cycle-parity check, the batched==serial check at
+// batch sizes 8 and 32, and the elastic-resize invariance check.
 func CheckAll(cfg Config, factory ExecutorFactory, counts ...int) ([]OracleResult, error) {
 	base, err := Run(cfg.withDefaults(), factory)
 	if err != nil {
@@ -299,6 +399,7 @@ func CheckAllAgainst(base *Trace, cfg Config, factory ExecutorFactory, counts ..
 		func() ([]OracleResult, error) { return CheckWorkerCounts(cfg, factory, counts...) },
 		func() ([]OracleResult, error) { return CheckBenignAgainst(base, cfg.withDefaults(), factory) },
 		func() ([]OracleResult, error) { return CheckBatchedAgainst(base, cfg, factory) },
+		func() ([]OracleResult, error) { return CheckResizeAgainst(base, cfg, factory) },
 	} {
 		res, err := f()
 		if err != nil {

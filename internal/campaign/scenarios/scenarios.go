@@ -49,6 +49,20 @@ func All() []campaign.Scenario {
 			Workload: campaign.WorkloadKV,
 			Target:   campaign.TargetPool,
 		},
+		{
+			// kv-pool-resize carries the elastic-resize dimension: as a
+			// pool-target scenario it is picked up by the resize oracle
+			// (CheckResize), which replays it under the canonical
+			// 1→4→8→2 grow/shrink schedule and pins outcome + digest
+			// equality with the fixed-size run.
+			Name:     "kv-pool-resize",
+			Workload: campaign.WorkloadKV,
+			Target:   campaign.TargetPool,
+			Faults: []campaign.FaultClass{
+				campaign.FaultHeapOverflow, campaign.FaultUAF, campaign.FaultBudget,
+			},
+			AttackEvery: 6,
+		},
 		// HTTP head parsing.
 		{
 			Name:     "http-pool-mixed",

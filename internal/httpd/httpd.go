@@ -233,6 +233,55 @@ func NewServer(sys *core.System, cfg Config) (*Server, error) {
 // Mode returns the server's mode.
 func (s *Server) Mode() Mode { return s.cfg.Mode }
 
+// Workers returns the live parsing-domain count (0 outside SDRaD mode).
+func (s *Server) Workers() int { return len(s.workers) }
+
+// MaxResizeWorkers caps ResizeWorkers: each parsing domain consumes one
+// of the simulated machine's 16 protection keys, and the default key
+// and the root-protected key are spoken for.
+const MaxResizeWorkers = 12
+
+// ResizeWorkers grows or shrinks the parsing-domain set to n (SDRaD
+// mode only). Parsing domains are pristine between requests, so the
+// count is purely a concurrency/placement knob: a request's response is
+// identical whichever domain parses it. Grown workers are fresh domains
+// at the next UDIs; shrinking deinitializes the tail workers (releasing
+// their protection keys and pages).
+func (s *Server) ResizeWorkers(n int) error {
+	if s.cfg.Mode != ModeSDRaD {
+		return fmt.Errorf("httpd: resize workers: mode %v has no parsing domains", s.cfg.Mode)
+	}
+	if n < 1 || n > MaxResizeWorkers {
+		return fmt.Errorf("httpd: resize workers: %d out of range [1, %d]", n, MaxResizeWorkers)
+	}
+	cur := len(s.workers)
+	if n > cur {
+		sup := sdrad.Attach(s.sys)
+		for i := cur; i < n; i++ {
+			udi := s.cfg.FirstWorkerUDI + core.UDI(i)
+			if _, err := s.sys.InitDomain(udi, core.DomainConfig{
+				HeapPages:  8,
+				StackPages: 4,
+			}); err != nil {
+				return fmt.Errorf("httpd: resize worker %d: %w", i, err)
+			}
+			d, err := sup.DomainAt(int(udi))
+			if err != nil {
+				return fmt.Errorf("httpd: resize worker %d: %w", i, err)
+			}
+			s.workers = append(s.workers, d)
+		}
+	}
+	for i := cur - 1; i >= n; i-- {
+		if err := s.workers[i].Close(); err != nil {
+			return fmt.Errorf("httpd: retire worker %d: %w", i, err)
+		}
+		s.workers = s.workers[:i]
+	}
+	s.cfg.Workers = n
+	return nil
+}
+
 // HandleFunc registers static content for GET path.
 func (s *Server) HandleFunc(path string, content []byte) {
 	s.routes[path] = content

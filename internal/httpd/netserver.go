@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/gateway"
+	"repro/internal/lifecycle"
 	"repro/internal/submit"
 )
 
@@ -44,11 +45,21 @@ type NetServer struct {
 	gw      *gateway.Gateway
 	workers int
 
-	drainMu   sync.Mutex
-	drainDone bool
+	// resizeFn/workersFn abstract the parsing-domain resize over the
+	// Server/Pool split (nil when the backend cannot resize).
+	resizeFn  func(int) error
+	workersFn func() int
 
-	closeMu sync.Mutex
-	closed  bool
+	// lc is the shared lifecycle state machine: it memoizes Drain and
+	// Close and rejects illegal transitions with a typed
+	// *LifecycleError. The eager constructors return it pre-advanced to
+	// Healthy; the deferred constructor leaves it Initializing.
+	lc *lifecycle.Machine
+
+	// elastic, when enabled, autoscales the parsing domains from
+	// submission-queue backlog (batched pool servers only).
+	elasticMu sync.Mutex
+	elastic   *netElastic
 
 	connMu sync.Mutex
 	nextID int
@@ -60,7 +71,7 @@ type NetServer struct {
 // behind a mutex.
 func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 	var mu sync.Mutex
-	return &NetServer{
+	return servingNet(&NetServer{
 		log: logger,
 		handle: func(ctx context.Context, clientID int, raw []byte) Response {
 			mu.Lock()
@@ -68,14 +79,49 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 			return srv.ServeContext(ctx, clientID, raw)
 		},
 		workers: 1,
-	}
+		resizeFn: func(k int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.ResizeWorkers(k)
+		},
+		workersFn: func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Workers()
+		},
+	})
+}
+
+// servingNet advances a freshly built NetServer's lifecycle machine to
+// Healthy — the eager-constructor pattern (resources were allocated
+// inline, the server serves immediately).
+func servingNet(n *NetServer) *NetServer {
+	n.lc = lifecycle.NewMachine("httpd.NetServer")
+	_ = n.lc.Init(nil)  //lint:errclass fresh machine; Init from StateInitializing cannot fail
+	_ = n.lc.Start(nil) //lint:errclass inited machine; Start cannot fail
+	return n
 }
 
 // NewNetServerPool wraps a Pool for TCP serving; logger may be nil. The
 // pool synchronizes internally per worker, so requests on different
 // workers execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
-	return &NetServer{log: logger, handle: p.ServeContext, workers: p.Workers()}
+	return servingNet(NewDeferredNetServerPool(p, logger))
+}
+
+// NewDeferredNetServerPool is NewNetServerPool without the lifecycle
+// advancement: the returned server is Initializing, and Init + Start
+// must run before it may Drain, Stop, or resize (Serve itself does not
+// consult the machine — legacy constructors advance it for you).
+func NewDeferredNetServerPool(p *Pool, logger *log.Logger) *NetServer {
+	return &NetServer{
+		log:       logger,
+		handle:    p.ServeContext,
+		workers:   p.Workers(),
+		resizeFn:  p.ResizeWorkers,
+		workersFn: p.ShardWorkers,
+		lc:        lifecycle.NewMachine("httpd.NetServer"),
+	}
 }
 
 // asyncReq is one connection request in flight through the submission
@@ -105,6 +151,10 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 		depth = 1
 	}
 	var rr atomic.Uint64
+	// n is assigned below; the drain loops only observe it after a task
+	// travels through a queue, which happens-after the constructor
+	// returns.
+	var n *NetServer
 	q, err := submit.New(submit.Config{
 		Workers:  p.Workers(),
 		Depth:    depth,
@@ -120,12 +170,21 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 				t.Payload.(*asyncReq).resp = resps[i]
 				t.Resolve(nil)
 			}
+			// Elastic evaluation is event-driven (per executed batch):
+			// no wall-clock timers on the simulated-machine side.
+			n.maybeScale()
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	n := &NetServer{log: logger, queues: q, workers: p.Workers()}
+	n = servingNet(&NetServer{
+		log:       logger,
+		queues:    q,
+		workers:   p.Workers(),
+		resizeFn:  p.ResizeWorkers,
+		workersFn: p.ShardWorkers,
+	})
 	n.handle = func(ctx context.Context, clientID int, raw []byte) Response {
 		a := &asyncReq{clientID: clientID, raw: raw}
 		w := dispatch.LeastLoaded(p.Workers(), int(rr.Add(1)-1), q.Load)
@@ -180,19 +239,37 @@ func (n *NetServer) SetGateway(gw *gateway.Gateway) { n.gw = gw }
 // Close stops the batched submission layer, if this server has one:
 // queued requests are answered and the drain loops exit. Idempotent.
 // Serve must have returned (or never been called).
-func (n *NetServer) Close() error {
-	n.closeMu.Lock()
-	defer n.closeMu.Unlock()
-	if n.closed {
-		return nil
-	}
-	n.closed = true
+func (n *NetServer) Close() error { return n.lc.Close(n.closeImpl) }
+
+// Stop is the strict lifecycle form of Close: same teardown, but a
+// second Stop returns a typed *LifecycleError instead of the memoized
+// outcome. ctx is accepted for interface symmetry; teardown is bounded
+// by the queue flush.
+func (n *NetServer) Stop(ctx context.Context) error {
+	_ = ctx
+	return n.lc.Stop(n.closeImpl)
+}
+
+// closeImpl is the teardown the lifecycle machine memoizes.
+func (n *NetServer) closeImpl() error {
 	if n.queues != nil {
 		n.queues.Flush()
 		n.queues.Close()
 	}
 	return nil
 }
+
+// Init advances the lifecycle machine past resource allocation (the
+// wrapped server or pool was allocated at construction). Only servers
+// from NewDeferredNetServerPool need it; the eager constructors have
+// already advanced the machine.
+func (n *NetServer) Init() error { return n.lc.Init(nil) }
+
+// Start moves the server to StateHealthy (see Init).
+func (n *NetServer) Start() error { return n.lc.Start(nil) }
+
+// State returns the server's lifecycle state.
+func (n *NetServer) State() lifecycle.State { return n.lc.State() }
 
 // Drain shuts the server down gracefully: stop admission (the gateway
 // answers 503 draining), flush the submission queues so every admitted
@@ -200,28 +277,150 @@ func (n *NetServer) Close() error {
 // ErrClosed. The httpd tier holds no durable state, so the drain is
 // complete once the queues are empty. Idempotent.
 func (n *NetServer) Drain() error {
-	n.drainMu.Lock()
-	defer n.drainMu.Unlock()
-	if n.drainDone {
+	return n.lc.Drain(func() error {
+		if n.gw != nil {
+			n.gw.StartDrain()
+		}
+		if n.queues != nil {
+			n.queues.Flush()
+			n.queues.Close()
+		}
 		return nil
+	})
+}
+
+// Draining reports whether Drain has been called (and Stop has not yet
+// superseded it).
+func (n *NetServer) Draining() bool {
+	return n.lc.State() == lifecycle.StateDraining
+}
+
+// ResizeWorkers grows or shrinks the parsing-domain set of the wrapped
+// server (or of every worker of the wrapped pool) to k. Legal while
+// Healthy or Degraded.
+func (n *NetServer) ResizeWorkers(k int) error {
+	if err := n.lc.Resizable(); err != nil {
+		return err
 	}
-	n.drainDone = true
-	if n.gw != nil {
-		n.gw.StartDrain()
+	if n.resizeFn == nil {
+		return fmt.Errorf("httpd: resize workers: server has no resizable backend")
 	}
-	if n.queues != nil {
-		n.queues.Flush()
-		n.queues.Close()
+	return n.resizeFn(k)
+}
+
+// netElastic is the parsing-domain autoscaler state. The controller is
+// deliberately wall-clock-free: it evaluates once per executed batch
+// (an event the virtual-time side already generates) and scales from
+// submission-queue backlog.
+type netElastic struct {
+	min, max int
+	// idle counts consecutive low-backlog evaluations; netShrinkIdleEvals
+	// of them halve the worker set.
+	idle    int
+	grown   uint64
+	shrunk  uint64
+	maxSeen int
+}
+
+// netShrinkIdleEvals is the number of consecutive low-backlog batch
+// evaluations before the elastic controller shrinks.
+const netShrinkIdleEvals = 16
+
+// EnableElastic turns on parsing-domain autoscaling between min and max
+// domains per worker: the set doubles when the queued backlog reaches
+// two batches per live domain and halves after a sustained idle
+// stretch. Requires a batched pool server; call before Serve. The
+// server starts at min domains.
+func (n *NetServer) EnableElastic(min, max int) error {
+	if err := n.lc.Resizable(); err != nil {
+		return err
 	}
+	if n.queues == nil || n.resizeFn == nil {
+		return fmt.Errorf("httpd: elastic mode needs a batched pool server")
+	}
+	if min < 1 || max < min || max > MaxResizeWorkers {
+		return fmt.Errorf("httpd: elastic bounds [%d, %d] out of range [1, %d]", min, max, MaxResizeWorkers)
+	}
+	if err := n.resizeFn(min); err != nil {
+		return err
+	}
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	n.elastic = &netElastic{min: min, max: max, maxSeen: min}
 	return nil
 }
 
-// Draining reports whether Drain has been called.
-func (n *NetServer) Draining() bool {
-	n.drainMu.Lock()
-	defer n.drainMu.Unlock()
-	return n.drainDone
+// NetElasticStats reports the autoscaler's activity.
+type NetElasticStats struct {
+	// Grown and Shrunk count resize operations in each direction.
+	Grown, Shrunk uint64
+	// MaxWorkers is the highest per-worker parsing-domain count reached;
+	// Workers is the current one.
+	MaxWorkers, Workers int
 }
+
+// ElasticStats returns the autoscaler's counters (zero value when
+// elastic mode is off).
+func (n *NetServer) ElasticStats() NetElasticStats {
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	if n.elastic == nil {
+		return NetElasticStats{}
+	}
+	return NetElasticStats{
+		Grown:      n.elastic.grown,
+		Shrunk:     n.elastic.shrunk,
+		MaxWorkers: n.elastic.maxSeen,
+		Workers:    n.workersFn(),
+	}
+}
+
+// maybeScale runs one elastic evaluation: grow (double, capped) when
+// the queued backlog reaches two requests per live parsing domain per
+// worker, shrink (halve, floored) after netShrinkIdleEvals consecutive
+// evaluations with at most one queued request per live domain.
+func (n *NetServer) maybeScale() {
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	e := n.elastic
+	if e == nil {
+		return
+	}
+	perShard := n.queues.TotalLoad() / int64(n.workers)
+	cur := n.workersFn()
+	switch {
+	case perShard >= int64(2*cur) && cur < e.max:
+		next := cur * 2
+		if next > e.max {
+			next = e.max
+		}
+		if err := n.resizeFn(next); err == nil {
+			e.grown++
+			e.idle = 0
+			if next > e.maxSeen {
+				e.maxSeen = next
+			}
+		}
+	case perShard <= int64(cur):
+		e.idle++
+		if e.idle >= netShrinkIdleEvals && cur > e.min {
+			next := cur / 2
+			if next < e.min {
+				next = e.min
+			}
+			if err := n.resizeFn(next); err == nil {
+				e.shrunk++
+			}
+			e.idle = 0
+		}
+	default:
+		e.idle = 0
+	}
+}
+
+// Interface compliance: the net server implements the shared lifecycle
+// contract.
+var _ lifecycle.Component = (*NetServer)(nil)
 
 // SetRequestTimeout installs a per-request deadline (0 disables it, the
 // default). Call before Serve.

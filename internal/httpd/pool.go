@@ -52,6 +52,33 @@ func NewPool(syscfg core.Config, cfg Config, n int) (*Pool, error) {
 // Workers returns the number of parallel workers.
 func (p *Pool) Workers() int { return len(p.shards) }
 
+// ResizeWorkers grows or shrinks every worker's parsing-domain set to n
+// (SDRaD mode only). The workers (simulated machines) themselves are
+// fixed; the per-machine parsing domains are pristine between requests,
+// so their count is purely a concurrency knob. A partial failure leaves
+// workers at different counts and reports the first error.
+func (p *Pool) ResizeWorkers(n int) error {
+	var first error
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.srv.ResizeWorkers(n)
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("httpd: pool worker %d resize: %w", i, err)
+		}
+	}
+	return first
+}
+
+// ShardWorkers returns worker 0's parsing-domain count (every worker is
+// kept at the same count by ResizeWorkers).
+func (p *Pool) ShardWorkers() int {
+	sh := p.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.Workers()
+}
+
 // Mode returns the pool's resilience mode.
 func (p *Pool) Mode() Mode { return p.shards[0].srv.Mode() }
 

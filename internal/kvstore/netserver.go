@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gateway"
+	"repro/internal/lifecycle"
 	"repro/internal/metrics"
 	"repro/internal/submit"
 	"repro/internal/workload"
@@ -48,20 +49,25 @@ type NetServer struct {
 	// (auth command, rate limits, quotas, quarantine, drain).
 	gw *gateway.Gateway
 
-	// workers, healthFn, drainFn, closeFn abstract over the Server/Pool
-	// split for the lifecycle surface.
-	workers  int
-	healthFn func() []gateway.ShardHealth
-	drainFn  func() error
-	closeFn  func() error
+	// workers, healthFn, drainFn, closeFn, resizeFn, workersFn abstract
+	// over the Server/Pool split for the lifecycle surface.
+	workers   int
+	healthFn  func() []gateway.ShardHealth
+	drainFn   func() error
+	closeFn   func() error
+	resizeFn  func(int) error
+	workersFn func() int
 
-	drainMu   sync.Mutex
-	drainDone bool
-	drainErr  error
+	// lc is the shared lifecycle state machine: it memoizes Drain and
+	// Close and rejects illegal transitions with a typed
+	// *LifecycleError. The eager constructors return it pre-advanced to
+	// Healthy; the deferred constructor leaves it Initializing.
+	lc *lifecycle.Machine
 
-	closeMu  sync.Mutex
-	closed   bool
-	closeErr error
+	// elastic, when enabled, autoscales the parser worker domains from
+	// submission-queue backlog (batched pool servers only).
+	elasticMu sync.Mutex
+	elastic   *netElastic
 
 	connMu sync.Mutex
 	nextID int
@@ -74,7 +80,7 @@ type NetServer struct {
 // handling is serialized behind a mutex.
 func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 	var mu sync.Mutex
-	return &NetServer{
+	return servingNet(&NetServer{
 		log: logger,
 		handle: func(ctx context.Context, clientID int, req workload.Request) Response {
 			mu.Lock()
@@ -102,7 +108,27 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 			defer mu.Unlock()
 			return srv.Close()
 		},
-	}
+		resizeFn: func(k int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.ResizeWorkers(k)
+		},
+		workersFn: func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Workers()
+		},
+	})
+}
+
+// servingNet advances a freshly built NetServer's lifecycle machine to
+// Healthy — the eager-constructor pattern (resources were allocated
+// inline, the server serves immediately).
+func servingNet(n *NetServer) *NetServer {
+	n.lc = lifecycle.NewMachine("kvstore.NetServer")
+	_ = n.lc.Init(nil)  //lint:errclass fresh machine; Init from StateInitializing cannot fail
+	_ = n.lc.Start(nil) //lint:errclass inited machine; Start cannot fail
+	return n
 }
 
 // serverHealth is the single-server shard-health row.
@@ -125,14 +151,25 @@ func serverHealth(srv *Server) []gateway.ShardHealth {
 // pool synchronizes internally per shard, so requests for keys on
 // different shards execute in parallel.
 func NewNetServerPool(p *Pool, logger *log.Logger) *NetServer {
+	return servingNet(NewDeferredNetServerPool(p, logger))
+}
+
+// NewDeferredNetServerPool is NewNetServerPool without the lifecycle
+// advancement: the returned server is Initializing, and Init + Start
+// must run before it may Drain, Stop, or resize (Serve itself does not
+// consult the machine — legacy constructors advance it for you).
+func NewDeferredNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 	return &NetServer{
-		log:      logger,
-		handle:   p.HandleContext,
-		stats:    func(w io.Writer) error { return WriteStats(w, p) },
-		workers:  p.Workers(),
-		healthFn: p.Health,
-		drainFn:  p.Drain,
-		closeFn:  p.Close,
+		log:       logger,
+		handle:    p.HandleContext,
+		stats:     func(w io.Writer) error { return WriteStats(w, p) },
+		workers:   p.Workers(),
+		healthFn:  p.Health,
+		drainFn:   p.Drain,
+		closeFn:   p.Close,
+		resizeFn:  p.ResizeWorkers,
+		workersFn: p.ShardWorkers,
+		lc:        lifecycle.NewMachine("kvstore.NetServer"),
 	}
 }
 
@@ -163,6 +200,10 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 	if depth < 1 {
 		depth = 1
 	}
+	// n is assigned below; the drain loops only observe it after a task
+	// travels through a queue, which happens-after the constructor
+	// returns.
+	var n *NetServer
 	q, err := submit.New(submit.Config{
 		Workers:  p.Workers(),
 		Depth:    depth,
@@ -178,20 +219,25 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 				t.Payload.(*asyncReq).resp = resps[i]
 				t.Resolve(nil)
 			}
+			// Elastic evaluation is event-driven (per executed batch):
+			// no wall-clock timers on the simulated-machine side.
+			n.maybeScale()
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	n := &NetServer{
-		log:      logger,
-		stats:    func(w io.Writer) error { return WriteStats(w, p) },
-		queues:   q,
-		workers:  p.Workers(),
-		healthFn: p.Health,
-		drainFn:  p.Drain,
-		closeFn:  p.Close,
-	}
+	n = servingNet(&NetServer{
+		log:       logger,
+		stats:     func(w io.Writer) error { return WriteStats(w, p) },
+		queues:    q,
+		workers:   p.Workers(),
+		healthFn:  p.Health,
+		drainFn:   p.Drain,
+		closeFn:   p.Close,
+		resizeFn:  p.ResizeWorkers,
+		workersFn: p.ShardWorkers,
+	})
 	n.handle = func(ctx context.Context, clientID int, req workload.Request) Response {
 		a := &asyncReq{clientID: clientID, req: req}
 		fut, err := q.Submit(p.shardIndex(req.Key), ctx, a)
@@ -238,22 +284,40 @@ func (n *NetServer) SetGateway(gw *gateway.Gateway) { n.gw = gw }
 // answered, drain loops exit) and releases the underlying server or
 // pool, propagating its error. Idempotent: later calls return the first
 // outcome. Serve must have returned (or never been called).
-func (n *NetServer) Close() error {
-	n.closeMu.Lock()
-	defer n.closeMu.Unlock()
-	if n.closed {
-		return n.closeErr
-	}
-	n.closed = true
+func (n *NetServer) Close() error { return n.lc.Close(n.closeImpl) }
+
+// Stop is the strict lifecycle form of Close: same teardown, but a
+// second Stop returns a typed *LifecycleError instead of the memoized
+// outcome. ctx is accepted for interface symmetry; teardown is bounded
+// by the queue flush and store backends, not the context.
+func (n *NetServer) Stop(ctx context.Context) error {
+	_ = ctx
+	return n.lc.Stop(n.closeImpl)
+}
+
+// closeImpl is the teardown the lifecycle machine memoizes.
+func (n *NetServer) closeImpl() error {
 	if n.queues != nil {
 		n.queues.Flush()
 		n.queues.Close()
 	}
 	if n.closeFn != nil {
-		n.closeErr = n.closeFn()
+		return n.closeFn()
 	}
-	return n.closeErr
+	return nil
 }
+
+// Init advances the lifecycle machine past resource allocation (the
+// wrapped server or pool was allocated at construction). Only servers
+// from NewDeferredNetServerPool need it; the eager constructors have
+// already advanced the machine.
+func (n *NetServer) Init() error { return n.lc.Init(nil) }
+
+// Start moves the server to StateHealthy (see Init).
+func (n *NetServer) Start() error { return n.lc.Start(nil) }
+
+// State returns the server's lifecycle state.
+func (n *NetServer) State() lifecycle.State { return n.lc.State() }
 
 // Drain shuts the server down gracefully, in the order that makes
 // "every ack durable, nothing after" true: (1) stop admission — the
@@ -265,31 +329,153 @@ func (n *NetServer) Close() error {
 // request that still reaches a shard. Idempotent: later calls return
 // the first outcome.
 func (n *NetServer) Drain() error {
-	n.drainMu.Lock()
-	defer n.drainMu.Unlock()
-	if n.drainDone {
-		return n.drainErr
-	}
-	n.drainDone = true
-	if n.gw != nil {
-		n.gw.StartDrain()
-	}
-	if n.queues != nil {
-		n.queues.Flush()
-		n.queues.Close()
-	}
-	if n.drainFn != nil {
-		n.drainErr = n.drainFn()
-	}
-	return n.drainErr
+	return n.lc.Drain(func() error {
+		if n.gw != nil {
+			n.gw.StartDrain()
+		}
+		if n.queues != nil {
+			n.queues.Flush()
+			n.queues.Close()
+		}
+		if n.drainFn != nil {
+			return n.drainFn()
+		}
+		return nil
+	})
 }
 
-// Draining reports whether Drain has been called.
+// Draining reports whether Drain has been called (and Stop has not yet
+// superseded it).
 func (n *NetServer) Draining() bool {
-	n.drainMu.Lock()
-	defer n.drainMu.Unlock()
-	return n.drainDone
+	return n.lc.State() == lifecycle.StateDraining
 }
+
+// ResizeWorkers grows or shrinks the parser worker-domain set of the
+// wrapped server (or of every shard of the wrapped pool) to k. Legal
+// while Healthy or Degraded.
+func (n *NetServer) ResizeWorkers(k int) error {
+	if err := n.lc.Resizable(); err != nil {
+		return err
+	}
+	if n.resizeFn == nil {
+		return fmt.Errorf("kvstore: resize workers: server has no resizable backend")
+	}
+	return n.resizeFn(k)
+}
+
+// netElastic is the parser-worker autoscaler state. The controller is
+// deliberately wall-clock-free: it evaluates once per executed batch
+// (an event the virtual-time side already generates) and scales from
+// submission-queue backlog.
+type netElastic struct {
+	min, max int
+	// idle counts consecutive low-backlog evaluations; netShrinkIdleEvals
+	// of them halve the worker set.
+	idle    int
+	grown   uint64
+	shrunk  uint64
+	maxSeen int
+}
+
+// netShrinkIdleEvals is the number of consecutive low-backlog batch
+// evaluations before the elastic controller shrinks.
+const netShrinkIdleEvals = 16
+
+// EnableElastic turns on parser-worker autoscaling between min and max
+// workers per shard: the worker set doubles when the queued backlog
+// reaches two batches per live worker and halves after a sustained idle
+// stretch. Requires a batched pool server; call before Serve. The
+// server starts at min workers.
+func (n *NetServer) EnableElastic(min, max int) error {
+	if err := n.lc.Resizable(); err != nil {
+		return err
+	}
+	if n.queues == nil || n.resizeFn == nil {
+		return fmt.Errorf("kvstore: elastic mode needs a batched pool server")
+	}
+	if min < 1 || max < min || max > MaxResizeWorkers {
+		return fmt.Errorf("kvstore: elastic bounds [%d, %d] out of range [1, %d]", min, max, MaxResizeWorkers)
+	}
+	if err := n.resizeFn(min); err != nil {
+		return err
+	}
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	n.elastic = &netElastic{min: min, max: max, maxSeen: min}
+	return nil
+}
+
+// NetElasticStats reports the autoscaler's activity.
+type NetElasticStats struct {
+	// Grown and Shrunk count resize operations in each direction.
+	Grown, Shrunk uint64
+	// MaxWorkers is the highest per-shard worker count reached; Workers
+	// is the current one.
+	MaxWorkers, Workers int
+}
+
+// ElasticStats returns the autoscaler's counters (zero value when
+// elastic mode is off).
+func (n *NetServer) ElasticStats() NetElasticStats {
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	if n.elastic == nil {
+		return NetElasticStats{}
+	}
+	return NetElasticStats{
+		Grown:      n.elastic.grown,
+		Shrunk:     n.elastic.shrunk,
+		MaxWorkers: n.elastic.maxSeen,
+		Workers:    n.workersFn(),
+	}
+}
+
+// maybeScale runs one elastic evaluation: grow (double, capped) when
+// the queued backlog reaches two requests per live worker per shard,
+// shrink (halve, floored) after netShrinkIdleEvals consecutive
+// evaluations with at most one queued request per live worker.
+func (n *NetServer) maybeScale() {
+	n.elasticMu.Lock()
+	defer n.elasticMu.Unlock()
+	e := n.elastic
+	if e == nil {
+		return
+	}
+	perShard := n.queues.TotalLoad() / int64(n.workers)
+	cur := n.workersFn()
+	switch {
+	case perShard >= int64(2*cur) && cur < e.max:
+		next := cur * 2
+		if next > e.max {
+			next = e.max
+		}
+		if err := n.resizeFn(next); err == nil {
+			e.grown++
+			e.idle = 0
+			if next > e.maxSeen {
+				e.maxSeen = next
+			}
+		}
+	case perShard <= int64(cur):
+		e.idle++
+		if e.idle >= netShrinkIdleEvals && cur > e.min {
+			next := cur / 2
+			if next < e.min {
+				next = e.min
+			}
+			if err := n.resizeFn(next); err == nil {
+				e.shrunk++
+			}
+			e.idle = 0
+		}
+	default:
+		e.idle = 0
+	}
+}
+
+// Interface compliance: the net server implements the shared lifecycle
+// contract.
+var _ lifecycle.Component = (*NetServer)(nil)
 
 // SetRequestTimeout installs a per-request deadline (0 disables it, the
 // default). Call before Serve.

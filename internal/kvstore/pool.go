@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gateway"
+	"repro/internal/lifecycle"
 	"repro/internal/workload"
 )
 
@@ -25,12 +26,18 @@ import (
 type Pool struct {
 	shards []*kvShard
 
-	// closeMu/closed/closeErr memoize Close: a second Close must not
-	// re-run the shard closes (a released store double-closing is a
-	// correctness bug) and must report the same outcome as the first.
-	closeMu  sync.Mutex
-	closed   bool
-	closeErr error
+	// lc is the shared lifecycle state machine (internal/lifecycle): it
+	// memoizes Close (a second Close must not re-run the shard closes —
+	// a released store double-closing is a correctness bug — and must
+	// report the same outcome as the first), memoizes Drain, and rejects
+	// illegal transitions with a typed *LifecycleError.
+	lc *lifecycle.Machine
+
+	// Deferred-construction inputs, consumed by Init.
+	syscfg   core.Config
+	cfg      ServerConfig
+	n        int
+	capacity uint64
 }
 
 type kvShard struct {
@@ -49,52 +56,108 @@ const StorageUDIForPool core.UDI = 1
 // MaxValueSize (a shard that cannot hold one maximum item would reject
 // valid requests), so total capacity is at least n*MaxValueSize.
 func NewPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) (*Pool, error) {
+	p := NewDeferredPool(syscfg, cfg, n, capacity)
+	if err := p.Init(); err != nil {
+		return nil, err
+	}
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewDeferredPool constructs a pool without allocating its shards: the
+// lifecycle pattern's cheap construction. Call Init to build the shards
+// and Start to serve; NewPool does all three.
+func NewDeferredPool(syscfg core.Config, cfg ServerConfig, n int, capacity uint64) *Pool {
 	if n <= 0 {
 		n = 1
 	}
 	if capacity == 0 {
 		capacity = 64 << 20
 	}
-	perShard := capacity / uint64(n)
-	if perShard < MaxValueSize {
-		perShard = MaxValueSize
+	return &Pool{
+		lc:       lifecycle.NewMachine("kvstore.Pool"),
+		syscfg:   syscfg,
+		cfg:      cfg,
+		n:        n,
+		capacity: capacity,
 	}
-	p := &Pool{shards: make([]*kvShard, n)}
-	for i := range p.shards {
-		sys := core.NewSystem(syscfg)
-		cache, err := NewCache(sys, StorageUDIForPool, perShard)
-		if err != nil {
-			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
-		}
-		// Persistence shards with the keys: each shard owns a private
-		// store directory (its keys never migrate, so its WAL+snapshot
-		// are self-contained and shards recover independently).
-		shardCfg := cfg
-		if cfg.Persist != nil && cfg.Persist.Dir != "" {
-			pc := *cfg.Persist
-			pc.Dir = filepath.Join(cfg.Persist.Dir, fmt.Sprintf("shard-%02d", i))
-			shardCfg.Persist = &pc
-		}
-		srv, err := NewServer(sys, cache, shardCfg)
-		if err != nil {
-			return nil, fmt.Errorf("kvstore: pool shard %d: %w", i, err)
-		}
-		p.shards[i] = &kvShard{srv: srv, cache: cache}
-	}
-	return p, nil
 }
+
+// Init builds the pool's shards — each a fresh core.System, cache
+// shard, and Server. Legal exactly once, from StateInitializing; a
+// failed Init releases the shards it built and may be retried.
+func (p *Pool) Init() error {
+	return p.lc.Init(func() error {
+		perShard := p.capacity / uint64(p.n)
+		if perShard < MaxValueSize {
+			perShard = MaxValueSize
+		}
+		shards := make([]*kvShard, p.n)
+		for i := range shards {
+			sys := core.NewSystem(p.syscfg)
+			cache, err := NewCache(sys, StorageUDIForPool, perShard)
+			if err != nil {
+				closeShards(shards[:i])
+				return fmt.Errorf("kvstore: pool shard %d: %w", i, err)
+			}
+			// Persistence shards with the keys: each shard owns a private
+			// store directory (its keys never migrate, so its WAL+snapshot
+			// are self-contained and shards recover independently).
+			shardCfg := p.cfg
+			if p.cfg.Persist != nil && p.cfg.Persist.Dir != "" {
+				pc := *p.cfg.Persist
+				pc.Dir = filepath.Join(p.cfg.Persist.Dir, fmt.Sprintf("shard-%02d", i))
+				shardCfg.Persist = &pc
+			}
+			srv, err := NewServer(sys, cache, shardCfg)
+			if err != nil {
+				closeShards(shards[:i])
+				return fmt.Errorf("kvstore: pool shard %d: %w", i, err)
+			}
+			shards[i] = &kvShard{srv: srv, cache: cache}
+		}
+		p.shards = shards
+		return nil
+	})
+}
+
+// closeShards best-effort-releases partially built shards after a
+// failed Init; the init failure is the error callers must see.
+func closeShards(shards []*kvShard) {
+	for _, sh := range shards {
+		if sh != nil {
+			_ = sh.srv.Close() //lint:errclass best-effort unwind; the init failure is the error callers must see
+		}
+	}
+}
+
+// Start moves the pool to StateHealthy. Legal exactly once, after Init;
+// the shards themselves serve from construction, so Start is purely a
+// lifecycle transition.
+func (p *Pool) Start() error { return p.lc.Start(nil) }
+
+// State returns the pool's lifecycle state.
+func (p *Pool) State() lifecycle.State { return p.lc.State() }
 
 // Close flushes and releases every shard's durability backend (no-op
 // for memory-only pools). The first error wins; every shard is still
 // closed. Idempotent: later calls return the first call's outcome
 // without touching the shards again.
-func (p *Pool) Close() error {
-	p.closeMu.Lock()
-	defer p.closeMu.Unlock()
-	if p.closed {
-		return p.closeErr
-	}
-	p.closed = true
+func (p *Pool) Close() error { return p.lc.Close(p.teardown) }
+
+// Stop is the strict lifecycle form of Close: same teardown, but a
+// second Stop returns a typed *LifecycleError instead of the memoized
+// outcome. ctx is accepted for interface symmetry; shard teardown is
+// bounded by the store backends, not the context.
+func (p *Pool) Stop(ctx context.Context) error {
+	_ = ctx
+	return p.lc.Stop(p.teardown)
+}
+
+// teardown closes every shard; first error wins.
+func (p *Pool) teardown() error {
 	var first error
 	for i, sh := range p.shards {
 		sh.mu.Lock()
@@ -104,7 +167,6 @@ func (p *Pool) Close() error {
 			first = fmt.Errorf("kvstore: pool shard %d: %w", i, err)
 		}
 	}
-	p.closeErr = first
 	return first
 }
 
@@ -113,19 +175,56 @@ func (p *Pool) Close() error {
 // and the last WAL commit are one atomic step per shard — a request
 // racing the drain either executes fully durable or is rejected with
 // ErrDrained, never acked-but-lost. First error wins; every shard is
-// still drained. Idempotent per shard.
+// still drained. Idempotent: later calls return the first outcome.
 func (p *Pool) Drain() error {
+	return p.lc.Drain(func() error {
+		var first error
+		for i, sh := range p.shards {
+			sh.mu.Lock()
+			err := sh.srv.Drain()
+			sh.mu.Unlock()
+			if err != nil && first == nil {
+				first = fmt.Errorf("kvstore: pool shard %d drain: %w", i, err)
+			}
+		}
+		return first
+	})
+}
+
+// ResizeWorkers grows or shrinks every shard's parser worker-domain set
+// to n (SDRaD mode only). Shards themselves cannot resize — key
+// placement is part of the store's identity — but the per-client parser
+// domains are pristine between requests, so their count is purely a
+// concurrency knob. Legal while Healthy or Degraded; a partial failure
+// leaves shards at different counts and reports the first error.
+func (p *Pool) ResizeWorkers(n int) error {
+	if err := p.lc.Resizable(); err != nil {
+		return err
+	}
 	var first error
 	for i, sh := range p.shards {
 		sh.mu.Lock()
-		err := sh.srv.Drain()
+		err := sh.srv.ResizeWorkers(n)
 		sh.mu.Unlock()
 		if err != nil && first == nil {
-			first = fmt.Errorf("kvstore: pool shard %d drain: %w", i, err)
+			first = fmt.Errorf("kvstore: pool shard %d resize: %w", i, err)
 		}
 	}
 	return first
 }
+
+// ShardWorkers returns shard 0's parser worker-domain count (every
+// shard is kept at the same count by ResizeWorkers).
+func (p *Pool) ShardWorkers() int {
+	sh := p.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv.Workers()
+}
+
+// Interface compliance: the pool implements the shared lifecycle
+// contract.
+var _ lifecycle.Component = (*Pool)(nil)
 
 // Health reports each shard's serving state for the lifecycle
 // endpoints: fail-stop dominates, then drained, then degraded

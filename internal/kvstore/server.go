@@ -226,6 +226,58 @@ func (s *Server) observeBatch(rep sdrad.BatchReport) {
 // Mode returns the server's mode.
 func (s *Server) Mode() Mode { return s.cfg.Mode }
 
+// Workers returns the live parser worker-domain count (0 outside SDRaD
+// mode).
+func (s *Server) Workers() int { return len(s.workers) }
+
+// MaxResizeWorkers caps ResizeWorkers: each worker domain consumes one
+// of the simulated machine's 16 protection keys, and the storage
+// domain, the default key, and the root-protected key are spoken for.
+const MaxResizeWorkers = 12
+
+// ResizeWorkers grows or shrinks the parser worker-domain set to n
+// (SDRaD mode only). Worker domains are pristine between requests —
+// each request stages, parses, and discards — so the count is purely a
+// concurrency/placement knob: a request's result is identical whichever
+// worker parses it. Grown workers are fresh domains at the next UDIs;
+// shrinking deinitializes the tail workers (releasing their protection
+// keys and pages), so client→worker placement keeps its stable prefix.
+func (s *Server) ResizeWorkers(n int) error {
+	if s.cfg.Mode != ModeSDRaD {
+		return fmt.Errorf("kvstore: resize workers: mode %v has no worker domains", s.cfg.Mode)
+	}
+	if n < 1 || n > MaxResizeWorkers {
+		return fmt.Errorf("kvstore: resize workers: %d out of range [1, %d]", n, MaxResizeWorkers)
+	}
+	cur := len(s.workers)
+	if n > cur {
+		sup := sdrad.Attach(s.sys)
+		for i := cur; i < n; i++ {
+			udi := s.cfg.FirstWorkerUDI + core.UDI(i)
+			if _, err := s.sys.InitDomain(udi, core.DomainConfig{
+				HeapPages:  8,
+				StackPages: 4,
+			}); err != nil {
+				return fmt.Errorf("kvstore: resize worker %d: %w", i, err)
+			}
+			d, err := sup.DomainAt(int(udi))
+			if err != nil {
+				return fmt.Errorf("kvstore: resize worker %d: %w", i, err)
+			}
+			d.OnBatch(s.observeBatch)
+			s.workers = append(s.workers, d)
+		}
+	}
+	for i := cur - 1; i >= n; i-- {
+		if err := s.workers[i].Close(); err != nil {
+			return fmt.Errorf("kvstore: retire worker %d: %w", i, err)
+		}
+		s.workers = s.workers[:i]
+	}
+	s.cfg.Workers = n
+	return nil
+}
+
 // Cache returns the underlying cache.
 func (s *Server) Cache() *Cache { return s.cache }
 

@@ -19,7 +19,9 @@ var errUnresolved = errors.New("submit: executor did not resolve task")
 // OverloadError reports that a submission was rejected because the
 // target worker's queue was full — the admission-control signal. It is
 // an error value (not a panic or a block) so servers can translate it
-// into a load-shedding response.
+// into a load-shedding response. A queue that is being removed by a
+// shrink rejects with the same error: the submitter fails over exactly
+// as it would from a full queue.
 type OverloadError struct {
 	// Worker is the queue that rejected the submission.
 	Worker int
@@ -139,13 +141,23 @@ func (c *Config) fill() error {
 }
 
 // workerQ is one bounded FIFO plus its synchronization. A mutex/cond
-// pair (rather than a channel) lets Close and blocking submits interact
-// without send-on-closed races.
+// pair (rather than a channel) lets Close, Resize, and blocking submits
+// interact without send-on-closed races.
 type workerQ struct {
 	mu    sync.Mutex
-	fill  sync.Cond // signaled when a task arrives or the queues close
+	fill  sync.Cond // signaled when a task arrives or the queue closes
 	space sync.Cond // signaled when the drain loop takes tasks
 	items []*Task
+
+	// closing marks a queue being removed by Resize: new submissions
+	// are rejected (overload, so submitters fail over), the backlog is
+	// executed to completion, then the drain loop exits. Under mu.
+	closing bool
+	// done is closed when the drain loop has exited; Resize waits on
+	// it so the removed queue's backlog is fully executed — every
+	// admitted task resolved, every durable effect committed — before
+	// Resize returns.
+	done chan struct{}
 
 	// load counts queued plus executing tasks; read lock-free by
 	// dispatch policies.
@@ -158,12 +170,26 @@ type workerQ struct {
 	maxBatch  int
 }
 
+func newWorkerQ() *workerQ {
+	wq := &workerQ{done: make(chan struct{})}
+	wq.fill.L = &wq.mu
+	wq.space.L = &wq.mu
+	return wq
+}
+
 // Queues is a set of per-worker bounded submission queues with one drain
-// goroutine per worker. Create with New; safe for concurrent use.
+// goroutine per worker. The queue set is elastic: Resize adds queues
+// (fresh drain loops) or removes them from the tail (backlog executed,
+// then the loop exits). Create with New; safe for concurrent use.
 type Queues struct {
-	cfg    Config
-	qs     []*workerQ
+	cfg Config
+	// qs is the published queue snapshot: readers (Submit, Load,
+	// Stats) load it atomically, Resize swaps it under resizeMu.
+	qs     atomic.Pointer[[]*workerQ]
 	closed atomic.Bool
+
+	// resizeMu serializes Resize and Close against each other.
+	resizeMu sync.Mutex
 
 	// pending tracks accepted-but-unresolved tasks for Flush.
 	flushMu   sync.Mutex
@@ -178,23 +204,34 @@ func New(cfg Config) (*Queues, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	q := &Queues{cfg: cfg, qs: make([]*workerQ, cfg.Workers)}
+	q := &Queues{cfg: cfg}
 	q.flushCond.L = &q.flushMu
-	for i := range q.qs {
-		wq := &workerQ{}
-		wq.fill.L = &wq.mu
-		wq.space.L = &wq.mu
-		q.qs[i] = wq
+	qs := make([]*workerQ, cfg.Workers)
+	for i := range qs {
+		qs[i] = newWorkerQ()
 	}
-	for i := range q.qs {
+	q.qs.Store(&qs)
+	for i, wq := range qs {
 		q.wg.Add(1)
-		go q.drain(i)
+		go q.drain(wq, i)
 	}
 	return q, nil
 }
 
-// Workers returns the number of queues.
-func (q *Queues) Workers() int { return len(q.qs) }
+// snapshot returns the published queue set.
+func (q *Queues) snapshot() []*workerQ { return *q.qs.Load() }
+
+// at maps a possibly stale worker index onto the current snapshot.
+func at(qs []*workerQ, w int) (*workerQ, int) {
+	w %= len(qs)
+	if w < 0 {
+		w += len(qs)
+	}
+	return qs[w], w
+}
+
+// Workers returns the current number of queues.
+func (q *Queues) Workers() int { return len(q.snapshot()) }
 
 // Depth returns the per-worker queue capacity. Servers use it to derive
 // deterministic retry hints: the capacity is configuration, not load, so
@@ -202,31 +239,55 @@ func (q *Queues) Workers() int { return len(q.qs) }
 func (q *Queues) Depth() int { return q.cfg.Depth }
 
 // Load returns worker w's current occupancy (queued + executing),
-// suitable as a least-loaded dispatch signal.
-func (q *Queues) Load(w int) int64 { return q.qs[w].load.Load() }
+// suitable as a least-loaded dispatch signal. A stale index (from a
+// concurrent shrink) maps onto the current queue set.
+func (q *Queues) Load(w int) int64 {
+	wq, _ := at(q.snapshot(), w)
+	return wq.load.Load()
+}
+
+// TotalLoad returns the summed occupancy across all queues — the
+// queue-depth pressure signal elastic controllers scale on.
+func (q *Queues) TotalLoad() int64 {
+	var n int64
+	for _, wq := range q.snapshot() {
+		n += wq.load.Load()
+	}
+	return n
+}
 
 // Submit enqueues a task for worker w without blocking. It returns the
-// task's future, an *OverloadError when the queue is full, or ErrClosed
-// after Close. ctx is attached to the task for the executor; a ctx
-// already cancelled is still accepted (the executor resolves it).
+// task's future, an *OverloadError when the queue is full (or being
+// removed by a shrink), or ErrClosed after Close. ctx is attached to
+// the task for the executor; a ctx already cancelled is still accepted
+// (the executor resolves it).
 func (q *Queues) Submit(w int, ctx context.Context, payload any) (*Future, error) {
 	return q.submit(w, ctx, payload, false)
 }
 
 // SubmitWait is Submit, but when the queue is full it blocks until space
-// frees up (or the queues close) instead of rejecting. It exists for
-// callers that provide their own admission control, like DoBatch.
+// frees up (or the queue closes or shrinks away) instead of rejecting.
+// It exists for callers that provide their own admission control, like
+// DoBatch.
 func (q *Queues) SubmitWait(w int, ctx context.Context, payload any) (*Future, error) {
 	return q.submit(w, ctx, payload, true)
 }
 
 func (q *Queues) submit(w int, ctx context.Context, payload any, wait bool) (*Future, error) {
-	wq := q.qs[w]
+	wq, w := at(q.snapshot(), w)
 	wq.mu.Lock()
 	for {
 		if q.closed.Load() {
 			wq.mu.Unlock()
 			return nil, ErrClosed
+		}
+		if wq.closing {
+			// The queue is being removed: reject as overload so the
+			// submitter's failover path re-dispatches to a live queue.
+			depth := len(wq.items)
+			wq.rejected++
+			wq.mu.Unlock()
+			return nil, &OverloadError{Worker: w, Depth: depth, Capacity: q.cfg.Depth}
 		}
 		if len(wq.items) < q.cfg.Depth {
 			break
@@ -254,15 +315,16 @@ func (q *Queues) submit(w int, ctx context.Context, payload any, wait bool) (*Fu
 	return t.fut, nil
 }
 
-// drain is worker w's loop: block for the first task, take up to
-// MaxBatch, execute, repeat. On close it fails the remaining backlog
-// with ErrClosed.
-func (q *Queues) drain(w int) {
+// drain is one queue's loop: block for the first task, take up to
+// MaxBatch, execute, repeat. On Close it fails the remaining backlog
+// with ErrClosed; on a shrink (closing) it executes the full backlog —
+// preserving every admitted task's effects — and then exits.
+func (q *Queues) drain(wq *workerQ, w int) {
 	defer q.wg.Done()
-	wq := q.qs[w]
+	defer close(wq.done)
 	for {
 		wq.mu.Lock()
-		for len(wq.items) == 0 && !q.closed.Load() {
+		for len(wq.items) == 0 && !q.closed.Load() && !wq.closing {
 			wq.fill.Wait()
 		}
 		if q.closed.Load() {
@@ -274,6 +336,13 @@ func (q *Queues) drain(w int) {
 				wq.load.Add(-1)
 			}
 			q.finish(len(rest))
+			return
+		}
+		if wq.closing && len(wq.items) == 0 {
+			// Shrink exit: the backlog has fully executed (admitted
+			// tasks resolved, their batches committed) — only now may
+			// the queue disappear.
+			wq.mu.Unlock()
 			return
 		}
 		n := len(wq.items)
@@ -323,20 +392,74 @@ func (q *Queues) Flush() {
 	q.flushMu.Unlock()
 }
 
+// Resize grows or shrinks the queue set to n. Growing appends fresh
+// queues with their own drain loops; shrinking removes queues from the
+// tail in the acked-work-preserving order: the queue is first
+// unpublished (new submissions cannot reach it; racing stale
+// submissions are rejected as overload and fail over), then its entire
+// backlog executes through Exec — so every admitted task resolves and
+// every durable effect its batch carries commits — and only then does
+// its drain loop exit. Resize returns once every removed queue has
+// fully drained. Returns ErrClosed after Close.
+func (q *Queues) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("submit: resize to %d queues (want >= 1)", n)
+	}
+	q.resizeMu.Lock()
+	defer q.resizeMu.Unlock()
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	cur := q.snapshot()
+	if n == len(cur) {
+		return nil
+	}
+	if n > len(cur) {
+		next := make([]*workerQ, n)
+		copy(next, cur)
+		for i := len(cur); i < n; i++ {
+			wq := newWorkerQ()
+			next[i] = wq
+			q.wg.Add(1)
+			go q.drain(wq, i)
+		}
+		q.qs.Store(&next)
+		return nil
+	}
+	next := make([]*workerQ, n)
+	copy(next, cur[:n])
+	q.qs.Store(&next)
+	removed := cur[n:]
+	for _, wq := range removed {
+		wq.mu.Lock()
+		wq.closing = true
+		wq.fill.Broadcast()
+		wq.space.Broadcast()
+		wq.mu.Unlock()
+	}
+	for _, wq := range removed {
+		<-wq.done
+	}
+	return nil
+}
+
 // Close stops accepting submissions, fails the queued backlog with
 // ErrClosed, waits for in-flight batches to finish, and returns. It is
 // idempotent. Call Flush first for a graceful drain.
 func (q *Queues) Close() {
+	q.resizeMu.Lock()
 	if q.closed.Swap(true) {
+		q.resizeMu.Unlock()
 		q.wg.Wait()
 		return
 	}
-	for _, wq := range q.qs {
+	for _, wq := range q.snapshot() {
 		wq.mu.Lock()
 		wq.fill.Broadcast()
 		wq.space.Broadcast()
 		wq.mu.Unlock()
 	}
+	q.resizeMu.Unlock()
 	q.wg.Wait()
 }
 
@@ -351,9 +474,10 @@ type QueueStats struct {
 	MaxBatch int
 }
 
-// Stats returns a snapshot of worker w's queue counters.
+// Stats returns a snapshot of worker w's queue counters. A stale index
+// maps onto the current queue set.
 func (q *Queues) Stats(w int) QueueStats {
-	wq := q.qs[w]
+	wq, _ := at(q.snapshot(), w)
 	wq.mu.Lock()
 	defer wq.mu.Unlock()
 	return QueueStats{

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/lifecycle"
 )
 
 // This file implements Pool, the concurrency layer of the public API.
@@ -23,9 +24,24 @@ import (
 // the least-loaded worker (round-robin tiebreak), run in that worker's
 // warm domain, and the domain is discarded on return, so every Run starts
 // from pristine memory without paying domain init/deinit per request.
+//
+// The worker set is elastic (DESIGN.md §13): Resize publishes a new
+// worker-set snapshot atomically. A hot-added worker enters dispatch
+// only after a clean warm-up Enter/sweep proved its fresh domain
+// pristine; a removed worker is first unpublished (no new dispatch can
+// reach it), then its in-flight work finishes under its lock, its
+// domain closes, and the husk is retired — kept for stats aggregation so
+// DetectionCounts/DomainStats never lose the work it did.
 
-// ErrPoolClosed is returned by Run/RunOn after Close.
+// ErrPoolClosed is returned by Run/RunOn after Close (and while the pool
+// is draining: admission has stopped).
 var ErrPoolClosed = errors.New("sdrad: pool is closed")
+
+// errWorkerRetired is the internal re-dispatch signal: a call raced a
+// shrink onto a worker that was retired before the call acquired its
+// lock. The dispatcher retries against the current worker set; the
+// sentinel never escapes to callers.
+var errWorkerRetired = errors.New("sdrad: pool worker retired")
 
 // poolWorker is one shard: a private simulated machine plus its warm
 // domain. The mutex serializes all access to the worker's Supervisor,
@@ -39,21 +55,43 @@ type poolWorker struct {
 	// dispatch and is read without the lock.
 	inflight atomic.Int64
 	requests atomic.Uint64
+	// retired marks a worker removed by Resize or Close: its domain is
+	// gone and it must never execute again — a racing call that lands
+	// here re-dispatches. Written and read under mu.
+	retired bool
 	// closedStats snapshots the warm domain's lifecycle counters just
-	// before Close tears it down, so post-Close accounting (DomainStats)
-	// reports the work done instead of silently reading zero. Written
-	// and read under mu.
+	// before the domain is torn down (Close or a shrink), so post-Close
+	// accounting (DomainStats) reports the work done instead of silently
+	// reading zero. Written and read under mu.
 	closedStats      DomainStats
 	closedStatsValid bool
 }
 
 // Pool executes isolated domains on N parallel workers. Unlike Supervisor
 // and Domain, a Pool is safe for concurrent use by any number of
-// goroutines. Create with NewPool.
+// goroutines. Create with NewPool (or NewDeferredPool for the
+// lifecycle-managed form); Resize grows or shrinks the worker set at
+// runtime.
 type Pool struct {
-	workers []*poolWorker
-	rr      atomic.Uint64
-	closed  atomic.Bool
+	lc *lifecycle.Machine
+	// construction parameters, kept so Resize can build new workers
+	// identical to the originals.
+	supOpts []Option
+	domOpts []DomainOption
+	n       int
+
+	// workers is the published worker-set snapshot: dispatch paths load
+	// it atomically; Resize/teardown swap it under retireMu.
+	workers  atomic.Pointer[[]*poolWorker]
+	rr       atomic.Uint64
+	closed   atomic.Bool
+	draining atomic.Bool
+
+	// retireMu serializes worker-set mutations (Resize, teardown) and
+	// guards retired.
+	retireMu sync.Mutex
+	// retired holds workers removed by shrinks, for stats aggregation.
+	retired []*poolWorker
 }
 
 // NewPool creates a pool of n workers (n <= 0 means runtime.NumCPU()),
@@ -65,51 +103,293 @@ func NewPool(n int, opts ...Option) (*Pool, error) {
 }
 
 // testHookWorkerCreated, when non-nil, observes each worker as pool
-// construction brings it up. It is a test seam: the partial-failure
-// cleanup test uses it to reach workers that a failed NewPoolWithDomain
-// never returns.
+// construction (or a grow) brings it up. It is a test seam: the
+// partial-failure cleanup test uses it to reach workers that a failed
+// NewPoolWithDomain never returns.
 var testHookWorkerCreated func(i int, w *poolWorker)
 
 // NewPoolWithDomain is NewPool with explicit configuration for the warm
 // domain of every worker (heap pages, stack pages, ...). If any worker
 // fails to initialize, the domains of the workers already brought up are
-// closed before the error returns.
+// closed before the error returns. The returned pool is already serving
+// (Init and Start have run).
 func NewPoolWithDomain(n int, domOpts []DomainOption, opts ...Option) (*Pool, error) {
-	if n <= 0 {
-		n = runtime.NumCPU()
+	p := NewDeferredPool(n, domOpts, opts...)
+	if err := p.Init(); err != nil {
+		return nil, err
 	}
-	p := &Pool{workers: make([]*poolWorker, n)}
-	for i := range p.workers {
-		sup := New(opts...)
-		dom, err := sup.NewDomain(domOpts...)
-		if err != nil {
-			for _, w := range p.workers[:i] {
-				_ = w.dom.Close() //lint:errclass best-effort unwind; the construction failure is the error callers must see
-			}
-			return nil, fmt.Errorf("sdrad: pool worker %d: %w", i, err)
-		}
-		p.workers[i] = &poolWorker{sup: sup, dom: dom}
-		if testHookWorkerCreated != nil {
-			testHookWorkerCreated(i, p.workers[i])
-		}
+	if err := p.Start(); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
-// Workers returns the number of parallel workers.
-func (p *Pool) Workers() int { return len(p.workers) }
+// NewDeferredPool constructs a pool without allocating its workers: the
+// lifecycle-managed form (DESIGN.md §13). Call Init to build the worker
+// machines and Start to begin serving; until then the pool is in
+// StateInitializing and rejects work.
+func NewDeferredPool(n int, domOpts []DomainOption, opts ...Option) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &Pool{
+		lc:      lifecycle.NewMachine("sdrad.Pool"),
+		supOpts: opts,
+		domOpts: domOpts,
+		n:       n,
+	}
+}
 
-// pick chooses the least-loaded worker, breaking ties round-robin so
-// idle workers rotate instead of piling onto worker 0, and reserves an
-// inflight slot on the winner in the same atomic step. Reserving inside
-// the pick (dispatch.Acquire) rather than later in runOn closes the
-// window where a burst of concurrent Dos all observed the same idle
-// worker and piled onto it; the caller owns the reservation and runOn
-// releases it.
-func (p *Pool) pick() int {
-	return dispatch.Acquire(len(p.workers), int(p.rr.Add(1)-1), func(i int) *atomic.Int64 {
-		return &p.workers[i].inflight
+// newWorker builds one worker: a private Supervisor plus its warm
+// domain, from the pool's construction parameters.
+func (p *Pool) newWorker() (*poolWorker, error) {
+	sup := New(p.supOpts...)
+	dom, err := sup.NewDomain(p.domOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &poolWorker{sup: sup, dom: dom}, nil
+}
+
+// warmUp is the clean warm-up pass a hot-added worker must survive
+// before entering dispatch: one Enter with a trivial body (paying entry,
+// integrity sweep, and exit on the worker's own virtual clock) followed
+// by the same discard-on-return scrub real calls get, proving the fresh
+// domain starts pristine.
+func (w *poolWorker) warmUp() error {
+	err := w.sup.sys.EnterWithBudget(w.dom.udi, 0, func(*Ctx) error { return nil })
+	if !core.RewoundBy(err, w.sup.sys, w.dom.udi) {
+		if derr := w.dom.Discard(); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// Init allocates the pool's workers (lifecycle: legal once, from
+// StateInitializing). NewPool calls it for you; it exists for deferred
+// pools.
+func (p *Pool) Init() error {
+	return p.lc.Init(func() error {
+		ws := make([]*poolWorker, p.n)
+		for i := range ws {
+			w, err := p.newWorker()
+			if err != nil {
+				for _, u := range ws[:i] {
+					_ = u.dom.Close() //lint:errclass best-effort unwind; the construction failure is the error callers must see
+				}
+				return fmt.Errorf("sdrad: pool worker %d: %w", i, err)
+			}
+			ws[i] = w
+			if testHookWorkerCreated != nil {
+				testHookWorkerCreated(i, w)
+			}
+		}
+		p.workers.Store(&ws)
+		return nil
 	})
+}
+
+// Start moves the pool to StateHealthy and opens dispatch (lifecycle:
+// legal once, after Init).
+func (p *Pool) Start() error { return p.lc.Start(nil) }
+
+// State returns the pool's lifecycle state.
+func (p *Pool) State() lifecycle.State { return p.lc.State() }
+
+// Drain stops admission (new calls return ErrPoolClosed) and blocks
+// until every in-flight call has finished. Idempotent; legal after
+// Start.
+func (p *Pool) Drain() error {
+	return p.lc.Drain(func() error {
+		p.draining.Store(true)
+		for {
+			idle := true
+			for _, w := range p.snapshot() {
+				if w.inflight.Load() != 0 {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				return nil
+			}
+			runtime.Gosched()
+		}
+	})
+}
+
+// Stop tears down every worker's warm domain (lifecycle: legal once;
+// Close is the idempotent form legacy call sites use).
+func (p *Pool) Stop(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return p.lc.Stop(p.teardown)
+}
+
+// Close tears down every worker's warm domain. Runs that lost the race
+// return ErrPoolClosed. Idempotent: later calls return the first
+// outcome.
+func (p *Pool) Close() error { return p.lc.Close(p.teardown) }
+
+// teardown closes every live worker's domain (retired workers already
+// closed theirs during the shrink that removed them).
+func (p *Pool) teardown() error {
+	p.retireMu.Lock()
+	defer p.retireMu.Unlock()
+	p.closed.Store(true)
+	var first error
+	for i, w := range p.snapshot() {
+		if err := retireWorker(w); err != nil && first == nil {
+			first = fmt.Errorf("sdrad: pool worker %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// retireWorker waits out the worker's current call, snapshots its
+// domain counters, closes the domain, and marks it retired.
+func retireWorker(w *poolWorker) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.retired {
+		return nil
+	}
+	if st, err := w.dom.Stats(); err == nil {
+		w.closedStats, w.closedStatsValid = st, true
+	}
+	w.retired = true
+	return w.dom.Close()
+}
+
+// snapshot returns the published worker set (nil before Init).
+func (p *Pool) snapshot() []*poolWorker {
+	ws := p.workers.Load()
+	if ws == nil {
+		return nil
+	}
+	return *ws
+}
+
+// allWorkers returns the live workers plus the retired husks, for stats
+// aggregators: a shrink must never make completed work disappear from
+// DetectionCounts/DomainStats/VirtualCycles.
+func (p *Pool) allWorkers() []*poolWorker {
+	ws := p.snapshot()
+	p.retireMu.Lock()
+	if len(p.retired) > 0 {
+		all := make([]*poolWorker, 0, len(ws)+len(p.retired))
+		all = append(all, ws...)
+		all = append(all, p.retired...)
+		ws = all
+	}
+	p.retireMu.Unlock()
+	return ws
+}
+
+// Workers returns the current number of parallel workers.
+func (p *Pool) Workers() int { return len(p.snapshot()) }
+
+// Resize grows or shrinks the worker set to n (lifecycle: legal only
+// while serving — Healthy or Degraded). Growing builds fresh workers
+// from the pool's construction parameters and publishes them only after
+// each passes its clean warm-up Enter/sweep. Shrinking removes workers
+// from the tail: the worker is first unpublished (new dispatch cannot
+// reach it; a racing call that already picked it transparently
+// re-dispatches), then its in-flight call finishes, its domain closes,
+// and the husk is retired into the stats aggregation set. Worker
+// indices of the surviving prefix are stable, so WithWorker affinity
+// keys stay meaningful across resizes.
+func (p *Pool) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("sdrad: pool resize to %d workers (want >= 1)", n)
+	}
+	if err := p.lc.Resizable(); err != nil {
+		return err
+	}
+	p.retireMu.Lock()
+	defer p.retireMu.Unlock()
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	cur := p.snapshot()
+	if n == len(cur) {
+		return nil
+	}
+	if n > len(cur) {
+		added := make([]*poolWorker, 0, n-len(cur))
+		for i := len(cur); i < n; i++ {
+			w, err := p.newWorker()
+			if err == nil {
+				err = w.warmUp()
+			}
+			if err != nil {
+				for _, u := range added {
+					_ = u.dom.Close() //lint:errclass best-effort unwind; the grow failure is the error callers must see
+				}
+				return fmt.Errorf("sdrad: pool grow worker %d: %w", i, err)
+			}
+			if testHookWorkerCreated != nil {
+				testHookWorkerCreated(i, w)
+			}
+			added = append(added, w)
+		}
+		next := make([]*poolWorker, 0, n)
+		next = append(next, cur...)
+		next = append(next, added...)
+		p.workers.Store(&next)
+		return nil
+	}
+	next := make([]*poolWorker, n)
+	copy(next, cur[:n])
+	p.workers.Store(&next)
+	var first error
+	for i, w := range cur[n:] {
+		if err := retireWorker(w); err != nil && first == nil {
+			first = fmt.Errorf("sdrad: pool shrink worker %d: %w", n+i, err)
+		}
+		p.retired = append(p.retired, w)
+	}
+	return first
+}
+
+// pickFrom chooses the least-loaded worker of ws, breaking ties
+// round-robin so idle workers rotate instead of piling onto worker 0,
+// and reserves an inflight slot on the winner in the same atomic step.
+// Reserving inside the pick (dispatch.Acquire) rather than later in
+// runOn closes the window where a burst of concurrent Dos all observed
+// the same idle worker and piled onto it; the caller owns the
+// reservation and runOn releases it.
+func (p *Pool) pickFrom(ws []*poolWorker) *poolWorker {
+	return ws[dispatch.Acquire(len(ws), int(p.rr.Add(1)-1), func(i int) *atomic.Int64 {
+		return &ws[i].inflight
+	})]
+}
+
+// pin maps a WithWorker affinity key onto ws and reserves the worker's
+// inflight slot.
+func pin(ws []*poolWorker, worker int) *poolWorker {
+	idx := worker % len(ws)
+	if idx < 0 {
+		idx += len(ws)
+	}
+	w := ws[idx]
+	w.inflight.Add(1)
+	return w
+}
+
+// admit loads the current worker set, rejecting when the pool is not
+// serving.
+func (p *Pool) admit() ([]*poolWorker, error) {
+	if p.closed.Load() || p.draining.Load() {
+		return nil, ErrPoolClosed
+	}
+	ws := p.snapshot()
+	if len(ws) == 0 {
+		return nil, &lifecycle.LifecycleError{Component: "sdrad.Pool", Op: "Do", From: p.lc.State(), Reason: "before Init"}
+	}
+	return ws, nil
 }
 
 // Do implements Runner: it executes fn inside a pristine isolated domain
@@ -122,36 +402,46 @@ func (p *Pool) pick() int {
 // state never leaks between calls.
 func (p *Pool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
 	set := applyRunOptions(opts)
-	if p.closed.Load() {
-		return ErrPoolClosed
+	ws, err := p.admit()
+	if err != nil {
+		return err
 	}
-	hz := p.workers[0].sup.sys.Clock().Model().CPUHz
+	hz := ws[0].sup.sys.Clock().Model().CPUHz
 	return runPolicy(ctx, set, hz, func(budget uint64) (*core.System, core.UDI, error) {
-		var idx int
-		if set.hasWorker {
-			idx = set.worker % len(p.workers)
-			if idx < 0 {
-				idx += len(p.workers)
+		for {
+			cur := p.snapshot()
+			if len(cur) == 0 || p.closed.Load() {
+				return nil, 0, ErrPoolClosed
 			}
-			p.workers[idx].inflight.Add(1)
-		} else {
-			idx = p.pick()
+			var w *poolWorker
+			if set.hasWorker {
+				w = pin(cur, set.worker)
+			} else {
+				w = p.pickFrom(cur)
+			}
+			err := p.runOn(w, budget, fn)
+			if errors.Is(err, errWorkerRetired) {
+				// The worker was removed by a shrink between pick and
+				// lock; re-dispatch against the current set.
+				continue
+			}
+			return w.sup.sys, w.dom.udi, err
 		}
-		w := p.workers[idx]
-		return w.sup.sys, w.dom.udi, p.runOn(idx, budget, fn)
 	})
 }
 
-// runOn executes one attempt on worker idx with the given cycle budget,
+// runOn executes one attempt on worker w with the given cycle budget,
 // upholding the worker's single-goroutine contract and the discard-on-
 // return invariant. The caller has already reserved the worker's
-// inflight slot (pick for least-loaded dispatch, an explicit Add for
-// pinned calls); runOn releases it.
-func (p *Pool) runOn(idx int, budget uint64, fn func(*Ctx) error) error {
-	w := p.workers[idx]
+// inflight slot (pickFrom for least-loaded dispatch, pin for pinned
+// calls); runOn releases it.
+func (p *Pool) runOn(w *poolWorker, budget uint64, fn func(*Ctx) error) error {
 	defer w.inflight.Add(-1)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.retired {
+		return errWorkerRetired
+	}
 	w.requests.Add(1)
 	return p.attemptLocked(w, budget, fn)
 }
@@ -178,20 +468,51 @@ func (p *Pool) attemptLocked(w *poolWorker, budget uint64, fn func(*Ctx) error) 
 	return err
 }
 
-// execBatchOn executes calls as one batch on worker idx under the
-// replay rule of batch.go, returning the batch report and the virtual
-// cycles the worker's machine spent on it. The caller has reserved the
-// worker's inflight slot; execBatchOn releases it.
-func (p *Pool) execBatchOn(idx int, calls []*batchCall) (batchReport, uint64) {
-	w := p.workers[idx]
+// dispatchBatch resolves a batch's worker against the current worker
+// set and executes it, transparently re-dispatching if a shrink retires
+// the chosen worker first. With hasWorker, worker is the stable
+// affinity key (modulo the live size); otherwise the least-loaded
+// worker wins. It is the single batch entry point for DoBatch,
+// AsyncPool, and the campaign executors.
+func (p *Pool) dispatchBatch(worker int, hasWorker bool, calls []*batchCall) (batchReport, uint64) {
+	for {
+		ws := p.snapshot()
+		if len(ws) == 0 || p.closed.Load() {
+			for _, c := range calls {
+				c.err = ErrPoolClosed
+			}
+			return batchReport{}, 0
+		}
+		var w *poolWorker
+		if hasWorker {
+			w = pin(ws, worker)
+		} else {
+			w = p.pickFrom(ws)
+		}
+		if rep, cycles, ok := p.execBatchOn(w, calls); ok {
+			return rep, cycles
+		}
+	}
+}
+
+// execBatchOn executes calls as one batch on worker w under the replay
+// rule of batch.go, returning the batch report and the virtual cycles
+// the worker's machine spent on it. The caller has reserved the
+// worker's inflight slot; execBatchOn releases it. ok is false when the
+// worker was retired before the batch acquired its lock (the caller
+// re-dispatches; nothing ran).
+func (p *Pool) execBatchOn(w *poolWorker, calls []*batchCall) (rep batchReport, cycles uint64, ok bool) {
 	defer w.inflight.Add(-1)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.retired {
+		return batchReport{}, 0, false
+	}
 	if p.closed.Load() {
 		for _, c := range calls {
 			c.err = ErrPoolClosed
 		}
-		return batchReport{}, 0
+		return batchReport{}, 0, true
 	}
 	// Count only calls that will actually be attempted: a call whose
 	// context is already done never enters a domain on the serial path
@@ -219,8 +540,8 @@ func (p *Pool) execBatchOn(idx int, calls []*batchCall) (batchReport, uint64) {
 		},
 	}
 	start := w.sup.sys.Clock().Cycles()
-	rep := b.run(calls)
-	return rep, w.sup.sys.Clock().Cycles() - start
+	rep = b.run(calls)
+	return rep, w.sup.sys.Clock().Cycles() - start, true
 }
 
 // DoBatch executes fns as one coalesced batch on a single worker: one
@@ -238,27 +559,17 @@ func (p *Pool) DoBatch(ctx context.Context, fns []func(*Ctx) error, opts ...RunO
 	if len(fns) == 0 {
 		return errs
 	}
-	if p.closed.Load() {
+	if _, err := p.admit(); err != nil {
 		for i := range errs {
-			errs[i] = ErrPoolClosed
+			errs[i] = err
 		}
 		return errs
-	}
-	var idx int
-	if set.hasWorker {
-		idx = set.worker % len(p.workers)
-		if idx < 0 {
-			idx += len(p.workers)
-		}
-		p.workers[idx].inflight.Add(1)
-	} else {
-		idx = p.pick()
 	}
 	calls := make([]*batchCall, len(fns))
 	for i, fn := range fns {
 		calls[i] = &batchCall{ctx: ctx, fn: fn, set: set}
 	}
-	p.execBatchOn(idx, calls)
+	p.dispatchBatch(set.worker, set.hasWorker, calls)
 	for i, c := range calls {
 		errs[i] = c.err
 	}
@@ -284,32 +595,11 @@ func (p *Pool) RunWithFallback(fn func(*Ctx) error, fallback func(*ViolationErro
 	return p.Do(context.Background(), fn, WithFallback(fallback))
 }
 
-// Close tears down every worker's warm domain. Runs that lost the race
-// return ErrPoolClosed.
-func (p *Pool) Close() error {
-	if p.closed.Swap(true) {
-		return nil
-	}
-	var first error
-	for i, w := range p.workers {
-		w.mu.Lock()
-		if st, err := w.dom.Stats(); err == nil {
-			w.closedStats, w.closedStatsValid = st, true
-		}
-		err := w.dom.Close()
-		w.mu.Unlock()
-		if err != nil && first == nil {
-			first = fmt.Errorf("sdrad: pool worker %d: %w", i, err)
-		}
-	}
-	return first
-}
-
 // DetectionCounts aggregates the per-mechanism containment counters
-// across all workers.
+// across all workers, including workers retired by shrinks.
 func (p *Pool) DetectionCounts() map[string]uint64 {
 	out := make(map[string]uint64)
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		//lint:detorder commutative per-mechanism sums into a map; no order-dependent state
 		for mech, n := range w.sup.DetectionCounts() {
@@ -320,11 +610,13 @@ func (p *Pool) DetectionCounts() map[string]uint64 {
 	return out
 }
 
-// WorkerDetectionCounts returns each worker's containment counters
-// individually (index = worker); summing them gives DetectionCounts.
+// WorkerDetectionCounts returns each live worker's containment counters
+// individually (index = worker). Workers retired by shrinks are not
+// listed here — their counters remain in the DetectionCounts aggregate.
 func (p *Pool) WorkerDetectionCounts() []map[string]uint64 {
-	out := make([]map[string]uint64, len(p.workers))
-	for i, w := range p.workers {
+	ws := p.snapshot()
+	out := make([]map[string]uint64, len(ws))
+	for i, w := range ws {
 		w.mu.Lock()
 		out[i] = w.sup.DetectionCounts()
 		w.mu.Unlock()
@@ -333,10 +625,10 @@ func (p *Pool) WorkerDetectionCounts() []map[string]uint64 {
 }
 
 // MemoryStats aggregates the simulated-memory accounting across all
-// workers' machines.
+// workers' machines, including workers retired by shrinks.
 func (p *Pool) MemoryStats() MemoryStats {
 	var agg MemoryStats
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		ms := w.sup.MemoryStats()
 		w.mu.Unlock()
@@ -356,10 +648,11 @@ func (p *Pool) MemoryStats() MemoryStats {
 
 // VirtualTime returns the elapsed virtual time of the pool as a parallel
 // machine: the maximum across workers (they run concurrently, so the
-// slowest worker bounds the makespan).
+// slowest worker bounds the makespan). Retired workers count: their
+// elapsed time bounded the makespan while they were live.
 func (p *Pool) VirtualTime() time.Duration {
 	var max time.Duration
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		vt := w.sup.VirtualTime()
 		w.mu.Unlock()
@@ -370,12 +663,13 @@ func (p *Pool) VirtualTime() time.Duration {
 	return max
 }
 
-// TotalVirtualTime returns the summed virtual time across workers — the
-// aggregate simulated CPU time consumed, the basis of the sustainability
-// accounting. TotalVirtualTime/VirtualTime measures achieved parallelism.
+// TotalVirtualTime returns the summed virtual time across workers
+// (including retired ones) — the aggregate simulated CPU time consumed,
+// the basis of the sustainability accounting. TotalVirtualTime/
+// VirtualTime measures achieved parallelism.
 func (p *Pool) TotalVirtualTime() time.Duration {
 	var sum time.Duration
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		sum += w.sup.VirtualTime()
 		w.mu.Unlock()
@@ -384,12 +678,13 @@ func (p *Pool) TotalVirtualTime() time.Duration {
 }
 
 // VirtualCycles returns the summed virtual cycles across all workers'
-// machines — the aggregate simulated CPU time as an exact integer
-// (TotalVirtualTime rounds through the cost model's frequency; the
-// campaign engine's parity oracles need the cycles themselves).
+// machines (including retired ones) — the aggregate simulated CPU time
+// as an exact integer (TotalVirtualTime rounds through the cost model's
+// frequency; the campaign engine's parity oracles need the cycles
+// themselves).
 func (p *Pool) VirtualCycles() uint64 {
 	var sum uint64
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		sum += w.sup.sys.Clock().Cycles()
 		w.mu.Unlock()
@@ -398,12 +693,13 @@ func (p *Pool) VirtualCycles() uint64 {
 }
 
 // DomainStats aggregates the warm domains' lifecycle counters across all
-// workers (entries, clean exits, violations, rewinds, preemptions).
-// After Close it returns the counters snapshotted at teardown, so final
-// accounting still reflects the work done.
+// workers, including retired ones (entries, clean exits, violations,
+// rewinds, preemptions). After a worker's domain is torn down (Close or
+// a shrink) its counters come from the snapshot taken at teardown, so
+// final accounting still reflects the work done.
 func (p *Pool) DomainStats() DomainStats {
 	var agg DomainStats
-	for _, w := range p.workers {
+	for _, w := range p.allWorkers() {
 		w.mu.Lock()
 		st, err := w.dom.Stats()
 		if err != nil && w.closedStatsValid {
@@ -425,17 +721,19 @@ func (p *Pool) DomainStats() DomainStats {
 
 // PoolStats reports per-worker dispatch accounting.
 type PoolStats struct {
-	// Requests counts calls dispatched per worker: one per serial Do
-	// attempt (retries count each attempt) and one per batched call
+	// Requests counts calls dispatched per live worker: one per serial
+	// Do attempt (retries count each attempt) and one per batched call
 	// admitted with a live context (a batch's serial replays do not
 	// count again).
 	Requests []uint64
 }
 
-// Stats returns a snapshot of the dispatch counters.
+// Stats returns a snapshot of the dispatch counters for the live
+// workers.
 func (p *Pool) Stats() PoolStats {
-	st := PoolStats{Requests: make([]uint64, len(p.workers))}
-	for i, w := range p.workers {
+	ws := p.snapshot()
+	st := PoolStats{Requests: make([]uint64, len(ws))}
+	for i, w := range ws {
 		st.Requests[i] = w.requests.Load()
 	}
 	return st

@@ -1,9 +1,12 @@
 package sdrad
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/lifecycle"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -190,17 +193,26 @@ func TestFourteenDomainLimit(t *testing.T) {
 	}
 }
 
-func TestCloseTwiceFails(t *testing.T) {
+func TestCloseIdempotent(t *testing.T) {
 	sup := New()
 	dom, _ := sup.NewDomain()
 	if err := dom.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := dom.Close(); err == nil {
-		t.Error("double close accepted")
+	// Close is memoized: the second call is a no-op returning the first
+	// call's result, per the lifecycle contract.
+	if err := dom.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if got := dom.State(); got != lifecycle.StateStopped {
+		t.Errorf("state after close = %v, want %v", got, lifecycle.StateStopped)
 	}
 	if err := dom.Run(func(*Ctx) error { return nil }); err == nil {
 		t.Error("Run on closed domain accepted")
+	}
+	// Stop after Close is still an illegal transition (strict Stop).
+	if err := dom.Stop(context.Background()); err == nil {
+		t.Error("Stop after Close accepted")
 	}
 }
 
