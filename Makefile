@@ -13,10 +13,11 @@ check: fmt vet lint build test race test-lifecycle
 # lifecycletest battery against every component (Domain, Pool,
 # AsyncPool, kvstore.Pool, both NetServers), the -race elasticity
 # hammers (concurrent Resize under load with a mid-run drain), the
-# retired-worker and durable-acked-write regressions, and the
-# controller grow/shrink cycle.
+# retired-worker and durable-acked-write regressions, the controller
+# grow/shrink cycle, and the drain regressions (whole-call drain
+# accounting, controller-teardown deadlock freedom, batch shedding).
 test-lifecycle:
-	$(GO) test -race -run 'TestLifecycleConformance|TestElastic|TestResize|TestRetiredWorkerNeverRedispatched' ./...
+	$(GO) test -race -run 'TestLifecycleConformance|TestElastic|TestResiz|TestRetiredWorkerNeverRedispatched|Drain' ./...
 
 # Lint gate: the sdradlint invariant analyzers (internal/analysis) over
 # every package — wall-clock ban, uncharged-accessor containment,

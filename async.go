@@ -336,7 +336,16 @@ func (a *AsyncPool) Flush() {
 // Drain stops admission gracefully: the elastic controller stops, every
 // admitted call resolves (Flush), then the queues close so later
 // submissions fail with ErrAsyncClosed. Idempotent; legal after Start.
-// The wrapped Pool stays open.
+// The wrapped Pool stays open; when the pool is to be drained too,
+// drain this layer first — Pool.Drain sheds batches that arrive after
+// it starts.
+//
+// stopController runs inside the machine transition (the machine mutex
+// is held), which is deadlock-free only because lifecycle.Resizable is
+// lock-free: the machine publishes StateDraining before this callback
+// runs, so a controller loop concurrently inside Resize observes the
+// typed refusal and returns to its select — where stopController's stop
+// signal reaches it — instead of blocking on the mutex held here.
 func (a *AsyncPool) Drain() error {
 	return a.lc.Drain(func() error {
 		a.stopController()
@@ -365,6 +374,8 @@ func (a *AsyncPool) Stop(ctx context.Context) error {
 // Drain) first for a graceful stop.
 func (a *AsyncPool) Close() error { return a.lc.Close(a.teardown) }
 
+// teardown runs under the machine mutex (Stop/Close transition); see
+// the Drain comment for why stopController cannot deadlock there.
 func (a *AsyncPool) teardown() error {
 	a.stopController()
 	if q := a.queues(); q != nil {

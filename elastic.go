@@ -102,6 +102,16 @@ func (a *AsyncPool) EnableElastic(cfg ElasticConfig) error {
 	}
 	a.ctrlMu.Lock()
 	defer a.ctrlMu.Unlock()
+	// Re-check now that ctrlMu is held: Drain/Stop publish the machine
+	// state before running stopController (which also takes ctrlMu), so
+	// either this check observes Draining/Stopped and refuses, or the
+	// teardown's stopController has yet to take ctrlMu and will stop
+	// whatever is installed here. Without the re-check a controller
+	// installed in the window between the gate above and a completed
+	// Drain would leak its loop onto a drained layer.
+	if err := a.lc.Resizable(); err != nil {
+		return err
+	}
 	if a.ctrl != nil {
 		return fmt.Errorf("sdrad: elastic controller already enabled")
 	}

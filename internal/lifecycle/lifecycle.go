@@ -261,6 +261,12 @@ func (m *Machine) Degrade() bool {
 // machine to StateDraining. Legal from Healthy or Degraded; idempotent
 // (a second Drain returns the first outcome without re-running fn);
 // illegal before Start or after Stop.
+//
+// The machine moves to StateDraining before fn runs, so the lock-free
+// observers (State, Resizable) report the transition while the drain
+// work is still in progress. Components rely on that ordering to stop
+// helper goroutines from inside fn: a helper probing Resizable sees an
+// immediate refusal instead of blocking on the mutex fn's caller holds.
 func (m *Machine) Drain(fn func() error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -295,7 +301,9 @@ func (m *Machine) Stop(fn func() error) error {
 }
 
 // stopLocked performs the teardown transition (caller holds mu and has
-// validated legality).
+// validated legality). Like Drain, it publishes StateStopped before
+// running fn, so lock-free observers see the transition while teardown
+// is still in progress.
 func (m *Machine) stopLocked(fn func() error) error {
 	m.stopped = true
 	m.set(StateStopped)
@@ -328,18 +336,25 @@ func (m *Machine) Close(fn func() error) error {
 // Resizable returns nil when a resize is legal (serving: Healthy or
 // Degraded) and the typed refusal otherwise — the gate every elastic
 // component's Resize calls first.
+//
+// Resizable is deliberately lock-free: it reads the atomic state mirror
+// and never takes the machine mutex. Drain and Stop hold that mutex
+// while their work functions run, and those work functions may wait for
+// an elastic controller goroutine to exit — a goroutine whose resize
+// loop probes Resizable. Because the state is published before the work
+// function starts, such a probe observes the Draining/Stopped refusal
+// immediately instead of deadlocking against the transition waiting for
+// it.
 func (m *Machine) Resizable() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.cur == StateHealthy || m.cur == StateDegraded {
+	s := m.State()
+	if s == StateHealthy || s == StateDegraded {
 		return nil
 	}
-	op := "Resize"
 	reason := ""
-	if !m.started {
+	if s == StateInitializing {
 		reason = "before Start"
 	}
-	return m.refuse(op, reason)
+	return &LifecycleError{Component: m.name, Op: "Resize", From: s, Reason: reason}
 }
 
 // Monotone reports whether a transition from s to t respects the

@@ -87,6 +87,15 @@ type Pool struct {
 	closed   atomic.Bool
 	draining atomic.Bool
 
+	// calls counts whole pool calls in flight (Do, DoBatch, and external
+	// dispatchBatch entries) — unlike the per-worker inflight slots it
+	// covers a call between retry attempts, when no worker is reserved.
+	// Drain waits on it through drainCond (on drainMu), signalled when
+	// the count hits zero while draining.
+	calls     atomic.Int64
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+
 	// retireMu serializes worker-set mutations (Resize, teardown) and
 	// guards retired.
 	retireMu sync.Mutex
@@ -107,6 +116,13 @@ func NewPool(n int, opts ...Option) (*Pool, error) {
 // partial-failure cleanup test uses it to reach workers that a failed
 // NewPoolWithDomain never returns.
 var testHookWorkerCreated func(i int, w *poolWorker)
+
+// testHookDispatchAttempt, when non-nil, observes each dispatch attempt
+// of Pool.Do before a worker is picked (attempt starts at 1; policy
+// retries and errWorkerRetired re-dispatches each count). It is a test
+// seam: the drain regression uses it to park a call between attempts —
+// the window in which it holds no worker inflight slot.
+var testHookDispatchAttempt func(attempt int)
 
 // NewPoolWithDomain is NewPool with explicit configuration for the warm
 // domain of every worker (heap pages, stack pages, ...). If any worker
@@ -132,12 +148,14 @@ func NewDeferredPool(n int, domOpts []DomainOption, opts ...Option) *Pool {
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
-	return &Pool{
+	p := &Pool{
 		lc:      lifecycle.NewMachine("sdrad.Pool"),
 		supOpts: opts,
 		domOpts: domOpts,
 		n:       n,
 	}
+	p.drainCond = sync.NewCond(&p.drainMu)
+	return p
 }
 
 // newWorker builds one worker: a private Supervisor plus its warm
@@ -198,25 +216,43 @@ func (p *Pool) Start() error { return p.lc.Start(nil) }
 func (p *Pool) State() lifecycle.State { return p.lc.State() }
 
 // Drain stops admission (new calls return ErrPoolClosed) and blocks
-// until every in-flight call has finished. Idempotent; legal after
-// Start.
+// until every in-flight call has returned — whole calls, not attempts:
+// a call parked between retry attempts (or between an errWorkerRetired
+// re-dispatch) holds no worker slot, but Drain still waits for it, so
+// no admitted call can execute after Drain returns. Batches arriving
+// through dispatchBatch once draining has begun are shed with
+// ErrPoolClosed, so an async layer still feeding the pool cannot extend
+// the drain indefinitely; for the graceful order, drain the AsyncPool
+// first (its backlog then executes before admission closes here).
+// Idempotent; legal after Start.
 func (p *Pool) Drain() error {
 	return p.lc.Drain(func() error {
 		p.draining.Store(true)
-		for {
-			idle := true
-			for _, w := range p.snapshot() {
-				if w.inflight.Load() != 0 {
-					idle = false
-					break
-				}
-			}
-			if idle {
-				return nil
-			}
-			runtime.Gosched()
+		p.drainMu.Lock()
+		defer p.drainMu.Unlock()
+		for p.calls.Load() != 0 {
+			p.drainCond.Wait()
 		}
+		return nil
 	})
+}
+
+// beginCall registers one whole pool call for drain accounting. It must
+// run before the admission check: Drain stores the draining flag and
+// then reads the counter, so a call that incremented first is either
+// observed by that read or itself observes draining and rejects — the
+// pair closes the window where a call admitted before Drain holds no
+// worker slot between attempts.
+func (p *Pool) beginCall() { p.calls.Add(1) }
+
+// endCall retires a whole pool call and wakes a waiting Drain when the
+// last one leaves.
+func (p *Pool) endCall() {
+	if p.calls.Add(-1) == 0 && p.draining.Load() {
+		p.drainMu.Lock()
+		p.drainCond.Broadcast()
+		p.drainMu.Unlock()
+	}
 }
 
 // Stop tears down every worker's warm domain (lifecycle: legal once;
@@ -402,13 +438,20 @@ func (p *Pool) admit() ([]*poolWorker, error) {
 // state never leaks between calls.
 func (p *Pool) Do(ctx context.Context, fn func(*Ctx) error, opts ...RunOption) error {
 	set := applyRunOptions(opts)
+	p.beginCall()
+	defer p.endCall()
 	ws, err := p.admit()
 	if err != nil {
 		return err
 	}
 	hz := ws[0].sup.sys.Clock().Model().CPUHz
+	attempt := 0
 	return runPolicy(ctx, set, hz, func(budget uint64) (*core.System, core.UDI, error) {
 		for {
+			attempt++
+			if testHookDispatchAttempt != nil {
+				testHookDispatchAttempt(attempt)
+			}
 			cur := p.snapshot()
 			if len(cur) == 0 || p.closed.Load() {
 				return nil, 0, ErrPoolClosed
@@ -473,11 +516,18 @@ func (p *Pool) attemptLocked(w *poolWorker, budget uint64, fn func(*Ctx) error) 
 // the chosen worker first. With hasWorker, worker is the stable
 // affinity key (modulo the live size); otherwise the least-loaded
 // worker wins. It is the single batch entry point for DoBatch,
-// AsyncPool, and the campaign executors.
+// AsyncPool, and the campaign executors. A batch arriving after Drain
+// began is shed with ErrPoolClosed: unlike serial Do calls (admitted
+// before the drain, allowed to finish their retries), batch traffic
+// reaches here without pool admission — the async layer feeds batches
+// for as long as it lives, and a drain that honored them would never
+// terminate. A batch already executing on a worker still completes.
 func (p *Pool) dispatchBatch(worker int, hasWorker bool, calls []*batchCall) (batchReport, uint64) {
+	p.beginCall()
+	defer p.endCall()
 	for {
 		ws := p.snapshot()
-		if len(ws) == 0 || p.closed.Load() {
+		if len(ws) == 0 || p.closed.Load() || p.draining.Load() {
 			for _, c := range calls {
 				c.err = ErrPoolClosed
 			}
