@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint docs build test race test-lifecycle bench bench-pools bench-batched bench-durable bench-elastic bench-smoke campaign-smoke
+.PHONY: check fmt vet lint docs build test race test-lifecycle test-cluster bench bench-pools bench-batched bench-durable bench-elastic bench-cluster bench-smoke campaign-smoke
 
-check: fmt vet lint build test race test-lifecycle
+check: fmt vet lint build test race test-lifecycle test-cluster
 
 # Lifecycle/elasticity conformance tier (DESIGN.md §13): the shared
 # lifecycletest battery against every component (Domain, Pool,
@@ -18,6 +18,14 @@ check: fmt vet lint build test race test-lifecycle
 # accounting, controller-teardown deadlock freedom, batch shedding).
 test-lifecycle:
 	$(GO) test -race -run 'TestLifecycleConformance|TestElastic|TestResiz|TestRetiredWorkerNeverRedispatched|Drain' ./...
+
+# Cluster tier gate (DESIGN.md §14): rendezvous placement, lease
+# membership, crash/rolling/partition state-machine tests, the wire
+# fuzz seeds, the churn dispatch hammer (no acked write lost, no nacked
+# write executed), and the cluster==single-pool differential oracle —
+# all under the race detector.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/...
 
 # Lint gate: the sdradlint invariant analyzers (internal/analysis) over
 # every package — wall-clock ban, uncharged-accessor containment,
@@ -85,6 +93,16 @@ bench-elastic:
 	$(GO) run ./cmd/benchjson -bench 'ElasticBurst|AsyncPoolSubmit' \
 		-benchtime 2000x -out BENCH_PR9.json -baseline BENCH_PR7.json
 
+# Cluster routing overhead on the E1 hot path: routed dispatch at
+# 1/2/4 nodes (rendezvous placement + lease heartbeat + synchronous
+# replication) against the single-pool E1 SDRaD baseline, emitted as
+# BENCH_PR10.json with the PR 9 report embedded for comparison. The
+# vops/s metric uses the cluster's parallel makespan (max across
+# nodes), matching the pool convention.
+bench-cluster:
+	$(GO) run ./cmd/benchjson -bench 'ClusterRouter|E1KVSDRaD$$' \
+		-benchtime 200x -out BENCH_PR10.json -baseline BENCH_PR9.json
+
 # One-iteration smoke pass over the suite (CI: proves the benches run).
 bench-smoke:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_CI.json
@@ -93,11 +111,13 @@ bench-smoke:
 # attacked scenarios plus one benign control (so every oracle — same
 # seed, worker counts, benign cycle parity — actually runs) plus the
 # elastic-resize scenario (so the resize oracle replays its grow/shrink
-# schedule), ~1s wall budget. Writes the JSON trace to CAMPAIGN_CI.json
-# for artifact upload; two runs of this target produce byte-identical
-# traces.
+# schedule), plus the cluster==single-pool differential oracle at node
+# counts 1/2/4, serial and batched 8/32, through node-crash,
+# rolling-restart, and partition schedules. Writes the JSON trace to
+# CAMPAIGN_CI.json for artifact upload; two runs of this target produce
+# byte-identical traces.
 campaign-smoke:
 	$(GO) run ./cmd/sdrad-campaign -seed 42 -requests 100 \
 		-scenarios kv-pool-mixed,http-domain-malformed,ffi-bridge-binary,kv-pool-benign,kv-pool-resize \
 		-gateway gw-attack-tenants \
-		-oracles -out CAMPAIGN_CI.json
+		-oracles -cluster -out CAMPAIGN_CI.json

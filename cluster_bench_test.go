@@ -1,0 +1,58 @@
+// Benchmarks for the cluster tier (DESIGN.md §14): routed dispatch
+// through the rendezvous placement + lease heartbeat + synchronous
+// replication path at 1/2/4 nodes, reported in the same vops/s metric
+// as the single-pool E1 baselines so `make bench-cluster` can diff the
+// routing overhead directly.
+package sdrad_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/workload"
+)
+
+func benchCluster(b *testing.B, nodes, replicas int) {
+	b.Helper()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Nodes:    nodes,
+		Replicas: replicas,
+		Sys:      core.DefaultConfig(),
+		Server:   kvstore.ServerConfig{Mode: kvstore.ModeSDRaD, Workers: 2, InterArrival: time.Nanosecond},
+		Capacity: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if cerr := router.Close(); cerr != nil {
+			b.Fatal(cerr)
+		}
+	}()
+	gen, err := workload.NewKV(workload.KVConfig{Seed: 1, Keys: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	startVT := router.VirtualTime() // exclude setup from the virtual metric
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := router.HandleContext(ctx, i%8, gen.Next()); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	b.StopTimer()
+	// The cluster's virtual makespan is the max across nodes, which run
+	// concurrently — the same parallel-time convention Pool uses.
+	if vt := time.Duration(router.VirtualTime() - startVT); vt > 0 {
+		b.ReportMetric(float64(b.N)/vt.Seconds(), "vops/s")
+	}
+}
+
+func BenchmarkClusterRouter1Node(b *testing.B)  { benchCluster(b, 1, 0) }
+func BenchmarkClusterRouter2Nodes(b *testing.B) { benchCluster(b, 2, 1) }
+func BenchmarkClusterRouter4Nodes(b *testing.B) { benchCluster(b, 4, 1) }

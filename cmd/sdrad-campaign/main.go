@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sdrad-campaign [-seed N] [-scenarios a,b|all] [-workers N]
-//	               [-requests N] [-batch K] [-gateway a,b|all] [-json] [-oracles] [-list] [-out FILE]
+//	               [-requests N] [-batch K] [-gateway a,b|all] [-json] [-oracles] [-cluster] [-list] [-out FILE]
 //
 // The trace is a pure function of the flags: the same invocation
 // produces byte-identical output, which is the property the campaign's
@@ -21,8 +21,12 @@
 // attacks, mid-run drain, quarantine/probe) and, with -oracles, their
 // isolation oracle: every benign tenant's outcomes and survivor digest
 // must be byte-identical with and without the hostile co-tenant, across
-// worker counts 1/4/8 serially and batch sizes 8/32. Exit status is 1
-// if any oracle fails.
+// worker counts 1/4/8 serially and batch sizes 8/32. -cluster (with
+// -oracles) adds the cluster==single-pool differential oracle: an
+// N-node sharded cluster fed the same seeded schedule — through node
+// crashes, rolling restarts, and partitions — must produce the same
+// per-request outcomes and survivor digest as one pool, at node counts
+// 1/2/4, serial and batched 8/32. Exit status is 1 if any oracle fails.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	sdrad "repro"
 	"repro/internal/campaign"
 	"repro/internal/campaign/scenarios"
+	"repro/internal/cluster"
 	"repro/internal/kvstore"
 )
 
@@ -49,6 +54,7 @@ func run(args []string, stdout *os.File) int {
 	asJSON := fs.Bool("json", false, "emit the full JSON trace instead of the text summary")
 	batch := fs.Int("batch", 0, "drive requests through the batched pipeline in waves of this size (0 = serial)")
 	oracles := fs.Bool("oracles", false, "also run the differential oracles (same-seed, worker counts 1/4/8, benign parity, batched==serial, crash recovery, gateway isolation)")
+	clusterOracle := fs.Bool("cluster", false, "with -oracles, also run the cluster==single-pool differential oracle (node counts 1/2/4, serial and batched 8/32, including node-crash, rolling-restart, and partition scenarios)")
 	gatewayList := fs.String("gateway", "", "comma-separated gateway scenario names, or 'all' (empty = skip the gateway tier)")
 	showList := fs.Bool("list", false, "list shipped scenarios and exit")
 	out := fs.String("out", "", "also write the JSON trace to this file")
@@ -180,6 +186,19 @@ func run(args []string, stdout *os.File) int {
 			return 1
 		}
 		results = append(results, isoResults...)
+	}
+	// Cluster differential oracle: an N-node cluster and a single pool
+	// fed the same seeded schedule must produce identical per-request
+	// outcomes and survivor digests — across node counts 1/2/4, serial
+	// and batched 8/32, through node-crash, rolling-restart, and
+	// partition membership schedules.
+	if *clusterOracle {
+		clResults, err := campaign.CheckCluster(&cluster.Harness{}, *seed, *requests, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdrad-campaign: oracles: %v\n", err)
+			return 1
+		}
+		results = append(results, clResults...)
 	}
 	failed := 0
 	for _, r := range results {

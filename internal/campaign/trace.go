@@ -46,6 +46,11 @@ const (
 	// OutcomeDrained: the arrival landed after drain started; admission
 	// was stopped.
 	OutcomeDrained = "drained"
+	// OutcomeUnavailable: the cluster router nacked the request because
+	// its slot had no reachable primary (crash or partition window). The
+	// nack is a promise the request executed nowhere; the differential
+	// oracle's single-pool side mirrors it by skipping the request.
+	OutcomeUnavailable = "unavailable"
 )
 
 // ScenarioTrace is the structured record of one scenario run.

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/lifecycle"
+	"repro/internal/lifecycle/lifecycletest"
+)
+
+// TestLifecycleConformanceCluster runs the shared lifecycle battery
+// against the cluster tier's two components: the router (which owns a
+// node fleet and a registry) and the registry itself. Both follow the
+// deferred-construction pattern, so New builds pristine un-Inited
+// instances.
+func TestLifecycleConformanceCluster(t *testing.T) {
+	lifecycletest.Run(t, []lifecycletest.Case{
+		{
+			Name: "cluster.Router",
+			New: func(t *testing.T) lifecycle.Component {
+				return NewDeferredRouter(RouterConfig{
+					Nodes:    2,
+					Replicas: 1,
+					Sys:      core.DefaultConfig(),
+					Server:   kvstore.ServerConfig{Mode: kvstore.ModeSDRaD},
+					Capacity: 16 << 20,
+				})
+			},
+		},
+		{
+			Name: "cluster.Registry",
+			New: func(t *testing.T) lifecycle.Component {
+				return NewDeferredRegistry(4)
+			},
+		},
+	})
+}

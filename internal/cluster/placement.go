@@ -1,0 +1,64 @@
+package cluster
+
+import "sort"
+
+// NodeID identifies a cluster node. IDs are small non-negative integers
+// assigned by the operator (or the router's -nodes flag); identity is
+// stable across restarts, so a rejoining node reclaims the slots the
+// rendezvous ranking gave it before it left.
+type NodeID int
+
+// NumSlots is the number of fixed virtual slots keys hash onto. Slots —
+// not keys — are the unit of placement and handoff: the router tracks
+// an owner (and replica set) per slot, so membership changes move whole
+// slots and the routing table stays O(NumSlots) regardless of key
+// count.
+const NumSlots = 64
+
+// FNV-1a constants (hash/fnv), inlined like the pool's shard hash so
+// the per-request routing path allocates nothing.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// KeySlot maps a key to its virtual slot. Every operation on a key
+// lands on the same slot — the cluster-level consistency invariant,
+// mirroring the pool's key→shard rule one level down.
+func KeySlot(key string) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return int(h % NumSlots)
+}
+
+// slotWeight is the rendezvous weight of node id for slot: a
+// deterministic 64-bit mix (splitmix64 finalizer) of the pair. Highest
+// weight wins ownership; the next-ranked nodes are the replica set.
+func slotWeight(slot int, id NodeID) uint64 {
+	z := uint64(slot)<<32 ^ uint64(uint32(id))
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RankNodes orders ids for slot by descending rendezvous weight (ties
+// break on the lower id, so the order is total and deterministic). The
+// first entry is the slot's owner, the following entries the replica
+// candidates. Rendezvous hashing gives the minimal-reshuffle property:
+// removing a node changes only the slots it appeared in at the
+// affected rank, and re-adding it restores exactly the prior ranking.
+func RankNodes(slot int, ids []NodeID) []NodeID {
+	out := append([]NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := slotWeight(slot, out[i]), slotWeight(slot, out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

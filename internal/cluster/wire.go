@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/lifecycle"
+	"repro/internal/workload"
+)
+
+// This file is the cluster wire codec: the compact binary frames the
+// router ships to nodes (requests) and to operators/peers (membership
+// snapshots). The router's dispatch path really encodes and decodes
+// every forwarded request — the hop is in-process today, but the codec
+// is the seam a TCP transport plugs into, and it is the attack surface
+// the FuzzWireDecode target hardens: DecodeRequest and
+// DecodeMembership must reject arbitrary bytes with ErrWire, never
+// panic or over-allocate.
+
+// Wire framing constants.
+const (
+	// wireMagic is the first byte of every frame.
+	wireMagic = 'S'
+	// wireVersion is the codec version.
+	wireVersion = 1
+	// frameRequest and frameMembership are the frame type bytes.
+	frameRequest    = 1
+	frameMembership = 3
+)
+
+// Decode hardening bounds: a frame claiming more than these is
+// rejected before any allocation is sized from attacker bytes.
+const (
+	// MaxWireKeyLen bounds a request frame's key.
+	MaxWireKeyLen = 256
+	// MaxWireMembers bounds a membership frame's member count.
+	MaxWireMembers = 1024
+)
+
+// ErrWire is the typed rejection for malformed wire frames.
+var ErrWire = errors.New("cluster: malformed wire frame")
+
+// RequestFrame is a decoded request frame: the submitting client and
+// the key-value operation.
+type RequestFrame struct {
+	// ClientID is the submitting client (worker-domain placement).
+	ClientID int
+	// Req is the operation.
+	Req workload.Request
+}
+
+// MemberRecord is one node's row in a membership frame.
+type MemberRecord struct {
+	// ID is the node.
+	ID NodeID
+	// State is the lease-derived health.
+	State MemberState
+	// Age is the cycles since the last lease renewal.
+	Age uint64
+}
+
+// MembershipFrame is a decoded membership snapshot.
+type MembershipFrame struct {
+	// Epoch is the membership epoch; Now the membership clock.
+	Epoch uint64
+	Now   uint64
+	// Members is the membership in ascending id order.
+	Members []MemberRecord
+}
+
+// appendUvarint appends v as a uvarint.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// uvarint reads a uvarint from b, returning the value and the bytes
+// consumed (0 on malformed input).
+func uvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+// EncodeRequest renders one forwarded request as a wire frame.
+func EncodeRequest(clientID int, req workload.Request) []byte {
+	out := make([]byte, 0, 16+len(req.Key)+len(req.Value))
+	out = append(out, wireMagic, wireVersion, frameRequest)
+	out = appendUvarint(out, uint64(clientID))
+	out = append(out, byte(req.Op))
+	mal := byte(0)
+	if req.Malicious {
+		mal = 1
+	}
+	out = append(out, mal)
+	out = appendUvarint(out, uint64(req.Flags))
+	out = appendUvarint(out, uint64(req.TTL))
+	out = appendUvarint(out, uint64(len(req.Key)))
+	out = append(out, req.Key...)
+	out = appendUvarint(out, uint64(len(req.Value)))
+	out = append(out, req.Value...)
+	return out
+}
+
+// DecodeRequest parses a request frame, rejecting malformed or
+// out-of-bounds input with ErrWire.
+func DecodeRequest(b []byte) (RequestFrame, error) {
+	var f RequestFrame
+	if len(b) < 3 || b[0] != wireMagic || b[1] != wireVersion || b[2] != frameRequest {
+		return f, fmt.Errorf("%w: bad header", ErrWire)
+	}
+	b = b[3:]
+	cid, n := uvarint(b)
+	if n == 0 || cid > uint64(1)<<31 {
+		return f, fmt.Errorf("%w: client id", ErrWire)
+	}
+	b = b[n:]
+	if len(b) < 2 {
+		return f, fmt.Errorf("%w: truncated op", ErrWire)
+	}
+	op := workload.Op(b[0])
+	if op != workload.OpGet && op != workload.OpSet && op != workload.OpDelete {
+		return f, fmt.Errorf("%w: unknown op %d", ErrWire, b[0])
+	}
+	mal := b[1]
+	if mal > 1 {
+		return f, fmt.Errorf("%w: malicious flag", ErrWire)
+	}
+	b = b[2:]
+	flags, n := uvarint(b)
+	if n == 0 || flags > uint64(^uint32(0)) {
+		return f, fmt.Errorf("%w: flags", ErrWire)
+	}
+	b = b[n:]
+	ttl, n := uvarint(b)
+	if n == 0 || ttl > uint64(1)<<62 {
+		return f, fmt.Errorf("%w: ttl", ErrWire)
+	}
+	b = b[n:]
+	klen, n := uvarint(b)
+	if n == 0 || klen == 0 || klen > MaxWireKeyLen {
+		return f, fmt.Errorf("%w: key length", ErrWire)
+	}
+	b = b[n:]
+	if uint64(len(b)) < klen {
+		return f, fmt.Errorf("%w: truncated key", ErrWire)
+	}
+	key := string(b[:klen])
+	b = b[klen:]
+	vlen, n := uvarint(b)
+	if n == 0 || vlen > kvstore.MaxValueSize {
+		return f, fmt.Errorf("%w: value length", ErrWire)
+	}
+	b = b[n:]
+	if uint64(len(b)) != vlen {
+		return f, fmt.Errorf("%w: value length mismatch", ErrWire)
+	}
+	f.ClientID = int(cid)
+	f.Req = workload.Request{
+		Op:        op,
+		Key:       key,
+		Flags:     uint32(flags),
+		TTL:       time.Duration(ttl),
+		Malicious: mal == 1,
+	}
+	if vlen > 0 {
+		f.Req.Value = append([]byte(nil), b[:vlen]...)
+	}
+	return f, nil
+}
+
+// EncodeMembership renders a membership snapshot as a wire frame.
+func EncodeMembership(epoch, now uint64, members []Member) []byte {
+	out := make([]byte, 0, 8+8*len(members))
+	out = append(out, wireMagic, wireVersion, frameMembership)
+	out = appendUvarint(out, epoch)
+	out = appendUvarint(out, now)
+	out = appendUvarint(out, uint64(len(members)))
+	for _, m := range members {
+		out = appendUvarint(out, uint64(uint32(m.ID)))
+		out = append(out, byte(m.State))
+		out = appendUvarint(out, m.Age)
+	}
+	return out
+}
+
+// DecodeMembership parses a membership frame, rejecting malformed or
+// out-of-bounds input with ErrWire.
+func DecodeMembership(b []byte) (MembershipFrame, error) {
+	var f MembershipFrame
+	if len(b) < 3 || b[0] != wireMagic || b[1] != wireVersion || b[2] != frameMembership {
+		return f, fmt.Errorf("%w: bad header", ErrWire)
+	}
+	b = b[3:]
+	epoch, n := uvarint(b)
+	if n == 0 {
+		return f, fmt.Errorf("%w: epoch", ErrWire)
+	}
+	b = b[n:]
+	now, n := uvarint(b)
+	if n == 0 {
+		return f, fmt.Errorf("%w: clock", ErrWire)
+	}
+	b = b[n:]
+	count, n := uvarint(b)
+	if n == 0 || count > MaxWireMembers {
+		return f, fmt.Errorf("%w: member count", ErrWire)
+	}
+	b = b[n:]
+	members := make([]MemberRecord, 0, count)
+	var prev int64 = -1
+	for i := uint64(0); i < count; i++ {
+		id, n := uvarint(b)
+		if n == 0 || id > uint64(^uint32(0)) {
+			return f, fmt.Errorf("%w: member id", ErrWire)
+		}
+		b = b[n:]
+		if int64(id) <= prev {
+			return f, fmt.Errorf("%w: member ids not ascending", ErrWire)
+		}
+		prev = int64(id)
+		if len(b) < 1 {
+			return f, fmt.Errorf("%w: truncated state", ErrWire)
+		}
+		st := lifecycle.State(b[0])
+		if st < lifecycle.StateInitializing || st > lifecycle.StateStopped {
+			return f, fmt.Errorf("%w: member state %d", ErrWire, b[0])
+		}
+		b = b[1:]
+		age, n := uvarint(b)
+		if n == 0 {
+			return f, fmt.Errorf("%w: member age", ErrWire)
+		}
+		b = b[n:]
+		members = append(members, MemberRecord{ID: NodeID(id), State: st, Age: age})
+	}
+	if len(b) != 0 {
+		return f, fmt.Errorf("%w: trailing bytes", ErrWire)
+	}
+	f.Epoch = epoch
+	f.Now = now
+	f.Members = members
+	return f, nil
+}

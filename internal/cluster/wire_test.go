@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lifecycle"
+	"repro/internal/workload"
+)
+
+// TestWireRequestRoundTrip encodes and decodes representative requests
+// and asserts full structural fidelity.
+func TestWireRequestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		clientID int
+		req      workload.Request
+	}{
+		{"get", 7, workload.Request{Op: workload.OpGet, Key: "key-00000042"}},
+		{"set", 0, workload.Request{Op: workload.OpSet, Key: "k", Value: []byte("v"), Flags: 99, TTL: 3 * time.Second}},
+		{"set-empty-value", 3, workload.Request{Op: workload.OpSet, Key: "empty", Value: []byte{}}},
+		{"delete", 12, workload.Request{Op: workload.OpDelete, Key: "gone"}},
+		{"malicious", 5, workload.Request{Op: workload.OpSet, Key: "evil", Value: bytes.Repeat([]byte{0xff}, 300), Malicious: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := DecodeRequest(EncodeRequest(tc.clientID, tc.req))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if f.ClientID != tc.clientID {
+				t.Errorf("clientID = %d, want %d", f.ClientID, tc.clientID)
+			}
+			if f.Req.Op != tc.req.Op || f.Req.Key != tc.req.Key ||
+				f.Req.Flags != tc.req.Flags || f.Req.TTL != tc.req.TTL ||
+				f.Req.Malicious != tc.req.Malicious {
+				t.Errorf("request = %+v, want %+v", f.Req, tc.req)
+			}
+			if len(tc.req.Value) != len(f.Req.Value) || (len(tc.req.Value) > 0 && !bytes.Equal(f.Req.Value, tc.req.Value)) {
+				t.Errorf("value = %v, want %v", f.Req.Value, tc.req.Value)
+			}
+		})
+	}
+}
+
+// TestWireMembershipRoundTrip encodes and decodes a membership
+// snapshot and asserts fidelity.
+func TestWireMembershipRoundTrip(t *testing.T) {
+	members := []Member{
+		{ID: 0, State: lifecycle.StateHealthy, Age: 0},
+		{ID: 1, State: lifecycle.StateDegraded, Age: 9},
+		{ID: 4, State: lifecycle.StateStopped, Age: 40},
+	}
+	f, err := DecodeMembership(EncodeMembership(17, 123, members))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Epoch != 17 || f.Now != 123 {
+		t.Errorf("epoch/now = %d/%d, want 17/123", f.Epoch, f.Now)
+	}
+	if len(f.Members) != len(members) {
+		t.Fatalf("members = %d, want %d", len(f.Members), len(members))
+	}
+	for i, m := range members {
+		got := f.Members[i]
+		if got.ID != m.ID || got.State != m.State || got.Age != m.Age {
+			t.Errorf("member %d = %+v, want %+v", i, got, m)
+		}
+	}
+}
+
+// TestWireDecodeRejections asserts the codec rejects malformed frames
+// with typed ErrWire, exercising each validation branch.
+func TestWireDecodeRejections(t *testing.T) {
+	good := EncodeRequest(1, workload.Request{Op: workload.OpSet, Key: "k", Value: []byte("v")})
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"bad-magic", []byte{'X', 1, 1, 0}},
+		{"bad-version", []byte{'S', 9, 1, 0}},
+		{"wrong-frame-type", EncodeMembership(1, 1, nil)},
+		{"truncated", good[:len(good)-1]},
+		{"trailing", append(append([]byte{}, good...), 0)},
+		{"bad-op", []byte{'S', 1, 1, 0, 9, 0, 0, 0, 1, 'k', 0}},
+		{"huge-key", []byte{'S', 1, 1, 0, 0, 0, 0, 0, 0xff, 0xff, 0x7f}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeRequest(tc.b); !errors.Is(err, ErrWire) {
+				t.Errorf("DecodeRequest(%v) err = %v, want ErrWire", tc.b, err)
+			}
+		})
+	}
+	if _, err := DecodeMembership([]byte{'S', 1, 3, 1, 1, 2, 1, 2, 0, 0, 2, 0}); !errors.Is(err, ErrWire) {
+		t.Errorf("non-ascending membership ids: err = %v, want ErrWire", err)
+	}
+}
+
+// FuzzWireDecode hardens the router's decode surface: arbitrary bytes
+// must either decode cleanly or be rejected with an error — never
+// panic, and a successful request decode must survive a re-encode
+// round trip (canonicalization check).
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeRequest(3, workload.Request{Op: workload.OpGet, Key: "key-00000001"}))
+	f.Add(EncodeRequest(1, workload.Request{Op: workload.OpSet, Key: "k", Value: []byte("value"), Flags: 7, TTL: time.Second}))
+	f.Add(EncodeRequest(0, workload.Request{Op: workload.OpDelete, Key: "key-00000002", Malicious: true}))
+	f.Add(EncodeMembership(3, 99, []Member{{ID: 0, State: 1, Age: 2}, {ID: 7, State: 4, Age: 30}}))
+	f.Add([]byte{'S', 1, 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if fr, err := DecodeRequest(b); err == nil {
+			fr2, err2 := DecodeRequest(EncodeRequest(fr.ClientID, fr.Req))
+			if err2 != nil {
+				t.Fatalf("re-encode of accepted frame rejected: %v", err2)
+			}
+			if fr2.Req.Key != fr.Req.Key || fr2.Req.Op != fr.Req.Op {
+				t.Fatalf("round trip diverged: %+v vs %+v", fr2, fr)
+			}
+		}
+		_, _ = DecodeMembership(b)
+	})
+}

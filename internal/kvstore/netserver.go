@@ -36,6 +36,10 @@ const overloadRetryCyclesPerSlot = 300_000
 type NetServer struct {
 	handle func(ctx context.Context, clientID int, req workload.Request) Response
 	stats  func(w io.Writer) error
+	// scanFn serves one paginated scan page (nil disables the scan
+	// command). Scans bypass the submission queues even on batched
+	// servers: a page is a trusted-side metadata walk, not domain work.
+	scanFn func(prefix, cursor string, limit int) (ScanResult, error)
 	log    *log.Logger
 
 	// reqTimeout, when non-zero, caps each request with a context
@@ -91,6 +95,11 @@ func NewNetServer(srv *Server, logger *log.Logger) *NetServer {
 			mu.Lock()
 			defer mu.Unlock()
 			return WriteStats(w, srv)
+		},
+		scanFn: func(prefix, cursor string, limit int) (ScanResult, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return srv.Scan(prefix, cursor, limit)
 		},
 		workers: 1,
 		healthFn: func() []gateway.ShardHealth {
@@ -163,6 +172,7 @@ func NewDeferredNetServerPool(p *Pool, logger *log.Logger) *NetServer {
 		log:       logger,
 		handle:    p.HandleContext,
 		stats:     func(w io.Writer) error { return WriteStats(w, p) },
+		scanFn:    p.Scan,
 		workers:   p.Workers(),
 		healthFn:  p.Health,
 		drainFn:   p.Drain,
@@ -230,6 +240,7 @@ func NewBatchedNetServerPool(p *Pool, logger *log.Logger, maxInflight, maxBatch 
 	n = servingNet(&NetServer{
 		log:       logger,
 		stats:     func(w io.Writer) error { return WriteStats(w, p) },
+		scanFn:    p.Scan,
 		queues:    q,
 		workers:   p.Workers(),
 		healthFn:  p.Health,
@@ -543,6 +554,8 @@ func (n *NetServer) serveConn(id int, conn io.ReadWriter) {
 			err = n.writeHealth(w)
 		case cmd.Stats:
 			err = n.stats(w)
+		case cmd.Scan:
+			err = n.handleScan(w, cmd, tenant, authed)
 		default:
 			req := cmd.Req
 			if bytes.HasPrefix(req.Value, []byte(AttackMarker)) {
@@ -611,6 +624,40 @@ func (n *NetServer) handleData(w io.Writer, id int, req workload.Request, tenant
 		n.logf("conn %d: tenant %s: contained memory-safety violation (domain rewound)", id, tenant)
 	}
 	return WriteResponse(w, req, resp)
+}
+
+// handleScan serves one paginated scan page. With a gateway installed,
+// every page is charged one admission token against the tenant's quota
+// — pagination is the anti-starvation contract: a tenant walking the
+// whole table re-enters admission per page and cannot lock others out
+// with one giant request.
+func (n *NetServer) handleScan(w io.Writer, cmd Command, tenant string, authed bool) error {
+	if n.scanFn == nil {
+		_, err := io.WriteString(w, "CLIENT_ERROR scan disabled\r\n")
+		return err
+	}
+	var ticket *gateway.Ticket
+	if n.gw != nil {
+		if !authed {
+			_, err := io.WriteString(w, "CLIENT_ERROR auth required\r\n")
+			return err
+		}
+		t, aerr := n.gw.Admit(tenant)
+		if aerr != nil {
+			_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", aerr)
+			return err
+		}
+		ticket = t
+	}
+	res, serr := n.scanFn(cmd.ScanPrefix, cmd.ScanCursor, cmd.ScanLimit)
+	if ticket != nil {
+		ticket.Done(false, false)
+	}
+	if serr != nil {
+		_, err := fmt.Fprintf(w, "SERVER_ERROR %s\r\n", serr)
+		return err
+	}
+	return WriteScanResponse(w, res)
 }
 
 // writeHealth renders the lifecycle health document as STAT lines: the

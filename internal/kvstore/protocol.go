@@ -26,6 +26,16 @@ import (
 //	auth <token>\r\n    (bind the connection to a tenant)
 //	health\r\n          (shard + tenant state as STAT lines)
 //
+// and the paginated scan extension:
+//
+//	scan <prefix> <limit> [cursor]\r\n
+//
+// where prefix "*" means every key, limit is clamped to MaxScanPage,
+// and a non-empty cursor resumes strictly after that key. A scan page
+// answers with VALUE lines, then "SCAN_MORE <cursor>\r\n" when more
+// remain, then END. Every page is admitted through the tenant's
+// gateway quota like any other request.
+//
 // Responses follow the memcached wire format (VALUE/END, STORED,
 // DELETED, NOT_FOUND, ERROR, SERVER_ERROR <msg>).
 
@@ -46,6 +56,12 @@ type Command struct {
 	// Health flags the gateway extension "health" (shard + tenant
 	// state).
 	Health bool
+	// Scan flags the paginated scan extension; ScanPrefix, ScanCursor,
+	// and ScanLimit carry its arguments (empty prefix = every key).
+	Scan       bool
+	ScanPrefix string
+	ScanCursor string
+	ScanLimit  int
 }
 
 // ReadCommand reads and parses one command from r.
@@ -109,6 +125,26 @@ func ReadCommand(r *bufio.Reader) (Command, error) {
 		return Command{Auth: true, Token: fields[1]}, nil
 	case "health":
 		return Command{Health: true}, nil
+	case "scan":
+		if len(fields) != 3 && len(fields) != 4 {
+			return Command{}, fmt.Errorf("%w: scan wants prefix limit [cursor]", ErrProtocol)
+		}
+		limit, err := strconv.Atoi(fields[2])
+		if err != nil || limit <= 0 {
+			return Command{}, fmt.Errorf("%w: bad scan limit %q", ErrProtocol, fields[2])
+		}
+		if limit > MaxScanPage {
+			limit = MaxScanPage
+		}
+		prefix := fields[1]
+		if prefix == "*" {
+			prefix = ""
+		}
+		cmd := Command{Scan: true, ScanPrefix: prefix, ScanLimit: limit}
+		if len(fields) == 4 {
+			cmd.ScanCursor = fields[3]
+		}
+		return cmd, nil
 	case "quit":
 		return Command{Quit: true}, nil
 	default:
@@ -147,6 +183,30 @@ func WriteResponse(w io.Writer, req workload.Request, resp Response) error {
 		_, err := io.WriteString(w, "ERROR\r\n")
 		return err
 	}
+}
+
+// WriteScanResponse renders one scan page: a VALUE line (with data
+// block) per item in key order, then "SCAN_MORE <cursor>" when the
+// table has more matching keys, then END.
+func WriteScanResponse(w io.Writer, res ScanResult) error {
+	for _, it := range res.Items {
+		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", it.Key, it.Flags, len(it.Value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(it.Value); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\r\n"); err != nil {
+			return err
+		}
+	}
+	if res.Cursor != "" {
+		if _, err := fmt.Fprintf(w, "SCAN_MORE %s\r\n", res.Cursor); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "END\r\n")
+	return err
 }
 
 // StatsSource is the accounting surface the stats command renders; both
